@@ -1,0 +1,49 @@
+"""Shared helpers for the benchmark harness.
+
+Every benchmark regenerates one table or figure of the paper's evaluation
+section, prints it, and archives the text under ``benchmarks/results/`` so the
+measured-vs-paper comparison in ``EXPERIMENTS.md`` can be refreshed easily.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Sequence
+
+RESULTS_DIR = os.path.join(os.path.dirname(os.path.abspath(__file__)), "results")
+
+
+def save_results(name: str, text: str) -> str:
+    """Write a result artefact and echo it to stdout; returns the path."""
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    path = os.path.join(RESULTS_DIR, f"{name}.txt")
+    with open(path, "w", encoding="utf-8") as handle:
+        handle.write(text if text.endswith("\n") else text + "\n")
+    print(f"\n===== {name} =====")
+    print(text)
+    return path
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]]) -> str:
+    """Render a plain-text table with aligned columns."""
+    materialized: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(header) for header in headers]
+    for row in materialized:
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = [
+        "  ".join(header.ljust(widths[index]) for index, header in enumerate(headers)),
+        "  ".join("-" * widths[index] for index in range(len(headers))),
+    ]
+    for row in materialized:
+        lines.append("  ".join(cell.ljust(widths[index]) for index, cell in enumerate(row)))
+    return "\n".join(lines)
+
+
+def format_cell(value) -> str:
+    """Table-3 style cell: ``TO (ETO)`` or ``/`` when the window never triggered."""
+    if value is None:
+        return "/"
+    if isinstance(value, tuple):
+        return f"{value[0]} ({value[1]})"
+    return str(value)

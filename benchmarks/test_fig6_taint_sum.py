@@ -1,0 +1,96 @@
+"""Figure 6 — taint sum over cycles while executing each attack test case.
+
+For every classic attack the benchmark records the tainted-state-bit count per
+cycle under three instrumentations: diffIFT, diffIFT_FN (both instances carry
+the same secret, the worst case for false negatives) and CellIFT.  The
+qualitative shape reproduced from the paper:
+
+* CellIFT suffers taint explosion — once the tainted transient window is
+  squashed, control taints spread to whole structures and never recede;
+* diffIFT stays bounded (only genuinely secret-dependent state is tainted);
+* diffIFT_FN tracks the data taints but suppresses all control taints, ending
+  at or below the diffIFT curve.
+"""
+
+from bench_utils import format_table, save_results
+
+from repro.analysis import extract_taint_curve
+from repro.scenarios import run_attack
+from repro.uarch import TaintTrackingMode, small_boom_config
+
+ATTACKS = ["spectre-v1", "spectre-v2", "meltdown", "spectre-v4", "spectre-rsb"]
+
+
+def collect_taint_curves(core):
+    curves = {}
+    for attack in ATTACKS:
+        per_mode = {}
+        for label, mode, fn_mode in (
+            ("diffIFT", TaintTrackingMode.DIFFIFT, False),
+            ("diffIFT_FN", TaintTrackingMode.DIFFIFT, True),
+            ("CellIFT", TaintTrackingMode.CELLIFT, False),
+        ):
+            result = run_attack(attack, core, taint_mode=mode, false_negative_mode=fn_mode)
+            census_log = result.primary.processor.taint.census_log
+            per_mode[label] = extract_taint_curve(census_log, label=f"{attack}:{label}")
+        curves[attack] = per_mode
+    return curves
+
+
+def render_figure6(curves):
+    rows = []
+    for attack, per_mode in curves.items():
+        rows.append(
+            [
+                attack,
+                per_mode["diffIFT"].peak(),
+                per_mode["diffIFT"].final(),
+                per_mode["diffIFT_FN"].peak(),
+                per_mode["CellIFT"].peak(),
+                per_mode["CellIFT"].final(),
+            ]
+        )
+    return format_table(
+        [
+            "Attack",
+            "diffIFT peak",
+            "diffIFT final",
+            "diffIFT_FN peak",
+            "CellIFT peak",
+            "CellIFT final",
+        ],
+        rows,
+    )
+
+
+def test_fig6_taint_sum_curves(benchmark):
+    core = small_boom_config()
+    curves = benchmark.pedantic(collect_taint_curves, args=(core,), rounds=1, iterations=1)
+    save_results("fig6_taint_sum", render_figure6(curves))
+
+    for attack, per_mode in curves.items():
+        diffift_peak = per_mode["diffIFT"].peak()
+        fn_peak = per_mode["diffIFT_FN"].peak()
+        cellift_peak = per_mode["CellIFT"].peak()
+        cellift_final = per_mode["CellIFT"].final()
+        # Taint explosion under CellIFT: at least 5x the diffIFT peak ...
+        assert cellift_peak > 5 * diffift_peak, attack
+        # ... and it never recovers (the final value stays exploded).
+        assert cellift_final >= 0.9 * cellift_peak, attack
+        # diffIFT observes the secret (non-zero taints) without exploding.
+        assert 0 < diffift_peak < cellift_peak, attack
+        # Suppressed control taints: the FN curve stops at or below diffIFT,
+        # but data taints still reach the microarchitecture.
+        assert 0 < fn_peak <= diffift_peak, attack
+
+
+def test_fig6_series_are_per_cycle(benchmark):
+    core = small_boom_config()
+
+    def single():
+        result = run_attack("spectre-v1", core, taint_mode=TaintTrackingMode.DIFFIFT)
+        return extract_taint_curve(result.primary.processor.taint.census_log, label="diffIFT")
+
+    curve = benchmark.pedantic(single, rounds=1, iterations=1)
+    assert curve.cycles == sorted(curve.cycles)
+    assert len(curve.cycles) == len(curve.taint_bits) > 100

@@ -1,0 +1,137 @@
+"""Table 3 — training overhead for different types of transient windows.
+
+For every window-type group the benchmark collects triggered windows with
+DejaVuzz (derived training + reduction), DejaVuzz* (random training) and the
+SpecDoctor baseline, and reports the average Training Overhead (TO) and
+Effective Training Overhead (ETO, excluding alignment nops).  ``/`` marks
+window types a fuzzer could not trigger — the paper's key qualitative result
+is which cells are ``/`` and that DejaVuzz's ETO is tiny while SpecDoctor's TO
+is ~125 unremovable random instructions.
+"""
+
+from collections import defaultdict
+
+from bench_utils import format_cell, format_table, save_results
+
+from repro.baselines import SPECDOCTOR_SUPPORTED_WINDOWS, SpecDoctorConfiguration, SpecDoctorFuzzer
+from repro.core.phase1 import TransientWindowTriggering
+from repro.generation import Seed, TrainingMode, TransientWindowType
+from repro.generation.window_types import WINDOW_TYPE_GROUPS, group_of, window_types_for_table3
+from repro.uarch import small_boom_config, xiangshan_minimal_config
+
+WINDOWS_PER_TYPE = 3
+MAX_ATTEMPTS_PER_WINDOW = 4
+
+
+def collect_dejavuzz_overheads(core, training_mode, entropy_base=40_000):
+    """Collect (TO, ETO) samples per window-type group for one DejaVuzz variant."""
+    phase1 = TransientWindowTriggering(core, training_mode=training_mode)
+    samples = defaultdict(list)
+    entropy = entropy_base
+    for group, members in WINDOW_TYPE_GROUPS.items():
+        collected = 0
+        attempts = 0
+        while collected < WINDOWS_PER_TYPE and attempts < WINDOWS_PER_TYPE * MAX_ATTEMPTS_PER_WINDOW:
+            window_type = members[attempts % len(members)]
+            seed = Seed.fresh(entropy=entropy, window_type=window_type)
+            entropy += 1
+            attempts += 1
+            result = phase1.run(seed)
+            if result.triggered:
+                samples[group].append(
+                    (result.training_overhead, result.effective_training_overhead)
+                )
+                collected += 1
+    return samples
+
+
+def collect_specdoctor_overheads(core, iterations=24, entropy=77):
+    fuzzer = SpecDoctorFuzzer(
+        SpecDoctorConfiguration(core=core, entropy=entropy, measure_taint_coverage=False)
+    )
+    samples = defaultdict(list)
+    for window_type in SPECDOCTOR_SUPPORTED_WINDOWS:
+        for _ in range(WINDOWS_PER_TYPE):
+            stimulus = fuzzer.generate_stimulus(window_type)
+            from repro.swapmem import DualCoreHarness
+            from repro.uarch import TaintTrackingMode
+
+            harness = DualCoreHarness(
+                core, stimulus.schedule, secret=0x1234, taint_mode=TaintTrackingMode.NONE
+            )
+            run = harness.run()
+            if run.window_triggered:
+                samples[group_of(window_type)].append(
+                    (stimulus.training_instructions, stimulus.training_instructions)
+                )
+    return samples
+
+
+def average_cells(samples):
+    cells = {}
+    for group in window_types_for_table3():
+        entries = samples.get(group, [])
+        if not entries:
+            cells[group] = None
+        else:
+            to_average = round(sum(e[0] for e in entries) / len(entries), 1)
+            eto_average = round(sum(e[1] for e in entries) / len(entries), 1)
+            cells[group] = (to_average, eto_average)
+    return cells
+
+
+def build_table3():
+    rows = []
+    configurations = [
+        ("BOOM", small_boom_config()),
+        ("XiangShan", xiangshan_minimal_config()),
+    ]
+    collected = {}
+    for core_label, core in configurations:
+        dejavuzz = average_cells(collect_dejavuzz_overheads(core, TrainingMode.DERIVED))
+        dejavuzz_star = average_cells(
+            collect_dejavuzz_overheads(core, TrainingMode.RANDOM, entropy_base=50_000)
+        )
+        collected[(core_label, "DejaVuzz")] = dejavuzz
+        collected[(core_label, "DejaVuzz*")] = dejavuzz_star
+        rows.append([core_label, "DejaVuzz"] + [format_cell(dejavuzz[g]) for g in window_types_for_table3()])
+        rows.append(
+            [core_label, "DejaVuzz*"] + [format_cell(dejavuzz_star[g]) for g in window_types_for_table3()]
+        )
+        if core_label == "BOOM":
+            specdoctor = average_cells(collect_specdoctor_overheads(core))
+            collected[(core_label, "SpecDoctor")] = specdoctor
+            rows.append(
+                [core_label, "SpecDoctor"]
+                + [format_cell(specdoctor[g]) for g in window_types_for_table3()]
+            )
+    table = format_table(["Processor", "Fuzzer"] + window_types_for_table3(), rows)
+    return table, collected
+
+
+def test_table3_training_overhead(benchmark):
+    table, collected = benchmark.pedantic(build_table3, rounds=1, iterations=1)
+    save_results("table3_training_overhead", table)
+
+    boom_dejavuzz = collected[("BOOM", "DejaVuzz")]
+    boom_specdoctor = collected[("BOOM", "SpecDoctor")]
+    xiangshan_dejavuzz = collected[("XiangShan", "DejaVuzz")]
+
+    # Exception-type windows need zero training after reduction (DejaVuzz).
+    assert boom_dejavuzz["Load/Store Page Fault"] == (0.0, 0.0)
+    assert boom_dejavuzz["Memory Disambiguation"] == (0.0, 0.0)
+    # BOOM never opens illegal-instruction windows; XiangShan does.
+    assert boom_dejavuzz["Illegal Instruction"] is None
+    assert xiangshan_dejavuzz["Illegal Instruction"] is not None
+    # Misprediction windows: large TO (alignment nops) but tiny ETO.
+    branch_cell = boom_dejavuzz["Branch Misprediction"]
+    assert branch_cell is not None and branch_cell[1] <= 8 < branch_cell[0]
+    # DejaVuzz covers every window type SpecDoctor covers, and more.
+    dejavuzz_types = {g for g, cell in boom_dejavuzz.items() if cell is not None}
+    specdoctor_types = {g for g, cell in boom_specdoctor.items() if cell is not None}
+    assert specdoctor_types <= dejavuzz_types
+    assert len(dejavuzz_types) > len(specdoctor_types)
+    # SpecDoctor's training overhead is two orders of magnitude above DejaVuzz's ETO.
+    for group, cell in boom_specdoctor.items():
+        if cell is not None:
+            assert cell[0] >= 100

@@ -1,0 +1,78 @@
+#!/usr/bin/env python3
+"""Compare DejaVuzz against its ablations and SpecDoctor (Figure 7 in miniature).
+
+Runs short campaigns for DejaVuzz, DejaVuzz* (random training), DejaVuzz− (no
+coverage feedback) and SpecDoctor on the same core and prints the coverage
+curves and training-overhead summary side by side.
+
+Usage::
+
+    python examples/fuzzer_comparison.py [iterations]
+"""
+
+import sys
+
+from repro.analysis import training_overhead_table
+from repro.baselines import SpecDoctorConfiguration, SpecDoctorFuzzer
+from repro.core import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.generation import TrainingMode
+from repro.uarch import small_boom_config
+
+
+def curve_summary(history, points=8):
+    if not history:
+        return "(empty)"
+    step = max(len(history) // points, 1)
+    samples = history[::step]
+    if samples[-1] != history[-1]:
+        samples.append(history[-1])
+    return " -> ".join(str(value) for value in samples)
+
+
+def main() -> int:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    core = small_boom_config()
+    entropy = 424242
+
+    campaigns = {}
+    campaigns["dejavuzz"] = DejaVuzzFuzzer(
+        FuzzerConfiguration(core=core, entropy=entropy)
+    ).run_campaign(iterations)
+    campaigns["dejavuzz*"] = DejaVuzzFuzzer(
+        FuzzerConfiguration(core=core, entropy=entropy, training_mode=TrainingMode.RANDOM)
+    ).run_campaign(iterations)
+    campaigns["dejavuzz-"] = DejaVuzzFuzzer(
+        FuzzerConfiguration(core=core, entropy=entropy, coverage_feedback=False)
+    ).run_campaign(iterations)
+    campaigns["specdoctor"] = SpecDoctorFuzzer(
+        SpecDoctorConfiguration(core=core, entropy=entropy)
+    ).run_campaign(iterations)
+
+    print(f"Coverage over {iterations} iterations on {core.name}")
+    print("-" * 64)
+    for name, campaign in campaigns.items():
+        print(f"{name:11s} final={campaign.final_coverage():4d}   {curve_summary(campaign.coverage_history)}")
+
+    baseline = campaigns["specdoctor"].final_coverage() or 1
+    print(f"\nDejaVuzz / SpecDoctor coverage improvement: "
+          f"{campaigns['dejavuzz'].final_coverage() / baseline:.2f}x")
+
+    print("\nLeak reports per fuzzer")
+    for name, campaign in campaigns.items():
+        unique = len(campaign.unique_bug_signatures()) if hasattr(campaign, "unique_bug_signatures") else 0
+        print(f"  {name:11s} reports={len(campaign.reports):3d} unique_signatures={unique}")
+
+    print("\nTraining overhead per window-type group (TO, ETO)")
+    rows = training_overhead_table({name: campaign for name, campaign in campaigns.items()})
+    for row in rows:
+        print(f"  {row['fuzzer']}:")
+        for group, cell in row.items():
+            if group in ("fuzzer", "core"):
+                continue
+            rendered = "/" if cell is None else f"TO={cell[0]:6.1f} ETO={cell[1]:5.1f}"
+            print(f"      {group:32s} {rendered}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

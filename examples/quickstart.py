@@ -1,0 +1,55 @@
+#!/usr/bin/env python3
+"""Quickstart: fuzz a BOOM-like core for transient execution leaks.
+
+Runs a short DejaVuzz campaign (all three phases: window triggering with
+training derivation/reduction, diffIFT-instrumented exploration with taint
+coverage, and leakage analysis with liveness filtering) and prints what was
+found.
+
+Usage::
+
+    python examples/quickstart.py [iterations]
+"""
+
+import sys
+
+from repro import DejaVuzzFuzzer, FuzzerConfiguration, small_boom_config
+
+
+def main() -> int:
+    iterations = int(sys.argv[1]) if len(sys.argv) > 1 else 30
+    configuration = FuzzerConfiguration(core=small_boom_config(), entropy=2025)
+    fuzzer = DejaVuzzFuzzer(configuration)
+
+    print(f"Fuzzing {configuration.core.name} for {iterations} iterations ...")
+    print(configuration.core.describe())
+    print()
+
+    campaign = fuzzer.run_campaign(iterations)
+
+    print("Campaign summary")
+    print("----------------")
+    for key, value in campaign.summary().items():
+        print(f"  {key:22s} {value}")
+
+    print("\nTriggered transient windows (by type)")
+    for group, count in sorted(campaign.triggered_windows.items()):
+        overheads = campaign.effective_training_overhead.get(group, [])
+        average = sum(overheads) / len(overheads) if overheads else 0.0
+        print(f"  {group:32s} x{count}  (avg effective training: {average:.1f} instructions)")
+
+    print("\nReported leakages")
+    if not campaign.reports:
+        print("  none found in this budget — try more iterations")
+    for report in campaign.reports[:10]:
+        print(f"  [iter {report.iteration:3d}] {report.describe()}")
+
+    print("\nTable-5-style summary")
+    for row in campaign.table5_rows():
+        print(f"  {row['processor']:18s} {row['attack_type']:9s} "
+              f"{row['transient_window']:22s} -> {row['encoded_timing_component']}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

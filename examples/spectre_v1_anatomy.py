@@ -1,0 +1,93 @@
+#!/usr/bin/env python3
+"""Anatomy of a Spectre-V1 test case built with the DejaVuzz primitives.
+
+The script walks through the pipeline the fuzzer automates:
+
+1. Phase 1 generates a transient packet whose conditional branch reads a cold
+   operand, plus trigger-training packets aligned to the branch; the training
+   reduction keeps only the packet that actually trains the predictor.
+2. Step 2.1 completes the dummy window with a secret access block and a
+   probe-array encoding block, and derives window training that warms the
+   secret into the data cache.
+3. The dual-DUT swapMem harness runs both instances (original and bit-flipped
+   secret) under diffIFT; the report shows the transient window, the taint
+   reaching the caches, and the Phase-3 verdict.
+
+Usage::
+
+    python examples/spectre_v1_anatomy.py
+"""
+
+from repro.core.coverage import TaintCoverageMatrix
+from repro.core.phase1 import TransientWindowTriggering
+from repro.core.phase2 import TransientExecutionExploration
+from repro.core.phase3 import TransientLeakageAnalysis
+from repro.generation import EncodeStrategy, Seed, TransientWindowType
+from repro.swapmem import DEFAULT_LAYOUT
+from repro.uarch import small_boom_config
+
+
+def main() -> int:
+    core = small_boom_config()
+    print("Target core:")
+    print(core.describe())
+    print("\nswapMem layout:")
+    print(DEFAULT_LAYOUT.describe())
+
+    phase1 = TransientWindowTriggering(core)
+    phase2 = TransientExecutionExploration(core)
+    phase3 = TransientLeakageAnalysis(core)
+
+    seed = Seed.fresh(
+        entropy=101,
+        window_type=TransientWindowType.BRANCH_MISPREDICTION,
+        encode_strategies=(EncodeStrategy.DCACHE_INDEX,),
+    )
+    result = phase1.run(seed)
+    attempts = 1
+    while not result.triggered:
+        seed = seed.mutated(entropy=seed.entropy + 1000)
+        result = phase1.run(seed)
+        attempts += 1
+
+    print(f"\nPhase 1: transient window triggered after {attempts} attempt(s)")
+    print(f"  trigger offset        +{result.spec.trigger_offset:#x}")
+    print(f"  window offsets        +{result.spec.window_offsets[0]:#x} .. "
+          f"+{result.spec.window_offsets[-1]:#x}")
+    print(f"  training overhead     {result.training_overhead} instructions "
+          f"({result.effective_training_overhead} excluding nop padding)")
+    print(f"  schedule packets      {result.schedule.packet_names()}")
+
+    print("\nSurviving trigger-training packet (excerpt):")
+    training = result.schedule.training_packets()[0]
+    for offset, instruction in training.offsets():
+        if not instruction.is_nop:
+            print(f"    +{offset:#06x}: {instruction.render()}")
+
+    coverage = TaintCoverageMatrix()
+    phase2_result = phase2.run(result, seed, coverage)
+    print("\nPhase 2: transient execution exploration")
+    print(f"  window cycle range    {phase2_result.window_cycle_range}")
+    print(f"  secret propagated     {phase2_result.secret_propagated}")
+    print(f"  new coverage points   {phase2_result.new_coverage_points}")
+    print(f"  tainted modules       {phase2_result.run.final_tainted_modules()}")
+
+    print("\nCompleted transient window:")
+    transient = phase2_result.schedule.transient_packet()
+    for offset in result.spec.window_offsets:
+        instruction = transient.instructions[offset // 4]
+        tags = ",".join(sorted(tag for tag in instruction.tags if tag != "window"))
+        print(f"    +{offset:#06x}: {instruction.render():32s} [{tags}]")
+
+    phase3_result = phase3.run(phase2_result)
+    print("\nPhase 3: transient leakage analysis")
+    print(f"  constant-time violation  {phase3_result.verdict.timing_difference} cycles")
+    print(f"  encoded sinks            {phase3_result.verdict.encoded_sinks}")
+    print(f"  live sinks               {phase3_result.verdict.live_sinks}")
+    print(f"  dead sinks (filtered)    {phase3_result.verdict.dead_sinks}")
+    print(f"  verdict                  {phase3_result.verdict.describe()}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -1,0 +1,21 @@
+"""Setup shim.
+
+The canonical project metadata lives in ``pyproject.toml``.  This file exists
+so that the package can be installed in environments without the ``wheel``
+package (offline editable installs fall back to ``python setup.py develop``).
+"""
+
+from setuptools import find_packages, setup
+
+setup(
+    name="repro",
+    version="1.0.0",
+    description=(
+        "DejaVuzz reproduction: transient-execution bug fuzzing with dynamic "
+        "swappable memory and differential information flow tracking"
+    ),
+    package_dir={"": "src"},
+    packages=find_packages(where="src"),
+    python_requires=">=3.9",
+    install_requires=["numpy"],
+)

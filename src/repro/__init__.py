@@ -1,0 +1,68 @@
+"""DejaVuzz reproduction: transient-execution bug fuzzing for out-of-order cores.
+
+The package reproduces the system described in *DejaVuzz: Disclosing Transient
+Execution Bugs with Dynamic Swappable Memory and Differential Information Flow
+Tracking Assisted Processor Fuzzing* (ASPLOS 2025) as a pure-Python library:
+
+* :mod:`repro.isa` — RV64 subset, assembler and ISA golden model.
+* :mod:`repro.rtl` / :mod:`repro.ift` — word-level netlist IR with CellIFT and
+  diffIFT taint instrumentation (the paper's tracing primitive).
+* :mod:`repro.uarch` — the out-of-order DUT models (BOOM-like and
+  XiangShan-like) with speculative execution, side-channel structures and the
+  paper's five injected CVE defects.
+* :mod:`repro.swapmem` — dynamic swappable memory (the isolation primitive)
+  and the dual-DUT differential testbench.
+* :mod:`repro.generation` — stimulus generation, training derivation, window
+  completion and mutation.
+* :mod:`repro.core` — the three-phase DejaVuzz fuzzer with taint coverage and
+  liveness analysis.
+* :mod:`repro.baselines` — the SpecDoctor baseline.
+* :mod:`repro.scenarios` — ready-made Spectre/Meltdown attack scenarios.
+* :mod:`repro.analysis` — result aggregation used by the benchmark harness.
+
+Quick start::
+
+    from repro import DejaVuzzFuzzer, FuzzerConfiguration, small_boom_config
+
+    fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=small_boom_config(), entropy=1))
+    campaign = fuzzer.run_campaign(iterations=50)
+    print(campaign.summary())
+"""
+
+from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.report import BugReport, CampaignResult
+from repro.uarch.boom import small_boom_config
+from repro.uarch.xiangshan import xiangshan_minimal_config
+from repro.uarch.config import CoreConfig, TaintTrackingMode
+from repro.uarch.processor import Processor
+from repro.generation.window_types import TransientWindowType
+from repro.generation.training import TrainingMode
+from repro.swapmem.harness import DualCoreHarness
+from repro.swapmem.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.baselines.specdoctor import SpecDoctorConfiguration, SpecDoctorFuzzer
+from repro.scenarios.attacks import ATTACK_SCENARIOS, build_attack_schedule, run_attack
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "DejaVuzzFuzzer",
+    "FuzzerConfiguration",
+    "BugReport",
+    "CampaignResult",
+    "small_boom_config",
+    "xiangshan_minimal_config",
+    "CoreConfig",
+    "TaintTrackingMode",
+    "Processor",
+    "TransientWindowType",
+    "TrainingMode",
+    "DualCoreHarness",
+    "DEFAULT_LAYOUT",
+    "MemoryLayout",
+    "SpecDoctorConfiguration",
+    "SpecDoctorFuzzer",
+    "ATTACK_SCENARIOS",
+    "build_attack_schedule",
+    "run_attack",
+    "__version__",
+]

@@ -1,0 +1,21 @@
+"""Result analysis helpers: taint curves, timing comparison, table aggregation."""
+
+from repro.analysis.results import (
+    TaintCurve,
+    extract_taint_curve,
+    summarize_training_overhead,
+    training_overhead_table,
+    coverage_curve_statistics,
+    coverage_improvement,
+    iterations_to_reach,
+)
+
+__all__ = [
+    "TaintCurve",
+    "extract_taint_curve",
+    "summarize_training_overhead",
+    "training_overhead_table",
+    "coverage_curve_statistics",
+    "coverage_improvement",
+    "iterations_to_reach",
+]

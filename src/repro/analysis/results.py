@@ -1,0 +1,118 @@
+"""Analysis utilities shared by the benchmark harness and the examples.
+
+These helpers turn raw simulation artefacts (taint census logs, campaign
+results) into the series and tables the paper reports: the per-cycle taint-sum
+curves of Figure 6, the TO/ETO rows of Table 3, and coverage-curve statistics
+for Figure 7.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from repro.core.report import CampaignResult
+from repro.generation.window_types import window_types_for_table3
+from repro.uarch.taint import TaintCensus
+
+
+@dataclass
+class TaintCurve:
+    """A taint-sum-versus-cycle series (one line of Figure 6)."""
+
+    label: str
+    cycles: List[int] = field(default_factory=list)
+    taint_bits: List[int] = field(default_factory=list)
+
+    def peak(self) -> int:
+        return max(self.taint_bits, default=0)
+
+    def final(self) -> int:
+        return self.taint_bits[-1] if self.taint_bits else 0
+
+    def value_at(self, cycle: int) -> int:
+        best = 0
+        for c, value in zip(self.cycles, self.taint_bits):
+            if c <= cycle:
+                best = value
+            else:
+                break
+        return best
+
+    def saturated(self, threshold: int) -> bool:
+        """Did the curve reach ``threshold`` tainted bits at any point?"""
+        return self.peak() >= threshold
+
+
+def extract_taint_curve(
+    census_log: Iterable[TaintCensus],
+    label: str,
+    cycle_offset: int = 0,
+) -> TaintCurve:
+    """Build a :class:`TaintCurve` from a processor's taint census log."""
+    curve = TaintCurve(label=label)
+    for census in census_log:
+        curve.cycles.append(census.cycle - cycle_offset)
+        curve.taint_bits.append(census.total_bits())
+    return curve
+
+
+def summarize_training_overhead(samples: Sequence[int]) -> Optional[float]:
+    """Average training overhead, or None when the window type never triggered."""
+    if not samples:
+        return None
+    return sum(samples) / len(samples)
+
+
+def training_overhead_table(
+    campaigns: Dict[str, CampaignResult]
+) -> List[Dict[str, object]]:
+    """Assemble Table-3-shaped rows from one campaign per fuzzer variant.
+
+    Each row is one fuzzer; columns are the eight window-type groups, each
+    holding ``(TO, ETO)`` or ``None`` when the variant failed to trigger that
+    window type (the ``/`` cells of the paper's table).
+    """
+    rows: List[Dict[str, object]] = []
+    for fuzzer_name, campaign in campaigns.items():
+        row: Dict[str, object] = {"fuzzer": fuzzer_name, "core": campaign.core}
+        for group in window_types_for_table3():
+            to_average = summarize_training_overhead(campaign.training_overhead.get(group, []))
+            eto_average = summarize_training_overhead(
+                campaign.effective_training_overhead.get(group, [])
+            )
+            if to_average is None:
+                row[group] = None
+            else:
+                row[group] = (round(to_average, 1), round(eto_average or 0.0, 1))
+        rows.append(row)
+    return rows
+
+
+def coverage_curve_statistics(curves: Sequence[List[int]]) -> Dict[str, object]:
+    """Mean final coverage and a simple spread across repeated trials (Figure 7)."""
+    finals = [curve[-1] if curve else 0 for curve in curves]
+    if not finals:
+        return {"mean_final": 0.0, "min_final": 0, "max_final": 0}
+    return {
+        "mean_final": sum(finals) / len(finals),
+        "min_final": min(finals),
+        "max_final": max(finals),
+    }
+
+
+def iterations_to_reach(curve: Sequence[int], target: int) -> Optional[int]:
+    """First iteration index at which a coverage curve reaches ``target``."""
+    for index, value in enumerate(curve):
+        if value >= target:
+            return index
+    return None
+
+
+def coverage_improvement(
+    dejavuzz_curve: Sequence[int], baseline_curve: Sequence[int]
+) -> Optional[float]:
+    """Final-coverage ratio (the paper's headline 4.7x is this quantity)."""
+    if not dejavuzz_curve or not baseline_curve or baseline_curve[-1] == 0:
+        return None
+    return dejavuzz_curve[-1] / baseline_curve[-1]

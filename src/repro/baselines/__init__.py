@@ -1,0 +1,21 @@
+"""Baselines and ablation variants the paper compares against.
+
+* :mod:`repro.baselines.specdoctor` — a SpecDoctor-style fuzzer: linear
+  single-address-space stimuli, random (unreduced) training, hash-of-final-
+  state differential oracle, no taint coverage, no liveness filtering.
+* The DejaVuzz* and DejaVuzz− ablations are configuration flags on
+  :class:`repro.core.fuzzer.DejaVuzzFuzzer` (``training_mode=RANDOM`` and
+  ``coverage_feedback=False`` respectively) rather than separate code.
+"""
+
+from repro.baselines.specdoctor import (
+    SpecDoctorFuzzer,
+    SpecDoctorConfiguration,
+    SPECDOCTOR_SUPPORTED_WINDOWS,
+)
+
+__all__ = [
+    "SpecDoctorFuzzer",
+    "SpecDoctorConfiguration",
+    "SPECDOCTOR_SUPPORTED_WINDOWS",
+]

@@ -1,0 +1,42 @@
+"""The DejaVuzz fuzzer: the paper's primary contribution.
+
+The framework (Figure 5) runs in three phases on top of the two operating
+primitives:
+
+* **Phase 1 — transient window triggering** (:mod:`repro.core.phase1`):
+  trigger generation, targeted training derivation, and training reduction on
+  top of swapMem.
+* **Phase 2 — transient execution exploration** (:mod:`repro.core.phase2`):
+  window completion, diffIFT-instrumented differential simulation, and the
+  taint coverage matrix that feeds mutation.
+* **Phase 3 — transient leakage analysis** (:mod:`repro.core.phase3`):
+  constant-time execution analysis, encode sanitization, and tainted-sink
+  liveness analysis.
+
+:class:`repro.core.fuzzer.DejaVuzzFuzzer` wires the phases into a campaign
+loop with a seed corpus and coverage feedback; the DejaVuzz* and DejaVuzz−
+ablations of §6 are configuration flags on the same class.
+"""
+
+from repro.core.coverage import CoveragePoint, TaintCoverageMatrix
+from repro.core.phase1 import Phase1Result, TransientWindowTriggering
+from repro.core.phase2 import Phase2Result, TransientExecutionExploration
+from repro.core.phase3 import LeakageVerdict, Phase3Result, TransientLeakageAnalysis
+from repro.core.report import BugReport, CampaignResult
+from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+
+__all__ = [
+    "CoveragePoint",
+    "TaintCoverageMatrix",
+    "Phase1Result",
+    "TransientWindowTriggering",
+    "Phase2Result",
+    "TransientExecutionExploration",
+    "LeakageVerdict",
+    "Phase3Result",
+    "TransientLeakageAnalysis",
+    "BugReport",
+    "CampaignResult",
+    "DejaVuzzFuzzer",
+    "FuzzerConfiguration",
+]

@@ -1,0 +1,275 @@
+"""The DejaVuzz fuzzing manager.
+
+Wires the three phases into a campaign loop with a seed corpus and
+coverage-guided feedback.  The two ablation variants of §6 are configuration
+flags:
+
+* **DejaVuzz\\*** — ``training_mode=TrainingMode.RANDOM``: swapMem is still
+  used, but trigger training packets are random instruction sequences instead
+  of being derived from the transient packet.
+* **DejaVuzz−** — ``coverage_feedback=False``: taint coverage is still
+  recorded (so the curves are comparable), but mutation ignores it and simply
+  re-rolls the encoding block or regenerates the transient window each round.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional
+
+from repro.core.coverage import TaintCoverageMatrix
+from repro.core.phase1 import Phase1Result, TransientWindowTriggering
+from repro.core.phase2 import TransientExecutionExploration
+from repro.core.phase3 import TransientLeakageAnalysis
+from repro.core.report import CampaignResult, classify_report
+from repro.generation.mutation import Mutator
+from repro.generation.seeds import Seed
+from repro.generation.training import TrainingMode
+from repro.generation.window_types import TransientWindowType, group_of
+from repro.swapmem.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.uarch.config import CoreConfig, TaintTrackingMode
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class FuzzerConfiguration:
+    """Knobs of a DejaVuzz campaign."""
+
+    core: CoreConfig
+    entropy: int = 2025
+    layout: MemoryLayout = field(default_factory=lambda: DEFAULT_LAYOUT)
+    taint_mode: TaintTrackingMode = TaintTrackingMode.DIFFIFT
+    training_mode: TrainingMode = TrainingMode.DERIVED
+    coverage_feedback: bool = True
+    use_liveness_annotations: bool = True
+    training_candidates: int = 3
+    max_cycles_per_packet: int = 600
+    window_mutations_per_trigger: int = 6
+    low_gain_limit: int = 3
+    name: str = "dejavuzz"
+
+    def variant_name(self) -> str:
+        if self.training_mode is TrainingMode.RANDOM:
+            return "dejavuzz*"
+        if not self.coverage_feedback:
+            return "dejavuzz-"
+        return self.name
+
+
+class DejaVuzzFuzzer:
+    """The three-phase fuzzing campaign driver."""
+
+    def __init__(self, configuration: FuzzerConfiguration) -> None:
+        self.configuration = configuration
+        self.rng = DeterministicRng(configuration.entropy, "fuzzer")
+        self.mutator = Mutator(self.rng.split("mutation"))
+        self.coverage = TaintCoverageMatrix()
+        self.phase1 = TransientWindowTriggering(
+            configuration.core,
+            layout=configuration.layout,
+            training_mode=configuration.training_mode,
+            training_candidates=configuration.training_candidates,
+            max_cycles_per_packet=configuration.max_cycles_per_packet,
+        )
+        self.phase2 = TransientExecutionExploration(
+            configuration.core,
+            layout=configuration.layout,
+            taint_mode=configuration.taint_mode,
+            max_cycles_per_packet=configuration.max_cycles_per_packet,
+        )
+        self.phase3 = TransientLeakageAnalysis(
+            configuration.core,
+            layout=configuration.layout,
+            taint_mode=configuration.taint_mode,
+            use_liveness_annotations=configuration.use_liveness_annotations,
+            max_cycles_per_packet=configuration.max_cycles_per_packet,
+        )
+        self._gain_history: List[int] = []
+
+    # -- campaign loop ----------------------------------------------------------------------
+
+    def run_campaign(
+        self,
+        iterations: int,
+        progress_callback: Optional[Callable[[int, CampaignResult], None]] = None,
+    ) -> CampaignResult:
+        """Run the fuzzing loop for a fixed number of iterations.
+
+        One iteration corresponds to one Phase-2 exploration attempt (the unit
+        the paper's Figure 7 uses on its x axis); Phase 1 attempts required to
+        obtain a triggered window are folded into the same iteration.
+        """
+        configuration = self.configuration
+        result = CampaignResult(
+            fuzzer_name=configuration.variant_name(), core=configuration.core.name
+        )
+        current_seed = self._new_seed()
+        current_phase1: Optional[Phase1Result] = None
+        window_mutations = 0
+        consecutive_low_gain = 0
+
+        for iteration in range(iterations):
+            if current_phase1 is None or not current_phase1.triggered:
+                current_phase1 = self._acquire_window(current_seed, result)
+                window_mutations = 0
+                consecutive_low_gain = 0
+            if current_phase1 is None or not current_phase1.triggered:
+                # Could not trigger a window with this seed: move to a new one.
+                result.coverage_history.append(len(self.coverage))
+                result.iterations_run = iteration + 1
+                current_seed = self.mutator.mutate_trigger(current_seed)
+                current_phase1 = None
+                continue
+
+            phase2_result = self.phase2.run(
+                current_phase1,
+                current_seed,
+                self.coverage,
+                average_gain=self._average_gain(),
+                consecutive_low_gain=consecutive_low_gain,
+            )
+            self._gain_history.append(phase2_result.new_coverage_points)
+            result.coverage_history.append(len(self.coverage))
+            result.iterations_run = iteration + 1
+
+            if phase2_result.secret_propagated:
+                phase3_result = self.phase3.run(phase2_result)
+                if phase3_result.verdict.is_leak:
+                    report = classify_report(
+                        iteration=iteration,
+                        seed_id=current_seed.seed_id,
+                        core_name=configuration.core.name,
+                        window_type=current_seed.window_type,
+                        verdict=phase3_result.verdict,
+                        contention=phase2_result.run.primary.processor.ports.contention_cycles,
+                        wall_clock_seconds=time.perf_counter() - result.start_time,
+                    )
+                    result.record_report(report)
+
+            current_seed, current_phase1, window_mutations, consecutive_low_gain = (
+                self._next_seed_state(
+                    phase2_result,
+                    current_seed,
+                    current_phase1,
+                    window_mutations,
+                    consecutive_low_gain,
+                    result,
+                )
+            )
+            if progress_callback is not None:
+                progress_callback(iteration, result)
+        return result.finish()
+
+    # -- scheduling helpers --------------------------------------------------------------------
+
+    def _new_seed(self) -> Seed:
+        return Seed.fresh(
+            entropy=self.rng.randint(0, 2**31 - 1),
+            window_type=self.rng.choice(list(TransientWindowType)),
+            encode_strategies=self.mutator._pick_strategies(),
+            mask_high_bits=self.rng.bernoulli(0.2),
+        )
+
+    def _uncovered_modules(self):
+        """Census modules that have not yet produced any coverage point."""
+        known = {
+            "dcache", "icache", "l2", "lfb", "tlb",
+            "bht", "btb", "ras", "loop", "ldq", "stq", "rob", "regfile",
+        }
+        return known - set(self.coverage.per_module_counts())
+
+    def _unexplored_window_types(self, result: CampaignResult):
+        """Window types whose group has not yet been triggered in this campaign."""
+        triggered_groups = set(result.triggered_windows)
+        unexplored = [
+            window_type
+            for window_type in TransientWindowType
+            if group_of(window_type) not in triggered_groups
+        ]
+        return unexplored or list(TransientWindowType)
+
+    def _acquire_window(self, seed: Seed, result: CampaignResult) -> Optional[Phase1Result]:
+        """Run Phase 1, recording training statistics for triggered windows."""
+        phase1_result = self.phase1.run(seed)
+        if phase1_result.triggered:
+            group = group_of(seed.window_type)
+            result.triggered_windows[group] = result.triggered_windows.get(group, 0) + 1
+            result.training_overhead.setdefault(group, []).append(
+                phase1_result.training_overhead
+            )
+            result.effective_training_overhead.setdefault(group, []).append(
+                phase1_result.effective_training_overhead
+            )
+        return phase1_result
+
+    def _average_gain(self) -> float:
+        if not self._gain_history:
+            return 0.0
+        return sum(self._gain_history) / len(self._gain_history)
+
+    def _next_seed_state(
+        self,
+        phase2_result,
+        seed: Seed,
+        phase1_result: Phase1Result,
+        window_mutations: int,
+        consecutive_low_gain: int,
+        result: CampaignResult,
+    ):
+        """Decide what to fuzz next, with or without coverage feedback."""
+        configuration = self.configuration
+        if not configuration.coverage_feedback:
+            # DejaVuzz−: ignore coverage; randomly either re-roll the window
+            # section or regenerate a new transient window.
+            if self.rng.bernoulli(0.5):
+                return self.mutator.mutate_window(seed), phase1_result, window_mutations + 1, 0
+            return self.mutator.mutate_trigger(seed), None, 0, 0
+
+        # Coverage feedback: bias encode strategies towards modules the secret
+        # has not reached yet, and bias new triggers towards window types
+        # whose group has not been triggered yet.
+        uncovered = self._uncovered_modules()
+        unexplored_types = self._unexplored_window_types(result)
+        action = phase2_result.feedback.action
+        if action == "keep":
+            # Productive: keep exploring this window with a re-rolled encoding.
+            if window_mutations < configuration.window_mutations_per_trigger:
+                return (
+                    self.mutator.mutate_window(seed, uncovered_modules=uncovered),
+                    phase1_result,
+                    window_mutations + 1,
+                    0,
+                )
+            return (
+                self.mutator.mutate_trigger(
+                    seed, preferred_types=unexplored_types, uncovered_modules=uncovered
+                ),
+                None,
+                0,
+                0,
+            )
+        if action == "mutate_window":
+            return (
+                self.mutator.mutate_window(seed, uncovered_modules=uncovered),
+                phase1_result,
+                window_mutations + 1,
+                consecutive_low_gain + 1,
+            )
+        # discard_seed: back to Phase 1 with a fresh trigger.
+        return (
+            self.mutator.mutate_trigger(
+                seed, preferred_types=unexplored_types, uncovered_modules=uncovered
+            ),
+            None,
+            0,
+            0,
+        )
+
+
+def run_quick_campaign(
+    core: CoreConfig, iterations: int = 20, entropy: int = 7, **overrides
+) -> CampaignResult:
+    """Convenience helper used by examples and tests."""
+    configuration = FuzzerConfiguration(core=core, entropy=entropy, **overrides)
+    return DejaVuzzFuzzer(configuration).run_campaign(iterations)

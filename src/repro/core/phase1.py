@@ -1,0 +1,153 @@
+"""Phase 1 — transient window triggering (§4.1).
+
+Step 1.1 (trigger generation + training derivation) produces a transient
+packet with a dummy window and a set of candidate trigger-training packets.
+Step 1.2 (trigger optimization) simulates the schedule, checks the RoB IO
+events to confirm the window triggered, and then applies the *training
+reduction strategy*: candidate training packets are removed one at a time and
+the schedule is re-simulated; packets whose removal does not affect window
+triggering are permanently discarded.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+from repro.generation.seeds import Seed
+from repro.generation.training import TrainingDeriver, TrainingMode
+from repro.generation.trigger import TriggerGenerator, TriggerSpec
+from repro.swapmem.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.swapmem.memory import SwapMemory
+from repro.swapmem.packets import SwapSchedule
+from repro.swapmem.scheduler import SwapRunner, SwapRunResult
+from repro.uarch.config import CoreConfig, TaintTrackingMode
+from repro.uarch.processor import Processor
+from repro.utils.rng import DeterministicRng
+
+
+@dataclass
+class Phase1Result:
+    """The outcome of one Phase-1 attempt for one seed."""
+
+    seed: Seed
+    spec: TriggerSpec
+    schedule: SwapSchedule
+    triggered: bool
+    simulations_used: int
+    training_overhead: int = 0
+    effective_training_overhead: int = 0
+    training_required: bool = True
+    last_run: Optional[SwapRunResult] = None
+
+    @property
+    def window_type(self):
+        return self.spec.window_type
+
+
+class TransientWindowTriggering:
+    """Phase 1 of the DejaVuzz workflow."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        layout: MemoryLayout = DEFAULT_LAYOUT,
+        training_mode: TrainingMode = TrainingMode.DERIVED,
+        training_candidates: int = 3,
+        max_cycles_per_packet: int = 600,
+    ) -> None:
+        self.config = config
+        self.layout = layout
+        self.trigger_generator = TriggerGenerator(layout)
+        self.training_deriver = TrainingDeriver(layout, mode=training_mode)
+        self.training_candidates = training_candidates
+        self.max_cycles_per_packet = max_cycles_per_packet
+
+    # -- Step 1.1: trigger generation ------------------------------------------------
+
+    def generate_schedule(self, seed: Seed) -> tuple:
+        """Generate the transient packet and candidate training packets."""
+        spec = self.trigger_generator.generate(seed)
+        rng = seed.rng("phase1")
+        training_packets = self.training_deriver.derive_trigger_training(
+            spec, rng, count=self.training_candidates
+        )
+        schedule = SwapSchedule(
+            protect_secret_before_transient=spec.protect_secret,
+            name=f"schedule_{seed.seed_id}",
+        )
+        for packet in training_packets:
+            schedule.add(packet)
+        schedule.add(spec.packet)
+        return spec, schedule
+
+    # -- Step 1.2: trigger optimization -----------------------------------------------
+
+    def run(self, seed: Seed, secret: Optional[int] = None) -> Phase1Result:
+        """Execute Phase 1 for one seed: trigger, evaluate, reduce training."""
+        spec, schedule = self.generate_schedule(seed)
+        secret_value = secret if secret is not None else seed.secret_value
+        simulations = 0
+
+        run_result = self._simulate(schedule, secret_value)
+        simulations += 1
+        if not run_result.window_triggered():
+            return Phase1Result(
+                seed=seed,
+                spec=spec,
+                schedule=schedule,
+                triggered=False,
+                simulations_used=simulations,
+                last_run=run_result,
+            )
+
+        reduced_schedule, extra_simulations, last_run = self._reduce_training(
+            schedule, secret_value, run_result
+        )
+        simulations += extra_simulations
+        training_required = len(reduced_schedule.training_packets()) > 0
+        return Phase1Result(
+            seed=seed,
+            spec=spec,
+            schedule=reduced_schedule,
+            triggered=True,
+            simulations_used=simulations,
+            training_overhead=reduced_schedule.training_overhead(),
+            effective_training_overhead=reduced_schedule.effective_training_overhead(),
+            training_required=training_required,
+            last_run=last_run,
+        )
+
+    def _reduce_training(
+        self, schedule: SwapSchedule, secret: int, baseline_run: SwapRunResult
+    ) -> tuple:
+        """The training reduction strategy (§4.1.2).
+
+        Remove one trigger-training packet at a time (in schedule order) and
+        re-simulate; if the window still triggers without it, discard it
+        permanently, otherwise keep it.
+        """
+        current = schedule
+        simulations = 0
+        last_run = baseline_run
+        for packet in list(schedule.training_packets()):
+            candidate = current.without_packet(packet.name)
+            run_result = self._simulate(candidate, secret)
+            simulations += 1
+            if run_result.window_triggered():
+                current = candidate
+                last_run = run_result
+        return current, simulations, last_run
+
+    # -- simulation helper ----------------------------------------------------------------
+
+    def _simulate(self, schedule: SwapSchedule, secret: int) -> SwapRunResult:
+        """One un-instrumented RTL simulation of a schedule (fresh DUT instance)."""
+        swap_memory = SwapMemory(self.layout, secret=secret)
+        processor = Processor(
+            self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
+        )
+        runner = SwapRunner(
+            processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
+        )
+        return runner.run()

@@ -1,0 +1,205 @@
+"""Bug reports and campaign results."""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.phase3 import LeakageVerdict
+from repro.generation.window_types import TransientWindowType, group_of
+from repro.uarch.bugs import BUG_REGISTRY
+
+
+# Table 5's abbreviated transient-window categories.
+_WINDOW_CATEGORY = {
+    "Load/Store Access Fault": "mem-excp",
+    "Load/Store Page Fault": "mem-excp",
+    "Load/Store Misalign": "mem-excp",
+    "Illegal Instruction": "illegal",
+    "Memory Disambiguation": "mem-disamb",
+    "Branch Misprediction": "mispred",
+    "Indirect Jump Misprediction": "mispred",
+    "Return Address Misprediction": "mispred",
+}
+
+# Map live sinks / contention sources onto Table 5's timing-component names.
+_COMPONENT_NAMES = {
+    "dcache": "dcache",
+    "icache": "icache",
+    "l2": "dcache",
+    "tlb": "(l2)tlb",
+    "btb": "(fau)btb",
+    "ras": "ras",
+    "loop": "loop",
+    "bht": "(fau)btb",
+    "lfb": "dcache",
+    "fetch-port": "icache",
+    "lsu": "lsu",
+    "fpu": "fpu",
+    "lsu-writeback-port": "lsu",
+}
+
+
+@dataclass
+class BugReport:
+    """One reported (potential) transient execution vulnerability."""
+
+    iteration: int
+    seed_id: int
+    core: str
+    window_type: TransientWindowType
+    attack_type: str                 # "meltdown" | "spectre"
+    window_category: str             # mem-excp / mispred / illegal / mem-disamb
+    timing_components: Tuple[str, ...]
+    verdict: LeakageVerdict
+    wall_clock_seconds: float = 0.0
+    matched_known_bugs: Tuple[str, ...] = ()
+
+    @property
+    def signature(self) -> Tuple[str, str, Tuple[str, ...]]:
+        """Deduplication key: attack type x window category x components."""
+        return (self.attack_type, self.window_category, self.timing_components)
+
+    def describe(self) -> str:
+        components = ", ".join(self.timing_components) or "timing"
+        matched = f" (matches {', '.join(self.matched_known_bugs)})" if self.matched_known_bugs else ""
+        return (
+            f"[{self.core}] {self.attack_type} via {self.window_category} window, "
+            f"encoded into: {components}{matched}"
+        )
+
+
+def classify_report(
+    iteration: int,
+    seed_id: int,
+    core_name: str,
+    window_type: TransientWindowType,
+    verdict: LeakageVerdict,
+    contention: Optional[Dict[str, int]] = None,
+    wall_clock_seconds: float = 0.0,
+) -> BugReport:
+    """Turn a Phase-3 verdict into a categorised bug report (Table 5 row)."""
+    group = group_of(window_type)
+    category = _WINDOW_CATEGORY[group]
+    attack_type = window_type.attack_type
+
+    components: List[str] = []
+    for sink in sorted(verdict.live_sinks):
+        name = _COMPONENT_NAMES.get(sink, sink)
+        if name not in components:
+            components.append(name)
+    if verdict.reason == "timing":
+        contention = contention or {}
+        if contention.get("fdiv", 0) or contention.get("fp", 0):
+            components.append("fpu")
+        if contention.get("mem", 0) or contention.get("lsu_writeback", 0):
+            components.append("lsu")
+        if not components:
+            components.append("icache")
+
+    matched = _match_known_bugs(core_name, verdict, components)
+    return BugReport(
+        iteration=iteration,
+        seed_id=seed_id,
+        core=core_name,
+        window_type=window_type,
+        attack_type=attack_type,
+        window_category=category,
+        timing_components=tuple(components),
+        verdict=verdict,
+        wall_clock_seconds=wall_clock_seconds,
+        matched_known_bugs=matched,
+    )
+
+
+def _match_known_bugs(core_name: str, verdict: LeakageVerdict, components: List[str]) -> Tuple[str, ...]:
+    """Match a finding against the registry of known CVE-assigned defects."""
+    family = "boom" if "boom" in core_name.lower() else "xiangshan"
+    matched = []
+    for bug in BUG_REGISTRY.values():
+        if family not in bug.affected_cores:
+            continue
+        component_name = _COMPONENT_NAMES.get(bug.timing_component, bug.timing_component)
+        if component_name in components or bug.timing_component in components:
+            matched.append(bug.identifier)
+    return tuple(matched)
+
+
+@dataclass
+class CampaignResult:
+    """The aggregate outcome of one fuzzing campaign."""
+
+    fuzzer_name: str
+    core: str
+    iterations_run: int = 0
+    coverage_history: List[int] = field(default_factory=list)
+    reports: List[BugReport] = field(default_factory=list)
+    triggered_windows: Dict[str, int] = field(default_factory=dict)
+    training_overhead: Dict[str, List[int]] = field(default_factory=dict)
+    effective_training_overhead: Dict[str, List[int]] = field(default_factory=dict)
+    start_time: float = field(default_factory=time.perf_counter)
+    elapsed_seconds: float = 0.0
+    first_bug_seconds: Optional[float] = None
+    first_bug_iteration: Optional[int] = None
+
+    def finish(self) -> "CampaignResult":
+        self.elapsed_seconds = time.perf_counter() - self.start_time
+        return self
+
+    def record_report(self, report: BugReport) -> None:
+        if self.first_bug_seconds is None:
+            self.first_bug_seconds = time.perf_counter() - self.start_time
+            self.first_bug_iteration = report.iteration
+        self.reports.append(report)
+
+    def unique_bug_signatures(self) -> List[Tuple[str, str, Tuple[str, ...]]]:
+        signatures = []
+        for report in self.reports:
+            if report.signature not in signatures:
+                signatures.append(report.signature)
+        return signatures
+
+    def final_coverage(self) -> int:
+        return self.coverage_history[-1] if self.coverage_history else 0
+
+    def matched_known_bugs(self) -> List[str]:
+        matched = []
+        for report in self.reports:
+            for identifier in report.matched_known_bugs:
+                if identifier not in matched:
+                    matched.append(identifier)
+        return matched
+
+    def table5_rows(self) -> List[Dict[str, str]]:
+        """Rows in the shape of Table 5: attack type x window categories x components."""
+        grouped: Dict[Tuple[str, str], set] = {}
+        window_groups: Dict[Tuple[str, str], set] = {}
+        for report in self.reports:
+            key = (report.core, report.attack_type)
+            grouped.setdefault(key, set()).update(report.timing_components)
+            window_groups.setdefault(key, set()).add(report.window_category)
+        rows = []
+        for (core, attack_type), components in sorted(grouped.items()):
+            rows.append(
+                {
+                    "processor": core,
+                    "attack_type": attack_type,
+                    "transient_window": ", ".join(sorted(window_groups[(core, attack_type)])),
+                    "encoded_timing_component": ", ".join(sorted(components)),
+                }
+            )
+        return rows
+
+    def summary(self) -> Dict[str, object]:
+        return {
+            "fuzzer": self.fuzzer_name,
+            "core": self.core,
+            "iterations": self.iterations_run,
+            "coverage": self.final_coverage(),
+            "reports": len(self.reports),
+            "unique_bugs": len(self.unique_bug_signatures()),
+            "known_bugs_matched": self.matched_known_bugs(),
+            "first_bug_iteration": self.first_bug_iteration,
+            "elapsed_seconds": round(self.elapsed_seconds, 2),
+        }

@@ -1,0 +1,127 @@
+"""Seeds and the seed corpus.
+
+A seed captures everything needed to regenerate a stimulus deterministically:
+the entropy for the random instruction generator, the targeted transient
+window type, the secret-encoding strategies to use in the window section, and
+bookkeeping about how productive the seed has been (used by the coverage
+feedback loop of §4.2.2 to decide between re-mutating the window and going
+back to Phase 1).
+"""
+
+from __future__ import annotations
+
+import enum
+import itertools
+from dataclasses import dataclass, field, replace
+from typing import List, Optional
+
+from repro.generation.window_types import TransientWindowType
+from repro.utils.rng import DeterministicRng
+
+
+class EncodeStrategy(enum.Enum):
+    """How the secret encoding block propagates the secret into the microarchitecture."""
+
+    DCACHE_INDEX = "dcache_index"      # classic probe-array load
+    TLB_INDEX = "tlb_index"            # page-granular probe load
+    STORE_INDEX = "store_index"        # secret-dependent store
+    BRANCH_DIRECTION = "branch_direction"  # secret-dependent branch (predictors / ports)
+    FPU_CONTENTION = "fpu_contention"  # secret-gated floating point division
+    LSU_CONTENTION = "lsu_contention"  # secret-gated burst of loads
+    ICACHE_TARGET = "icache_target"    # secret-dependent jump target (fetch port)
+
+
+_seed_counter = itertools.count()
+
+
+@dataclass(frozen=True)
+class Seed:
+    """One fuzzing seed."""
+
+    seed_id: int
+    entropy: int
+    window_type: TransientWindowType
+    encode_strategies: tuple = (EncodeStrategy.DCACHE_INDEX,)
+    encode_block_length: int = 3
+    mask_high_bits: bool = False
+    secret_value: int = 0x5A5A_A5A5_0F0F_F0F0
+    generation: int = 0
+    parent_id: Optional[int] = None
+
+    def rng(self, label: str = "seed") -> DeterministicRng:
+        return DeterministicRng(self.entropy, f"{label}/{self.seed_id}")
+
+    def mutated(self, **changes) -> "Seed":
+        """Return a child seed with updated fields and lineage bookkeeping."""
+        child = replace(
+            self,
+            seed_id=next(_seed_counter),
+            generation=self.generation + 1,
+            parent_id=self.seed_id,
+            **changes,
+        )
+        return child
+
+    @staticmethod
+    def fresh(
+        entropy: int,
+        window_type: TransientWindowType,
+        **kwargs,
+    ) -> "Seed":
+        return Seed(
+            seed_id=next(_seed_counter),
+            entropy=entropy,
+            window_type=window_type,
+            **kwargs,
+        )
+
+
+@dataclass
+class SeedCorpus:
+    """The corpus of seeds the fuzzing manager draws from."""
+
+    seeds: List[Seed] = field(default_factory=list)
+    coverage_by_seed: dict = field(default_factory=dict)
+
+    def add(self, seed: Seed) -> Seed:
+        self.seeds.append(seed)
+        return seed
+
+    def record_coverage(self, seed: Seed, new_points: int) -> None:
+        self.coverage_by_seed[seed.seed_id] = (
+            self.coverage_by_seed.get(seed.seed_id, 0) + new_points
+        )
+
+    def best_seeds(self, count: int = 5) -> List[Seed]:
+        ranked = sorted(
+            self.seeds,
+            key=lambda seed: self.coverage_by_seed.get(seed.seed_id, 0),
+            reverse=True,
+        )
+        return ranked[:count]
+
+    def discard(self, seed: Seed) -> None:
+        self.seeds = [candidate for candidate in self.seeds if candidate.seed_id != seed.seed_id]
+
+    def __len__(self) -> int:
+        return len(self.seeds)
+
+    @staticmethod
+    def initial(
+        entropy: int,
+        window_types: Optional[List[TransientWindowType]] = None,
+        per_type: int = 1,
+    ) -> "SeedCorpus":
+        """Build the initial corpus with one (or more) seed per window type."""
+        corpus = SeedCorpus()
+        rng = DeterministicRng(entropy, "corpus")
+        types = window_types or list(TransientWindowType)
+        for window_type in types:
+            for index in range(per_type):
+                corpus.add(
+                    Seed.fresh(
+                        entropy=rng.randint(0, 2**31 - 1) + index,
+                        window_type=window_type,
+                    )
+                )
+        return corpus

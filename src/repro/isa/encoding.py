@@ -1,0 +1,264 @@
+"""Binary encoding and decoding for the RV64 subset.
+
+Only the instructions in :data:`repro.isa.instructions.OPCODE_TABLE` are
+supported.  Encoding follows the RISC-V base formats (R/I/S/B/U/J).  The
+encoder/decoder is used when a binary memory image is required (for example to
+populate the swappable region of :mod:`repro.swapmem` with raw words) and as a
+round-trip consistency check in the test suite; the pipeline simulator itself
+executes symbolic :class:`~repro.isa.instructions.Instruction` objects.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Tuple
+
+from repro.isa.instructions import Instruction, OPCODE_TABLE
+from repro.utils.bitops import bits, mask, sign_extend, to_unsigned
+
+
+class EncodingError(ValueError):
+    """Raised when an instruction cannot be encoded or a word cannot be decoded."""
+
+
+# opcode, funct3, funct7 for R-type instructions.
+_R_TYPE: Dict[str, Tuple[int, int, int]] = {
+    "add": (0b0110011, 0b000, 0b0000000),
+    "sub": (0b0110011, 0b000, 0b0100000),
+    "sll": (0b0110011, 0b001, 0b0000000),
+    "slt": (0b0110011, 0b010, 0b0000000),
+    "sltu": (0b0110011, 0b011, 0b0000000),
+    "xor": (0b0110011, 0b100, 0b0000000),
+    "srl": (0b0110011, 0b101, 0b0000000),
+    "sra": (0b0110011, 0b101, 0b0100000),
+    "or": (0b0110011, 0b110, 0b0000000),
+    "and": (0b0110011, 0b111, 0b0000000),
+    "mul": (0b0110011, 0b000, 0b0000001),
+    "mulh": (0b0110011, 0b001, 0b0000001),
+    "mulhu": (0b0110011, 0b011, 0b0000001),
+    "div": (0b0110011, 0b100, 0b0000001),
+    "divu": (0b0110011, 0b101, 0b0000001),
+    "rem": (0b0110011, 0b110, 0b0000001),
+    "remu": (0b0110011, 0b111, 0b0000001),
+    "addw": (0b0111011, 0b000, 0b0000000),
+    "subw": (0b0111011, 0b000, 0b0100000),
+    "sllw": (0b0111011, 0b001, 0b0000000),
+    "srlw": (0b0111011, 0b101, 0b0000000),
+    "sraw": (0b0111011, 0b101, 0b0100000),
+    "mulw": (0b0111011, 0b000, 0b0000001),
+    "divw": (0b0111011, 0b100, 0b0000001),
+    "remw": (0b0111011, 0b110, 0b0000001),
+    "fadd.d": (0b1010011, 0b000, 0b0000001),
+    "fsub.d": (0b1010011, 0b000, 0b0000101),
+    "fmul.d": (0b1010011, 0b000, 0b0001001),
+    "fdiv.d": (0b1010011, 0b000, 0b0001101),
+}
+
+# opcode, funct3 for I-type instructions.
+_I_TYPE: Dict[str, Tuple[int, int]] = {
+    "addi": (0b0010011, 0b000),
+    "slti": (0b0010011, 0b010),
+    "sltiu": (0b0010011, 0b011),
+    "xori": (0b0010011, 0b100),
+    "ori": (0b0010011, 0b110),
+    "andi": (0b0010011, 0b111),
+    "slli": (0b0010011, 0b001),
+    "srli": (0b0010011, 0b101),
+    "srai": (0b0010011, 0b101),
+    "addiw": (0b0011011, 0b000),
+    "slliw": (0b0011011, 0b001),
+    "srliw": (0b0011011, 0b101),
+    "sraiw": (0b0011011, 0b101),
+    "lb": (0b0000011, 0b000),
+    "lh": (0b0000011, 0b001),
+    "lw": (0b0000011, 0b010),
+    "ld": (0b0000011, 0b011),
+    "lbu": (0b0000011, 0b100),
+    "lhu": (0b0000011, 0b101),
+    "lwu": (0b0000011, 0b110),
+    "fld": (0b0000111, 0b011),
+    "jalr": (0b1100111, 0b000),
+    "csrrw": (0b1110011, 0b001),
+    "csrrs": (0b1110011, 0b010),
+    "fcvt.d.l": (0b1010011, 0b111),
+    "fmv.x.d": (0b1010011, 0b101),
+}
+
+_S_TYPE: Dict[str, Tuple[int, int]] = {
+    "sb": (0b0100011, 0b000),
+    "sh": (0b0100011, 0b001),
+    "sw": (0b0100011, 0b010),
+    "sd": (0b0100011, 0b011),
+    "fsd": (0b0100111, 0b011),
+}
+
+_B_TYPE: Dict[str, int] = {
+    "beq": 0b000,
+    "bne": 0b001,
+    "blt": 0b100,
+    "bge": 0b101,
+    "bltu": 0b110,
+    "bgeu": 0b111,
+}
+
+_FIXED_WORDS: Dict[str, int] = {
+    "ecall": 0x00000073,
+    "ebreak": 0x00100073,
+    "mret": 0x30200073,
+    "fence": 0x0000000F,
+    "fence.i": 0x0000100F,
+    "illegal": 0x00000000,
+}
+
+
+def encode_instruction(instruction: Instruction) -> int:
+    """Encode ``instruction`` into a 32-bit word."""
+    mnemonic = instruction.mnemonic
+    if mnemonic in _FIXED_WORDS:
+        return _FIXED_WORDS[mnemonic]
+    if mnemonic in _R_TYPE:
+        opcode, funct3, funct7 = _R_TYPE[mnemonic]
+        return _pack_r(opcode, instruction.rd, funct3, instruction.rs1, instruction.rs2, funct7)
+    if mnemonic in _I_TYPE:
+        opcode, funct3 = _I_TYPE[mnemonic]
+        imm = to_unsigned(instruction.imm, 12)
+        if mnemonic in ("srai", "sraiw"):
+            # The arithmetic-shift flavour is selected by instruction bit 30,
+            # i.e. bit 10 of the I-immediate field.
+            imm = (imm & 0x3F) | (1 << 10)
+        return _pack_i(opcode, instruction.rd, funct3, instruction.rs1, imm)
+    if mnemonic in _S_TYPE:
+        opcode, funct3 = _S_TYPE[mnemonic]
+        return _pack_s(opcode, funct3, instruction.rs1, instruction.rs2, instruction.imm)
+    if mnemonic in _B_TYPE:
+        return _pack_b(_B_TYPE[mnemonic], instruction.rs1, instruction.rs2, instruction.imm)
+    if mnemonic == "lui":
+        return _pack_u(0b0110111, instruction.rd, instruction.imm)
+    if mnemonic == "auipc":
+        return _pack_u(0b0010111, instruction.rd, instruction.imm)
+    if mnemonic == "jal":
+        return _pack_j(0b1101111, instruction.rd, instruction.imm)
+    raise EncodingError(f"no encoding defined for {mnemonic!r}")
+
+
+def decode_word(word: int) -> Instruction:
+    """Decode a 32-bit word back into a symbolic instruction."""
+    word = to_unsigned(word, 32)
+    for mnemonic, fixed in _FIXED_WORDS.items():
+        if word == fixed:
+            return Instruction(mnemonic)
+    opcode = bits(word, 6, 0)
+    rd = bits(word, 11, 7)
+    funct3 = bits(word, 14, 12)
+    rs1 = bits(word, 19, 15)
+    rs2 = bits(word, 24, 20)
+    funct7 = bits(word, 31, 25)
+
+    for mnemonic, (r_opcode, r_funct3, r_funct7) in _R_TYPE.items():
+        if opcode == r_opcode and funct3 == r_funct3 and funct7 == r_funct7:
+            return Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+    for mnemonic, (i_opcode, i_funct3) in _I_TYPE.items():
+        if opcode == i_opcode and funct3 == i_funct3:
+            imm = sign_extend(bits(word, 31, 20), 12)
+            if mnemonic in ("slli", "srli", "srai", "slliw", "srliw", "sraiw"):
+                shamt = bits(word, 25, 20)
+                shifted = "srai" if funct7 & 0b0100000 else mnemonic
+                if mnemonic in ("srli", "srai"):
+                    mnemonic = "srai" if funct7 & 0b0100000 else "srli"
+                if mnemonic in ("srliw", "sraiw"):
+                    mnemonic = "sraiw" if funct7 & 0b0100000 else "srliw"
+                del shifted
+                return Instruction(mnemonic, rd=rd, rs1=rs1, imm=shamt)
+            return Instruction(mnemonic, rd=rd, rs1=rs1, imm=to_unsigned(imm, 64))
+    for mnemonic, (s_opcode, s_funct3) in _S_TYPE.items():
+        if opcode == s_opcode and funct3 == s_funct3:
+            imm = sign_extend((bits(word, 31, 25) << 5) | bits(word, 11, 7), 12)
+            return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=to_unsigned(imm, 64))
+    if opcode == 0b1100011:
+        for mnemonic, b_funct3 in _B_TYPE.items():
+            if funct3 == b_funct3:
+                imm = _unpack_b_imm(word)
+                return Instruction(mnemonic, rs1=rs1, rs2=rs2, imm=to_unsigned(imm, 64))
+    if opcode == 0b0110111:
+        return Instruction("lui", rd=rd, imm=bits(word, 31, 12) << 12)
+    if opcode == 0b0010111:
+        return Instruction("auipc", rd=rd, imm=bits(word, 31, 12) << 12)
+    if opcode == 0b1101111:
+        return Instruction("jal", rd=rd, imm=to_unsigned(_unpack_j_imm(word), 64))
+    raise EncodingError(f"cannot decode word {word:#010x}")
+
+
+def _pack_r(opcode: int, rd: int, funct3: int, rs1: int, rs2: int, funct7: int) -> int:
+    return (
+        opcode
+        | (rd << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (funct7 << 25)
+    )
+
+
+def _pack_i(opcode: int, rd: int, funct3: int, rs1: int, imm: int) -> int:
+    return opcode | (rd << 7) | (funct3 << 12) | (rs1 << 15) | ((imm & mask(12)) << 20)
+
+
+def _pack_s(opcode: int, funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm = to_unsigned(imm, 12)
+    return (
+        opcode
+        | ((imm & mask(5)) << 7)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (bits(imm, 11, 5) << 25)
+    )
+
+
+def _pack_b(funct3: int, rs1: int, rs2: int, imm: int) -> int:
+    imm = to_unsigned(imm, 13)
+    return (
+        0b1100011
+        | (bits(imm, 11, 11) << 7)
+        | (bits(imm, 4, 1) << 8)
+        | (funct3 << 12)
+        | (rs1 << 15)
+        | (rs2 << 20)
+        | (bits(imm, 10, 5) << 25)
+        | (bits(imm, 12, 12) << 31)
+    )
+
+
+def _pack_u(opcode: int, rd: int, imm: int) -> int:
+    return opcode | (rd << 7) | (bits(to_unsigned(imm, 32), 31, 12) << 12)
+
+
+def _pack_j(opcode: int, rd: int, imm: int) -> int:
+    imm = to_unsigned(imm, 21)
+    return (
+        opcode
+        | (rd << 7)
+        | (bits(imm, 19, 12) << 12)
+        | (bits(imm, 11, 11) << 20)
+        | (bits(imm, 10, 1) << 21)
+        | (bits(imm, 20, 20) << 31)
+    )
+
+
+def _unpack_b_imm(word: int) -> int:
+    imm = (
+        (bits(word, 11, 8) << 1)
+        | (bits(word, 30, 25) << 5)
+        | (bits(word, 7, 7) << 11)
+        | (bits(word, 31, 31) << 12)
+    )
+    return sign_extend(imm, 13)
+
+
+def _unpack_j_imm(word: int) -> int:
+    imm = (
+        (bits(word, 30, 21) << 1)
+        | (bits(word, 20, 20) << 11)
+        | (bits(word, 19, 12) << 12)
+        | (bits(word, 31, 31) << 20)
+    )
+    return sign_extend(imm, 21)

@@ -1,0 +1,291 @@
+"""Instruction data model for the RV64 subset used by the fuzzer.
+
+Instructions are represented symbolically (mnemonic + register indices +
+immediate + optional label) rather than as encoded words, because the stimulus
+generator manipulates them structurally: aligning training instructions with
+trigger instructions, replacing secret-encoding blocks with ``nop`` sleds, and
+deriving training control flow from transient control flow all operate on this
+representation.  :mod:`repro.isa.encoding` can round-trip the subset to and
+from 32-bit words when a binary image is needed.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field, replace
+from typing import Dict, Optional
+
+from repro.utils.bitops import to_signed
+
+
+class InstructionClass(enum.Enum):
+    """Coarse functional class, used for port assignment and generation."""
+
+    ALU = "alu"
+    MUL_DIV = "mul_div"
+    LOAD = "load"
+    STORE = "store"
+    BRANCH = "branch"
+    JUMP = "jump"
+    FP = "fp"
+    FP_DIV = "fp_div"
+    SYSTEM = "system"
+    ILLEGAL = "illegal"
+
+
+@dataclass(frozen=True)
+class OpcodeInfo:
+    """Static metadata describing one mnemonic."""
+
+    mnemonic: str
+    iclass: InstructionClass
+    fmt: str  # one of: r, i, s, b, u, j, none
+    writes_rd: bool = True
+    reads_rs1: bool = True
+    reads_rs2: bool = False
+    mem_bytes: int = 0
+    is_word_op: bool = False
+    is_unsigned_load: bool = False
+
+
+def _r(mnemonic: str, iclass: InstructionClass = InstructionClass.ALU, **kw) -> OpcodeInfo:
+    return OpcodeInfo(mnemonic, iclass, "r", reads_rs2=True, **kw)
+
+
+def _i(mnemonic: str, iclass: InstructionClass = InstructionClass.ALU, **kw) -> OpcodeInfo:
+    return OpcodeInfo(mnemonic, iclass, "i", **kw)
+
+
+OPCODE_TABLE: Dict[str, OpcodeInfo] = {}
+
+
+def _register(info: OpcodeInfo) -> None:
+    OPCODE_TABLE[info.mnemonic] = info
+
+
+# Integer register-register ALU operations.
+for _m in ["add", "sub", "and", "or", "xor", "sll", "srl", "sra", "slt", "sltu"]:
+    _register(_r(_m))
+for _m in ["addw", "subw", "sllw", "srlw", "sraw"]:
+    _register(_r(_m, is_word_op=True))
+
+# Multiply / divide.
+for _m in ["mul", "mulh", "mulhu", "div", "divu", "rem", "remu"]:
+    _register(_r(_m, InstructionClass.MUL_DIV))
+for _m in ["mulw", "divw", "remw"]:
+    _register(_r(_m, InstructionClass.MUL_DIV, is_word_op=True))
+
+# Integer register-immediate ALU operations.
+for _m in ["addi", "andi", "ori", "xori", "slti", "sltiu", "slli", "srli", "srai"]:
+    _register(_i(_m))
+for _m in ["addiw", "slliw", "srliw", "sraiw"]:
+    _register(_i(_m, is_word_op=True))
+
+# Upper-immediate operations.
+_register(OpcodeInfo("lui", InstructionClass.ALU, "u", reads_rs1=False))
+_register(OpcodeInfo("auipc", InstructionClass.ALU, "u", reads_rs1=False))
+
+# Loads.
+_register(_i("lb", InstructionClass.LOAD, mem_bytes=1))
+_register(_i("lbu", InstructionClass.LOAD, mem_bytes=1, is_unsigned_load=True))
+_register(_i("lh", InstructionClass.LOAD, mem_bytes=2))
+_register(_i("lhu", InstructionClass.LOAD, mem_bytes=2, is_unsigned_load=True))
+_register(_i("lw", InstructionClass.LOAD, mem_bytes=4))
+_register(_i("lwu", InstructionClass.LOAD, mem_bytes=4, is_unsigned_load=True))
+_register(_i("ld", InstructionClass.LOAD, mem_bytes=8))
+
+# Stores.
+for _m, _b in [("sb", 1), ("sh", 2), ("sw", 4), ("sd", 8)]:
+    _register(
+        OpcodeInfo(_m, InstructionClass.STORE, "s", writes_rd=False, reads_rs2=True, mem_bytes=_b)
+    )
+
+# Branches.
+for _m in ["beq", "bne", "blt", "bge", "bltu", "bgeu"]:
+    _register(
+        OpcodeInfo(_m, InstructionClass.BRANCH, "b", writes_rd=False, reads_rs2=True)
+    )
+
+# Jumps.
+_register(OpcodeInfo("jal", InstructionClass.JUMP, "j", reads_rs1=False))
+_register(OpcodeInfo("jalr", InstructionClass.JUMP, "i"))
+
+# Floating point (double precision subset).
+_register(_r("fadd.d", InstructionClass.FP))
+_register(_r("fsub.d", InstructionClass.FP))
+_register(_r("fmul.d", InstructionClass.FP))
+_register(_r("fdiv.d", InstructionClass.FP_DIV))
+_register(_i("fld", InstructionClass.LOAD, mem_bytes=8))
+_register(
+    OpcodeInfo("fsd", InstructionClass.STORE, "s", writes_rd=False, reads_rs2=True, mem_bytes=8)
+)
+_register(_i("fcvt.d.l", InstructionClass.FP, ))
+_register(_i("fmv.x.d", InstructionClass.FP))
+
+# System / miscellaneous.
+_register(OpcodeInfo("ecall", InstructionClass.SYSTEM, "none", writes_rd=False, reads_rs1=False))
+_register(OpcodeInfo("ebreak", InstructionClass.SYSTEM, "none", writes_rd=False, reads_rs1=False))
+_register(OpcodeInfo("mret", InstructionClass.SYSTEM, "none", writes_rd=False, reads_rs1=False))
+_register(OpcodeInfo("fence", InstructionClass.SYSTEM, "none", writes_rd=False, reads_rs1=False))
+_register(OpcodeInfo("fence.i", InstructionClass.SYSTEM, "none", writes_rd=False, reads_rs1=False))
+_register(_i("csrrw", InstructionClass.SYSTEM))
+_register(_i("csrrs", InstructionClass.SYSTEM))
+_register(
+    OpcodeInfo("illegal", InstructionClass.ILLEGAL, "none", writes_rd=False, reads_rs1=False)
+)
+
+
+@dataclass(frozen=True)
+class Instruction:
+    """A single symbolic instruction.
+
+    ``imm`` is interpreted per instruction format (branch/jump offsets are
+    byte offsets relative to the instruction's own address).  ``target_label``
+    may name a label that the assembler resolves to an immediate.
+    """
+
+    mnemonic: str
+    rd: int = 0
+    rs1: int = 0
+    rs2: int = 0
+    imm: int = 0
+    target_label: Optional[str] = None
+    comment: str = ""
+    tags: frozenset = field(default_factory=frozenset)
+
+    def __post_init__(self) -> None:
+        if self.mnemonic not in OPCODE_TABLE:
+            raise ValueError(f"unknown mnemonic: {self.mnemonic!r}")
+        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+            if not 0 <= value < 32:
+                raise ValueError(f"{name} out of range for {self.mnemonic}: {value}")
+
+    @property
+    def info(self) -> OpcodeInfo:
+        return OPCODE_TABLE[self.mnemonic]
+
+    @property
+    def iclass(self) -> InstructionClass:
+        return self.info.iclass
+
+    @property
+    def is_branch(self) -> bool:
+        return self.iclass is InstructionClass.BRANCH
+
+    @property
+    def is_jump(self) -> bool:
+        return self.iclass is InstructionClass.JUMP
+
+    @property
+    def is_indirect_jump(self) -> bool:
+        return self.mnemonic == "jalr"
+
+    @property
+    def is_return(self) -> bool:
+        """``ret`` in RISC-V is ``jalr x0, 0(ra)``; calls use ``rd == ra``."""
+        return self.mnemonic == "jalr" and self.rd == 0 and self.rs1 == 1 and self.imm == 0
+
+    @property
+    def is_call(self) -> bool:
+        return self.is_jump and self.rd == 1
+
+    @property
+    def is_control_flow(self) -> bool:
+        return self.is_branch or self.is_jump
+
+    @property
+    def is_load(self) -> bool:
+        return self.iclass is InstructionClass.LOAD
+
+    @property
+    def is_store(self) -> bool:
+        return self.iclass is InstructionClass.STORE
+
+    @property
+    def is_memory(self) -> bool:
+        return self.is_load or self.is_store
+
+    @property
+    def is_fp(self) -> bool:
+        return self.iclass in (InstructionClass.FP, InstructionClass.FP_DIV)
+
+    @property
+    def is_system(self) -> bool:
+        return self.iclass is InstructionClass.SYSTEM
+
+    @property
+    def is_illegal(self) -> bool:
+        return self.iclass is InstructionClass.ILLEGAL
+
+    @property
+    def may_fault(self) -> bool:
+        """True when this class of instruction can raise an architectural trap."""
+        return self.is_memory or self.is_illegal or self.mnemonic in ("ecall", "ebreak")
+
+    @property
+    def is_nop(self) -> bool:
+        return self.mnemonic == "addi" and self.rd == 0 and self.rs1 == 0 and self.imm == 0
+
+    def writes(self) -> Optional[int]:
+        """Return the destination register index, or None."""
+        if self.info.writes_rd and self.rd != 0:
+            return self.rd
+        return None
+
+    def reads(self) -> tuple:
+        """Return the tuple of source register indices actually read."""
+        sources = []
+        if self.info.reads_rs1:
+            sources.append(self.rs1)
+        if self.info.reads_rs2:
+            sources.append(self.rs2)
+        return tuple(sources)
+
+    def with_imm(self, imm: int) -> "Instruction":
+        return replace(self, imm=imm)
+
+    def with_tag(self, tag: str) -> "Instruction":
+        return replace(self, tags=self.tags | {tag})
+
+    def has_tag(self, tag: str) -> bool:
+        return tag in self.tags
+
+    def render(self) -> str:
+        """Render assembly-like text for logging and debugging."""
+        info = self.info
+        from repro.isa.registers import reg_name
+
+        if self.is_nop:
+            return "nop"
+        if info.fmt == "r":
+            return f"{self.mnemonic} {reg_name(self.rd)}, {reg_name(self.rs1)}, {reg_name(self.rs2)}"
+        if info.fmt == "i":
+            if self.is_load:
+                return f"{self.mnemonic} {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+            if self.mnemonic == "jalr":
+                return f"jalr {reg_name(self.rd)}, {self.imm}({reg_name(self.rs1)})"
+            return f"{self.mnemonic} {reg_name(self.rd)}, {reg_name(self.rs1)}, {to_signed(self.imm, 64)}"
+        if info.fmt == "s":
+            return f"{self.mnemonic} {reg_name(self.rs2)}, {self.imm}({reg_name(self.rs1)})"
+        if info.fmt == "b":
+            target = self.target_label or f"{to_signed(self.imm, 64):+d}"
+            return f"{self.mnemonic} {reg_name(self.rs1)}, {reg_name(self.rs2)}, {target}"
+        if info.fmt == "u":
+            return f"{self.mnemonic} {reg_name(self.rd)}, {self.imm:#x}"
+        if info.fmt == "j":
+            target = self.target_label or f"{to_signed(self.imm, 64):+d}"
+            return f"{self.mnemonic} {reg_name(self.rd)}, {target}"
+        return self.mnemonic
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.render()
+
+
+def make_instruction(mnemonic: str, **kwargs) -> Instruction:
+    """Convenience constructor used by generators and tests."""
+    return Instruction(mnemonic=mnemonic, **kwargs)
+
+
+def nop() -> Instruction:
+    """The canonical ``nop`` (``addi x0, x0, 0``)."""
+    return Instruction("addi", rd=0, rs1=0, imm=0)

@@ -1,0 +1,79 @@
+"""Integer and floating-point register naming for the RV64 subset."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict
+
+NUM_REGS = 32
+NUM_FP_REGS = 32
+
+ABI_NAMES = [
+    "zero", "ra", "sp", "gp", "tp",
+    "t0", "t1", "t2",
+    "s0", "s1",
+    "a0", "a1", "a2", "a3", "a4", "a5", "a6", "a7",
+    "s2", "s3", "s4", "s5", "s6", "s7", "s8", "s9", "s10", "s11",
+    "t3", "t4", "t5", "t6",
+]
+
+_NAME_TO_INDEX: Dict[str, int] = {}
+for _i, _abi in enumerate(ABI_NAMES):
+    _NAME_TO_INDEX[_abi] = _i
+    _NAME_TO_INDEX[f"x{_i}"] = _i
+_NAME_TO_INDEX["fp"] = 8
+
+_FP_NAME_TO_INDEX: Dict[str, int] = {f"f{i}": i for i in range(NUM_FP_REGS)}
+_FP_ABI = (
+    [f"ft{i}" for i in range(8)]
+    + ["fs0", "fs1"]
+    + [f"fa{i}" for i in range(8)]
+    + [f"fs{i}" for i in range(2, 12)]
+    + [f"ft{i}" for i in range(8, 12)]
+)
+for _i, _abi in enumerate(_FP_ABI):
+    _FP_NAME_TO_INDEX[_abi] = _i
+
+
+@dataclass(frozen=True)
+class Register:
+    """A named architectural register (integer or floating point)."""
+
+    index: int
+    is_fp: bool = False
+
+    def __post_init__(self) -> None:
+        if not 0 <= self.index < NUM_REGS:
+            raise ValueError(f"register index out of range: {self.index}")
+
+    @property
+    def name(self) -> str:
+        if self.is_fp:
+            return f"f{self.index}"
+        return ABI_NAMES[self.index]
+
+    def __str__(self) -> str:  # pragma: no cover - cosmetic
+        return self.name
+
+
+def reg_index(name: str) -> int:
+    """Translate an integer-register name (ABI or ``xN``) to its index."""
+    key = name.strip().lower()
+    if key in _NAME_TO_INDEX:
+        return _NAME_TO_INDEX[key]
+    raise ValueError(f"unknown integer register name: {name!r}")
+
+
+def fp_reg_index(name: str) -> int:
+    """Translate a floating-point register name (ABI or ``fN``) to its index."""
+    key = name.strip().lower()
+    if key in _FP_NAME_TO_INDEX:
+        return _FP_NAME_TO_INDEX[key]
+    raise ValueError(f"unknown floating-point register name: {name!r}")
+
+
+def reg_name(index: int) -> str:
+    """Translate an integer-register index to its canonical ABI name."""
+    if not 0 <= index < NUM_REGS:
+        raise ValueError(f"register index out of range: {index}")
+    return ABI_NAMES[index]

@@ -1,0 +1,40 @@
+"""Word-level netlist IR and cycle-accurate simulator.
+
+This package is the stand-in for the Yosys RTL-IL representation that the
+paper instruments: circuits are expressed as word-level cells (logic, muxes,
+comparisons, registers with enables, and non-flattened memories), which is
+exactly the abstraction level at which diffIFT instruments designs (§3.3,
+"We instrument the DUT at the RTL IR level and thus support word-level cells
+and non-flattened memories").
+
+The :mod:`repro.ift` package builds shadow taint circuits on top of these
+netlists.
+"""
+
+from repro.rtl.cells import Cell, CellType
+from repro.rtl.netlist import Module, Memory, RegisterInfo
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.simulator import NetlistSimulator, SimulationState
+from repro.rtl.library import (
+    build_rob_slice,
+    build_lfb_with_mshr,
+    build_counter,
+    build_forwarding_pipeline,
+    build_branch_unit,
+)
+
+__all__ = [
+    "Cell",
+    "CellType",
+    "Module",
+    "Memory",
+    "RegisterInfo",
+    "CircuitBuilder",
+    "NetlistSimulator",
+    "SimulationState",
+    "build_rob_slice",
+    "build_lfb_with_mshr",
+    "build_counter",
+    "build_forwarding_pipeline",
+    "build_branch_unit",
+]

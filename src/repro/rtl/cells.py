@@ -1,0 +1,112 @@
+"""Word-level cell definitions for the netlist IR.
+
+Each cell reads named input signals and drives exactly one output signal.
+Registers and memories are sequential cells updated at the clock edge; all
+other cell types are combinational.  The cell vocabulary intentionally matches
+the rows of Table 1 in the paper (multiplexer, comparison, register with
+enable, memory read, memory write) plus the ordinary data-flow cells that the
+CellIFT data-taint policies cover.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Optional, Tuple
+
+
+class CellType(enum.Enum):
+    """Every cell kind understood by the simulator and the IFT passes."""
+
+    CONST = "const"
+    NOT = "not"
+    AND = "and"
+    OR = "or"
+    XOR = "xor"
+    ADD = "add"
+    SUB = "sub"
+    SHL = "shl"
+    SHR = "shr"
+    EQ = "eq"
+    NEQ = "neq"
+    LT = "lt"
+    MUX = "mux"
+    CONCAT = "concat"
+    SLICE = "slice"
+    REDUCE_OR = "reduce_or"
+    REG = "reg"
+    REG_EN = "reg_en"
+    MEM_READ = "mem_read"
+    MEM_WRITE = "mem_write"
+
+    @property
+    def is_sequential(self) -> bool:
+        return self in (CellType.REG, CellType.REG_EN, CellType.MEM_WRITE)
+
+    @property
+    def is_comparison(self) -> bool:
+        return self in (CellType.EQ, CellType.NEQ, CellType.LT)
+
+
+# The canonical input port names per cell type, in evaluation order.
+CELL_PORTS: Dict[CellType, Tuple[str, ...]] = {
+    CellType.CONST: (),
+    CellType.NOT: ("a",),
+    CellType.AND: ("a", "b"),
+    CellType.OR: ("a", "b"),
+    CellType.XOR: ("a", "b"),
+    CellType.ADD: ("a", "b"),
+    CellType.SUB: ("a", "b"),
+    CellType.SHL: ("a", "b"),
+    CellType.SHR: ("a", "b"),
+    CellType.EQ: ("a", "b"),
+    CellType.NEQ: ("a", "b"),
+    CellType.LT: ("a", "b"),
+    CellType.MUX: ("sel", "a", "b"),
+    CellType.CONCAT: ("a", "b"),
+    CellType.SLICE: ("a",),
+    CellType.REDUCE_OR: ("a",),
+    CellType.REG: ("d",),
+    CellType.REG_EN: ("d", "en"),
+    CellType.MEM_READ: ("addr",),
+    CellType.MEM_WRITE: ("addr", "data", "wen"),
+}
+
+
+@dataclass
+class Cell:
+    """One netlist cell.
+
+    ``connections`` maps canonical port names (see :data:`CELL_PORTS`) to
+    signal names.  ``params`` carries cell-specific parameters: the constant
+    value for ``CONST``, ``hi``/``lo`` for ``SLICE``, the memory name for
+    ``MEM_READ``/``MEM_WRITE``, and the initial value for registers.
+    """
+
+    name: str
+    cell_type: CellType
+    output: str
+    connections: Dict[str, str] = field(default_factory=dict)
+    params: Dict[str, int] = field(default_factory=dict)
+    memory: Optional[str] = None
+    module_path: str = "top"
+
+    def __post_init__(self) -> None:
+        expected = CELL_PORTS[self.cell_type]
+        missing = [port for port in expected if port not in self.connections]
+        if missing:
+            raise ValueError(
+                f"cell {self.name!r} of type {self.cell_type.value} is missing ports {missing}"
+            )
+        if self.cell_type in (CellType.MEM_READ, CellType.MEM_WRITE) and not self.memory:
+            raise ValueError(f"memory cell {self.name!r} must reference a memory")
+
+    @property
+    def is_sequential(self) -> bool:
+        return self.cell_type.is_sequential
+
+    def input_signals(self) -> Tuple[str, ...]:
+        return tuple(self.connections[port] for port in CELL_PORTS[self.cell_type])
+
+    def port(self, name: str) -> str:
+        return self.connections[name]

@@ -1,0 +1,161 @@
+"""A library of example circuits used by IFT tests and micro-benchmarks.
+
+The circuits model the structures the paper uses to motivate diffIFT:
+
+* :func:`build_rob_slice` reproduces the Reorder-Buffer entry update logic of
+  Figure 2 (the BOOM RoB rollback taint-explosion example in §2.2): each entry's
+  opcode register is written when the tail pointer matches its index and a
+  valid micro-operation is enqueued, and a rollback rewinds the tail pointer.
+* :func:`build_lfb_with_mshr` models the Line Fill Buffer managed by MSHR state
+  registers (§3.1 C2-2): invalidation flips the valid bit but leaves stale data
+  in the buffer, which is exactly the false-positive scenario taint liveness
+  annotations exist to filter.
+* The remaining circuits (counter, forwarding pipeline, branch unit) are small
+  data-flow and control-flow test vehicles for the propagation policies.
+"""
+
+from __future__ import annotations
+
+from repro.rtl.builder import CircuitBuilder
+from repro.rtl.netlist import Module
+
+
+def build_counter(width: int = 8) -> Module:
+    """A free-running counter with enable: ``count <= en ? count + 1 : count``."""
+    b = CircuitBuilder("counter")
+    enable = b.input("en", 1)
+    count = b.register("count", width)
+    one = b.const(1, width)
+    incremented = b.add(count, one, name="count_next")
+    b.connect_register(count, incremented, enable=enable)
+    b.output(count)
+    return b.build()
+
+
+def build_rob_slice(num_entries: int = 8, uopc_width: int = 7, index_width: int = 4) -> Module:
+    """The RoB entry-update circuit from Figure 2, generalised to N entries.
+
+    Inputs:
+      * ``enq_valid`` — a micro-op is enqueued this cycle.
+      * ``enq_uopc`` — the opcode being enqueued.
+      * ``rollback`` — squash the RoB: the tail pointer is rewound to ``rollback_idx``.
+      * ``rollback_idx`` — the tail value restored on rollback.
+
+    State:
+      * ``rob_tail_idx`` — the tail pointer.
+      * ``rob_<i>_uopc`` — one opcode register per entry (the registers that
+        suffer sudden control-taint explosion under CellIFT).
+    """
+    b = CircuitBuilder("rob_slice")
+    enq_valid = b.input("enq_valid", 1)
+    enq_uopc = b.input("enq_uopc", uopc_width)
+    rollback = b.input("rollback", 1)
+    rollback_idx = b.input("rollback_idx", index_width)
+
+    b.scope("rob")
+    tail = b.register("rob_tail_idx", index_width)
+    one = b.const(1, index_width)
+    tail_plus_one = b.add(tail, one, name="tail_plus_one")
+    tail_after_enq = b.mux(enq_valid, tail, tail_plus_one, name="tail_after_enq")
+    tail_next = b.mux(rollback, tail_after_enq, rollback_idx, name="tail_next")
+    b.connect_register(tail, tail_next)
+
+    for index in range(num_entries):
+        entry = f"rob_{index}_uopc"
+        uopc = b.register(entry, uopc_width)
+        index_const = b.const(index, index_width, name=f"idx_const_{index}")
+        match = b.eq(tail, index_const, name=f"match_rob{index}")
+        update = b.and_(enq_valid, match, name=f"update_rob{index}")
+        next_uopc = b.mux(update, uopc, enq_uopc, name=f"rob_{index}_uopc_next")
+        b.connect_register(uopc, next_uopc)
+        b.output(entry)
+
+    b.output(tail)
+    return b.build()
+
+
+def build_lfb_with_mshr(num_entries: int = 4, data_width: int = 32) -> Module:
+    """A Line Fill Buffer whose entries are managed by MSHR valid bits.
+
+    A refill (``refill_valid``) writes ``refill_data`` into entry
+    ``refill_idx`` and sets its valid bit.  An invalidation
+    (``invalidate``) clears the valid bit of entry ``invalidate_idx`` but —
+    exactly as in BOOM — leaves the stale data in the buffer.  The per-entry
+    data registers carry a ``liveness_mask`` annotation naming the packed
+    valid vector, mirroring the Verilog attribute shown in §4.3.2.
+    """
+    b = CircuitBuilder("lfb")
+    refill_valid = b.input("refill_valid", 1)
+    refill_idx = b.input("refill_idx", max(num_entries - 1, 1).bit_length())
+    refill_data = b.input("refill_data", data_width)
+    invalidate = b.input("invalidate", 1)
+    invalidate_idx = b.input("invalidate_idx", max(num_entries - 1, 1).bit_length())
+
+    b.scope("mshr")
+    valid_bits = []
+    for index in range(num_entries):
+        valid = b.register(f"mshr_{index}_valid", 1)
+        idx_const = b.const(index, max(num_entries - 1, 1).bit_length(), name=f"mshr_idx_{index}")
+        is_refill = b.and_(refill_valid, b.eq(refill_idx, idx_const), name=f"mshr_set_{index}")
+        inv_const = b.const(index, max(num_entries - 1, 1).bit_length(), name=f"inv_idx_{index}")
+        is_invalidate = b.and_(
+            invalidate, b.eq(invalidate_idx, inv_const), name=f"mshr_clr_{index}"
+        )
+        one = b.const(1, 1, name=f"one_{index}")
+        zero = b.const(0, 1, name=f"zero_{index}")
+        after_set = b.mux(is_refill, valid, one, name=f"mshr_{index}_after_set")
+        next_valid = b.mux(is_invalidate, after_set, zero, name=f"mshr_{index}_next")
+        b.connect_register(valid, next_valid)
+        valid_bits.append(valid)
+        b.output(valid)
+
+    packed = valid_bits[0]
+    for valid in valid_bits[1:]:
+        packed = b.concat(valid, packed)
+    # Expose the packed vector under the canonical name used by annotations.
+    valid_vec = b.slice_(packed, num_entries - 1, 0, name="mshr_valid_vec")
+    b.output(valid_vec)
+
+    b.scope("lfb")
+    for index in range(num_entries):
+        data = b.register(f"lb_{index}", data_width, liveness_mask="mshr_valid_vec")
+        idx_const = b.const(index, max(num_entries - 1, 1).bit_length(), name=f"lfb_idx_{index}")
+        write = b.and_(refill_valid, b.eq(refill_idx, idx_const), name=f"lfb_write_{index}")
+        next_data = b.mux(write, data, refill_data, name=f"lb_{index}_next")
+        b.connect_register(data, next_data)
+        b.output(data)
+
+    return b.build()
+
+
+def build_forwarding_pipeline(stages: int = 3, width: int = 16) -> Module:
+    """A register pipeline with a bypass mux from the input to the last stage."""
+    b = CircuitBuilder("pipeline")
+    data_in = b.input("data_in", width)
+    bypass = b.input("bypass", 1)
+    previous = data_in
+    for stage in range(stages):
+        reg = b.register(f"stage_{stage}", width)
+        b.connect_register(reg, previous)
+        previous = reg
+    result = b.mux(bypass, previous, data_in, name="result")
+    out = b.register("result_reg", width)
+    b.connect_register(out, result)
+    b.output(out)
+    return b.build()
+
+
+def build_branch_unit(width: int = 16) -> Module:
+    """Compare two operands and select one of two targets — a control-flow cell."""
+    b = CircuitBuilder("branch_unit")
+    lhs = b.input("lhs", width)
+    rhs = b.input("rhs", width)
+    taken_target = b.input("taken_target", width)
+    fallthrough = b.input("fallthrough", width)
+    taken = b.eq(lhs, rhs, name="taken")
+    target = b.mux(taken, fallthrough, taken_target, name="next_pc")
+    pc = b.register("pc", width)
+    b.connect_register(pc, target)
+    b.output(pc)
+    b.output(taken)
+    return b.build()

@@ -1,0 +1,209 @@
+"""Cycle-accurate evaluation of netlist modules.
+
+The simulator evaluates combinational cells in topological order every cycle,
+then commits register and memory updates at the clock edge.  Register and
+memory outputs (and module inputs) are the only signals whose values survive
+across the combinational phase, which is what breaks feedback loops.
+"""
+
+from __future__ import annotations
+
+from collections import defaultdict, deque
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Optional
+
+from repro.rtl.cells import Cell, CellType
+from repro.rtl.netlist import Module
+from repro.utils.bitops import mask, to_unsigned
+
+
+@dataclass
+class SimulationState:
+    """Mutable value state of one simulated module instance."""
+
+    values: Dict[str, int] = field(default_factory=dict)
+    memories: Dict[str, List[int]] = field(default_factory=dict)
+    cycle: int = 0
+
+    def value(self, signal: str) -> int:
+        return self.values.get(signal, 0)
+
+
+class CombinationalLoopError(RuntimeError):
+    """Raised when the combinational cells cannot be topologically ordered."""
+
+
+class NetlistSimulator:
+    """Simulates one :class:`~repro.rtl.netlist.Module` instance."""
+
+    def __init__(self, module: Module) -> None:
+        module.validate()
+        self.module = module
+        self.state = SimulationState()
+        self._order = self._topological_order(module)
+        self._reset_state()
+
+    # -- lifecycle --------------------------------------------------------------
+
+    def _reset_state(self) -> None:
+        self.state = SimulationState()
+        for name, width in self.module.signals.items():
+            self.state.values[name] = 0
+        for name, info in self.module.registers.items():
+            self.state.values[name] = to_unsigned(info.init, info.width)
+        for name, memory in self.module.memories.items():
+            self.state.memories[name] = [to_unsigned(memory.init, memory.width)] * memory.depth
+
+    def reset(self) -> None:
+        """Reset registers, memories and the cycle counter to initial values."""
+        self._reset_state()
+
+    # -- scheduling --------------------------------------------------------------
+
+    @staticmethod
+    def _topological_order(module: Module) -> List[Cell]:
+        comb = module.combinational_cells()
+        produced_by: Dict[str, Cell] = {}
+        for cell in comb:
+            produced_by[cell.output] = cell
+        dependants: Dict[str, List[Cell]] = defaultdict(list)
+        in_degree: Dict[str, int] = {cell.name: 0 for cell in comb}
+        cell_by_name = {cell.name: cell for cell in comb}
+
+        for cell in comb:
+            for signal in cell.input_signals():
+                if signal in produced_by and signal not in module.registers:
+                    dependants[produced_by[signal].name].append(cell)
+                    in_degree[cell.name] += 1
+
+        queue = deque(cell for cell in comb if in_degree[cell.name] == 0)
+        ordered: List[Cell] = []
+        while queue:
+            cell = queue.popleft()
+            ordered.append(cell)
+            for dependant in dependants[cell.name]:
+                in_degree[dependant.name] -= 1
+                if in_degree[dependant.name] == 0:
+                    queue.append(dependant)
+        if len(ordered) != len(comb):
+            unresolved = sorted(set(cell_by_name) - {cell.name for cell in ordered})
+            raise CombinationalLoopError(
+                f"combinational loop through cells: {', '.join(unresolved)}"
+            )
+        return ordered
+
+    @property
+    def evaluation_order(self) -> List[Cell]:
+        return list(self._order)
+
+    # -- evaluation ----------------------------------------------------------------
+
+    def set_inputs(self, inputs: Dict[str, int]) -> None:
+        for name, value in inputs.items():
+            if name not in self.module.signals:
+                raise KeyError(f"unknown input signal {name!r}")
+            self.state.values[name] = to_unsigned(value, self.module.width_of(name))
+
+    def evaluate_combinational(self) -> None:
+        """Propagate values through all combinational cells (no state update)."""
+        for cell in self._order:
+            self.state.values[cell.output] = self._evaluate_cell(cell)
+
+    def step(self, inputs: Optional[Dict[str, int]] = None) -> Dict[str, int]:
+        """Advance one clock cycle and return the output signal values."""
+        if inputs:
+            self.set_inputs(inputs)
+        self.evaluate_combinational()
+        self._clock_edge()
+        self.state.cycle += 1
+        return {name: self.state.value(name) for name in self.module.outputs}
+
+    def run(self, stimulus: Iterable[Dict[str, int]]) -> List[Dict[str, int]]:
+        """Apply a sequence of input maps, one per cycle; return outputs per cycle."""
+        return [self.step(inputs) for inputs in stimulus]
+
+    def _clock_edge(self) -> None:
+        register_updates: Dict[str, int] = {}
+        memory_updates: List[tuple] = []
+        for cell in self.module.sequential_cells():
+            if cell.cell_type is CellType.REG:
+                width = self.module.width_of(cell.output)
+                register_updates[cell.output] = to_unsigned(
+                    self.state.value(cell.port("d")), width
+                )
+            elif cell.cell_type is CellType.REG_EN:
+                if self.state.value(cell.port("en")) & 1:
+                    width = self.module.width_of(cell.output)
+                    register_updates[cell.output] = to_unsigned(
+                        self.state.value(cell.port("d")), width
+                    )
+            elif cell.cell_type is CellType.MEM_WRITE:
+                if self.state.value(cell.port("wen")) & 1:
+                    memory = self.module.memories[cell.memory]
+                    address = self.state.value(cell.port("addr")) % memory.depth
+                    data = to_unsigned(self.state.value(cell.port("data")), memory.width)
+                    memory_updates.append((cell.memory, address, data))
+        self.state.values.update(register_updates)
+        for memory_name, address, data in memory_updates:
+            self.state.memories[memory_name][address] = data
+
+    def _evaluate_cell(self, cell: Cell) -> int:
+        values = self.state.values
+        width = self.module.width_of(cell.output)
+        kind = cell.cell_type
+
+        if kind is CellType.CONST:
+            return to_unsigned(cell.params.get("value", 0), width)
+        if kind is CellType.NOT:
+            return (~values[cell.port("a")]) & mask(width)
+        if kind is CellType.AND:
+            return values[cell.port("a")] & values[cell.port("b")]
+        if kind is CellType.OR:
+            return values[cell.port("a")] | values[cell.port("b")]
+        if kind is CellType.XOR:
+            return values[cell.port("a")] ^ values[cell.port("b")]
+        if kind is CellType.ADD:
+            return (values[cell.port("a")] + values[cell.port("b")]) & mask(width)
+        if kind is CellType.SUB:
+            return (values[cell.port("a")] - values[cell.port("b")]) & mask(width)
+        if kind is CellType.SHL:
+            return (values[cell.port("a")] << values[cell.port("b")]) & mask(width)
+        if kind is CellType.SHR:
+            return values[cell.port("a")] >> values[cell.port("b")]
+        if kind is CellType.EQ:
+            return 1 if values[cell.port("a")] == values[cell.port("b")] else 0
+        if kind is CellType.NEQ:
+            return 1 if values[cell.port("a")] != values[cell.port("b")] else 0
+        if kind is CellType.LT:
+            return 1 if values[cell.port("a")] < values[cell.port("b")] else 0
+        if kind is CellType.MUX:
+            return (
+                values[cell.port("b")]
+                if values[cell.port("sel")] & 1
+                else values[cell.port("a")]
+            )
+        if kind is CellType.CONCAT:
+            b_width = self.module.width_of(cell.port("b"))
+            return (values[cell.port("a")] << b_width) | values[cell.port("b")]
+        if kind is CellType.SLICE:
+            hi = cell.params["hi"]
+            lo = cell.params["lo"]
+            return (values[cell.port("a")] >> lo) & mask(hi - lo + 1)
+        if kind is CellType.REDUCE_OR:
+            return 1 if values[cell.port("a")] != 0 else 0
+        if kind is CellType.MEM_READ:
+            memory = self.module.memories[cell.memory]
+            address = values[cell.port("addr")] % memory.depth
+            return self.state.memories[cell.memory][address]
+        raise NotImplementedError(f"cannot evaluate cell type {kind}")
+
+    # -- inspection ------------------------------------------------------------------
+
+    def value(self, signal: str) -> int:
+        return self.state.value(signal)
+
+    def memory_contents(self, name: str) -> List[int]:
+        return list(self.state.memories[name])
+
+    def register_values(self) -> Dict[str, int]:
+        return {name: self.state.value(name) for name in self.module.registers}

@@ -1,0 +1,31 @@
+"""Pre-built attack scenarios (Spectre-V1/V2/V4/RSB, Meltdown).
+
+These are the five classic transient execution attacks the paper uses as its
+micro-benchmark workload (Table 4 and Figure 6).  Each scenario is produced by
+the same generators the fuzzer uses, pinned to a deterministic seed and the
+window type that realises the attack:
+
+=============  =============================================
+Scenario       Transient window type
+=============  =============================================
+Spectre-V1     conditional branch misprediction
+Spectre-V2     indirect jump misprediction (BTB poisoning)
+Spectre-RSB    return address misprediction (RAS poisoning)
+Spectre-V4     memory disambiguation (speculative store bypass)
+Meltdown       load page fault (cross-privilege read)
+=============  =============================================
+"""
+
+from repro.scenarios.attacks import (
+    ATTACK_SCENARIOS,
+    AttackScenario,
+    build_attack_schedule,
+    run_attack,
+)
+
+__all__ = [
+    "ATTACK_SCENARIOS",
+    "AttackScenario",
+    "build_attack_schedule",
+    "run_attack",
+]

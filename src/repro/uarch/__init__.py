@@ -1,0 +1,51 @@
+"""Out-of-order processor simulator — the Design Under Test (DUT).
+
+This package is the behavioural substitute for the BOOM and XiangShan RTL the
+paper fuzzes.  It models the microarchitectural structures a transient
+execution attack interacts with — speculative fetch with trainable predictors
+(BHT, BTB, RAS, loop predictor), a reorder buffer with commit-time exception
+handling, a load/store unit with speculative memory disambiguation, caches,
+TLB, MSHR/line-fill buffers and execution-port contention — and tracks the
+flow of secret data through those structures under the three taint modes the
+paper evaluates (no IFT, CellIFT-style, diffIFT-style).
+
+The five CVE-assigned vulnerabilities the paper discovered (B1–B5) are
+implemented as injectable defects selected by the core configuration.
+"""
+
+from repro.uarch.config import CoreConfig, TaintTrackingMode
+from repro.uarch.bugs import Bug, BUG_REGISTRY, bugs_for_core
+from repro.uarch.boom import small_boom_config
+from repro.uarch.xiangshan import xiangshan_minimal_config
+from repro.uarch.events import (
+    TraceLog,
+    RobEnqueueEvent,
+    RobCommitEvent,
+    RobSquashEvent,
+    RedirectEvent,
+    TrapCommitEvent,
+    SquashReason,
+)
+from repro.uarch.processor import Processor, SimulationOutcome
+from repro.uarch.taint import TaintState, TaintCensus
+
+__all__ = [
+    "CoreConfig",
+    "TaintTrackingMode",
+    "Bug",
+    "BUG_REGISTRY",
+    "bugs_for_core",
+    "small_boom_config",
+    "xiangshan_minimal_config",
+    "TraceLog",
+    "RobEnqueueEvent",
+    "RobCommitEvent",
+    "RobSquashEvent",
+    "RedirectEvent",
+    "TrapCommitEvent",
+    "SquashReason",
+    "Processor",
+    "SimulationOutcome",
+    "TaintState",
+    "TaintCensus",
+]

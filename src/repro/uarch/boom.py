@@ -1,0 +1,66 @@
+"""The SmallBOOM-like core configuration (Table 2, left column)."""
+
+from __future__ import annotations
+
+from repro.uarch.bugs import default_bug_set
+from repro.uarch.config import CacheConfig, CoreConfig, PredictorConfig
+
+
+def small_boom_config(
+    enable_bugs: bool = True,
+    taint_annotations: bool = True,
+) -> CoreConfig:
+    """A configuration modelled on SmallBOOM (3rd-gen Berkeley OoO machine).
+
+    The structure sizes follow the SmallBoomConfig published parameters
+    (small ROB, single load/store pipe, modest predictors).  BOOM's
+    behavioural quirks relevant to the paper are encoded here:
+
+    * the frontend stalls on an illegal instruction, so illegal-instruction
+      transient windows do not open (the ``/`` cell of Table 3);
+    * the RAS restores only the top-of-stack entry after a misprediction
+      (Phantom-RSB, B2);
+    * the BTB applies indirect-jump corrections to exception PCs when both
+      resolve in the same cycle (Phantom-BTB, B3);
+    * fetch keeps servicing transient instruction-cache misses after a squash
+      (Spectre-Refetch, B4).
+    """
+    bugs = default_bug_set("boom") if enable_bugs else frozenset()
+    return CoreConfig(
+        name="small-boom",
+        isa="RV64GC",
+        fetch_width=2,
+        decode_width=2,
+        commit_width=2,
+        rob_entries=32,
+        ldq_entries=8,
+        stq_entries=8,
+        int_issue_ports=2,
+        mem_issue_ports=1,
+        fp_issue_ports=1,
+        alu_latency=1,
+        mul_latency=3,
+        div_latency=12,
+        fp_latency=4,
+        fp_div_latency=18,
+        misprediction_penalty=7,
+        # Cycles between the faulting instruction reaching the RoB head and the
+        # trap-induced pipeline flush (trap pipeline + redirect latency): this
+        # is the length of exception-type transient windows.
+        exception_commit_delay=42,
+        icache=CacheConfig(sets=64, ways=4, line_bytes=64, hit_latency=1, miss_latency=22),
+        dcache=CacheConfig(sets=64, ways=4, line_bytes=64, hit_latency=2, miss_latency=24),
+        l2_present=True,
+        l2_extra_latency=20,
+        tlb_entries=16,
+        tlb_miss_latency=14,
+        mshr_entries=4,
+        predictors=PredictorConfig(
+            bht_entries=128, btb_entries=32, ras_entries=8, loop_entries=16
+        ),
+        illegal_instruction_opens_window=False,
+        speculative_ras_update=True,
+        bugs=bugs,
+        verilog_loc=171_000,
+        annotation_loc=212 if taint_annotations else 0,
+    )

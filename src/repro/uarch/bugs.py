@@ -1,0 +1,115 @@
+"""Registry of the injectable microarchitectural defects (B1–B5 of §6.4).
+
+Each defect is modelled at the granularity the fuzzer observes it: a secret
+reaching a live sink it should not reach, or a secret-dependent timing
+difference inside the transient window.  Core configurations opt into defects
+by name; tests toggle them to check that the fuzzer distinguishes vulnerable
+from patched cores.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, FrozenSet, List
+
+
+@dataclass(frozen=True)
+class Bug:
+    """One injectable defect."""
+
+    identifier: str
+    name: str
+    cves: tuple
+    attack_type: str  # "meltdown" or "spectre"
+    description: str
+    affected_cores: tuple
+    timing_component: str
+
+
+MELTDOWN_SAMPLING = Bug(
+    identifier="meltdown-sampling",
+    name="MeltDown-Sampling (B1)",
+    cves=("CVE-2024-44594",),
+    attack_type="meltdown",
+    description=(
+        "Illegal high addresses are truncated when forwarded from the pipeline to the "
+        "load unit, so a masked illegal address transiently samples an attacker-chosen "
+        "physical location across privilege boundaries."
+    ),
+    affected_cores=("xiangshan",),
+    timing_component="dcache",
+)
+
+PHANTOM_RSB = Bug(
+    identifier="phantom-rsb",
+    name="Phantom-RSB (B2)",
+    cves=("CVE-2024-44591",),
+    attack_type="spectre",
+    description=(
+        "Transiently executed calls update Return Address Stack entries below the "
+        "top-of-stack pointer; the misprediction recovery only restores the TOS entry, "
+        "so secret-dependent return targets survive the squash."
+    ),
+    affected_cores=("boom",),
+    timing_component="ras",
+)
+
+PHANTOM_BTB = Bug(
+    identifier="phantom-btb",
+    name="Phantom-BTB (B3)",
+    cves=("CVE-2024-44590",),
+    attack_type="spectre",
+    description=(
+        "When an indirect-jump misprediction resolves in the same cycle as an exception "
+        "commit, the BTB applies the jump's correction to the excepting instruction's "
+        "entry, creating a secret-controlled BTB entry."
+    ),
+    affected_cores=("boom",),
+    timing_component="btb",
+)
+
+SPECTRE_REFETCH = Bug(
+    identifier="spectre-refetch",
+    name="Spectre-Refetch (B4)",
+    cves=("CVE-2024-44592", "CVE-2024-44593"),
+    attack_type="spectre",
+    description=(
+        "A secret-dependent branch placed at an instruction-cache-missing address makes "
+        "transient execution preempt the fetch unit, so the first instruction after the "
+        "transient window observes a secret-dependent fetch latency."
+    ),
+    affected_cores=("boom", "xiangshan"),
+    timing_component="fetch-port",
+)
+
+SPECTRE_RELOAD = Bug(
+    identifier="spectre-reload",
+    name="Spectre-Reload (B5)",
+    cves=("CVE-2024-44595",),
+    attack_type="spectre",
+    description=(
+        "The load pipeline and the load queue contend on the load write-back port; "
+        "cache-hitting loads inside a secret-dependent branch delay the write-back of a "
+        "cache-missing load issued before the transient window."
+    ),
+    affected_cores=("xiangshan",),
+    timing_component="lsu-writeback-port",
+)
+
+
+BUG_REGISTRY: Dict[str, Bug] = {
+    bug.identifier: bug
+    for bug in (MELTDOWN_SAMPLING, PHANTOM_RSB, PHANTOM_BTB, SPECTRE_REFETCH, SPECTRE_RELOAD)
+}
+
+
+def bugs_for_core(core_name: str) -> List[Bug]:
+    """Return the defects the paper reports for the given core family."""
+    key = core_name.lower()
+    family = "boom" if "boom" in key else "xiangshan" if "xiangshan" in key else key
+    return [bug for bug in BUG_REGISTRY.values() if family in bug.affected_cores]
+
+
+def default_bug_set(core_name: str) -> FrozenSet[str]:
+    """The bug identifiers enabled by default on a stock core configuration."""
+    return frozenset(bug.identifier for bug in bugs_for_core(core_name))

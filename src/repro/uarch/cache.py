@@ -1,0 +1,273 @@
+"""Set-associative caches, MSHRs and the line fill buffer.
+
+The data cache is the workhorse side channel (``i/dcache`` in Table 5): secret
+dependent addresses leave secret-dependent lines resident.  The MSHR/LFB pair
+models the false-positive scenario of §3.1 (C2-2): refilled lines pass through
+the fill buffer, and when the refill completes the MSHR merely marks the entry
+invalid, leaving stale (possibly secret-tainted) data behind — data that taint
+liveness analysis must classify as unexploitable.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Set, Tuple
+
+from repro.uarch.config import CacheConfig
+
+
+@dataclass
+class CacheAccessResult:
+    """Outcome of a cache access."""
+
+    hit: bool
+    latency: int
+    set_index: int
+    evicted_line: Optional[int] = None
+    filled: bool = False
+
+
+class SetAssociativeCache:
+    """A blocking, LRU, physically-indexed cache model."""
+
+    def __init__(self, name: str, config: CacheConfig) -> None:
+        self.name = name
+        self.config = config
+        # Per set: ordered list of line addresses, most recently used first.
+        self.sets: List[List[int]] = [[] for _ in range(config.sets)]
+        self.tainted_lines: Set[int] = set()
+        self.accesses = 0
+        self.misses = 0
+
+    def _line_address(self, address: int) -> int:
+        return address // self.config.line_bytes
+
+    def _set_index(self, address: int) -> int:
+        return self._line_address(address) % self.config.sets
+
+    def lookup(self, address: int) -> bool:
+        """Non-destructive presence check."""
+        line = self._line_address(address)
+        return line in self.sets[self._set_index(address)]
+
+    def access(self, address: int, fill_on_miss: bool = True, tainted: bool = False) -> CacheAccessResult:
+        """Access the cache, optionally filling the line on a miss."""
+        self.accesses += 1
+        line = self._line_address(address)
+        set_index = self._set_index(address)
+        ways = self.sets[set_index]
+        if line in ways:
+            ways.remove(line)
+            ways.insert(0, line)
+            if tainted:
+                self.tainted_lines.add(line)
+            return CacheAccessResult(
+                hit=True, latency=self.config.hit_latency, set_index=set_index
+            )
+        self.misses += 1
+        evicted = None
+        if fill_on_miss:
+            if len(ways) >= self.config.ways:
+                evicted = ways.pop()
+                self.tainted_lines.discard(evicted)
+            ways.insert(0, line)
+            if tainted:
+                self.tainted_lines.add(line)
+        return CacheAccessResult(
+            hit=False,
+            latency=self.config.miss_latency,
+            set_index=set_index,
+            evicted_line=evicted,
+            filled=fill_on_miss,
+        )
+
+    def fill(self, address: int, tainted: bool = False) -> None:
+        self.access(address, fill_on_miss=True, tainted=tainted)
+
+    def flush(self) -> None:
+        self.sets = [[] for _ in range(self.config.sets)]
+        self.tainted_lines = set()
+
+    def resident_lines(self) -> Set[int]:
+        resident: Set[int] = set()
+        for ways in self.sets:
+            resident.update(ways)
+        return resident
+
+    def state_fingerprint(self) -> Tuple[Tuple[int, ...], ...]:
+        return tuple(tuple(ways) for ways in self.sets)
+
+    def tainted_entry_count(self) -> int:
+        return len(self.tainted_lines)
+
+    @property
+    def miss_rate(self) -> float:
+        return self.misses / self.accesses if self.accesses else 0.0
+
+
+@dataclass
+class MshrEntry:
+    """One miss status holding register entry."""
+
+    line_address: int
+    valid: bool = True
+    tainted: bool = False
+    allocated_cycle: int = 0
+
+
+class LineFillBuffer:
+    """MSHR-managed line fill buffer.
+
+    ``invalidate_on_complete`` mirrors the BOOM behaviour the paper describes:
+    on refill completion the MSHR flips the entry's state register to invalid
+    but the buffered data (and its taint) stays resident until the slot is
+    reallocated.
+    """
+
+    def __init__(self, entries: int) -> None:
+        self.entries = entries
+        self.slots: List[Optional[MshrEntry]] = [None] * entries
+        # Stale data remembered per slot after the MSHR invalidates it.
+        self.stale_taint: List[bool] = [False] * entries
+
+    def allocate(self, line_address: int, cycle: int, tainted: bool = False) -> Optional[int]:
+        """Allocate a slot for a refill; returns the slot index or None when full."""
+        for index, slot in enumerate(self.slots):
+            if slot is None or not slot.valid:
+                self.slots[index] = MshrEntry(
+                    line_address=line_address, valid=True, tainted=tainted, allocated_cycle=cycle
+                )
+                self.stale_taint[index] = False
+                return index
+        return None
+
+    def complete(self, slot_index: int) -> None:
+        """Refill finished: mark the MSHR invalid, keep the (stale) data around."""
+        slot = self.slots[slot_index]
+        if slot is None:
+            return
+        slot.valid = False
+        self.stale_taint[slot_index] = slot.tainted
+
+    def valid_mask(self) -> int:
+        mask_value = 0
+        for index, slot in enumerate(self.slots):
+            if slot is not None and slot.valid:
+                mask_value |= 1 << index
+        return mask_value
+
+    def tainted_slots(self) -> List[int]:
+        """Slots holding tainted data, regardless of validity (raw reachability)."""
+        tainted = []
+        for index, slot in enumerate(self.slots):
+            if slot is not None and (slot.tainted or self.stale_taint[index]):
+                tainted.append(index)
+        return tainted
+
+    def live_tainted_slots(self) -> List[int]:
+        """Slots whose taint is still guarded valid by the MSHR (exploitable)."""
+        return [
+            index
+            for index, slot in enumerate(self.slots)
+            if slot is not None and slot.valid and slot.tainted
+        ]
+
+    def reset(self) -> None:
+        self.slots = [None] * self.entries
+        self.stale_taint = [False] * self.entries
+
+    def tainted_entry_count(self) -> int:
+        return len(self.tainted_slots())
+
+    def state_fingerprint(self) -> Tuple:
+        return tuple(
+            (slot.line_address, slot.valid) if slot is not None else None for slot in self.slots
+        )
+
+
+@dataclass
+class MemoryHierarchy:
+    """L1I + L1D (+ optional unified L2) with MSHRs in front of the D-side."""
+
+    icache: SetAssociativeCache
+    dcache: SetAssociativeCache
+    lfb: LineFillBuffer
+    l2_present: bool = True
+    l2_extra_latency: int = 18
+    l2: Optional[SetAssociativeCache] = None
+    cycle: int = 0
+
+    @classmethod
+    def from_config(cls, config) -> "MemoryHierarchy":
+        l2 = None
+        if config.l2_present:
+            l2_config = CacheConfig(
+                sets=config.dcache.sets * 4,
+                ways=config.dcache.ways * 2,
+                line_bytes=config.dcache.line_bytes,
+                hit_latency=config.dcache.miss_latency,
+                miss_latency=config.dcache.miss_latency + config.l2_extra_latency,
+            )
+            l2 = SetAssociativeCache("l2", l2_config)
+        return cls(
+            icache=SetAssociativeCache("icache", config.icache),
+            dcache=SetAssociativeCache("dcache", config.dcache),
+            lfb=LineFillBuffer(config.mshr_entries),
+            l2_present=config.l2_present,
+            l2_extra_latency=config.l2_extra_latency,
+            l2=l2,
+        )
+
+    def data_access(self, address: int, tainted: bool = False) -> CacheAccessResult:
+        """A demand data access including MSHR allocation on a miss."""
+        result = self.dcache.access(address, tainted=tainted)
+        if not result.hit:
+            latency = result.latency
+            if self.l2 is not None:
+                l2_result = self.l2.access(address, tainted=tainted)
+                latency = (
+                    self.l2.config.hit_latency
+                    if l2_result.hit
+                    else self.l2.config.miss_latency
+                )
+            slot = self.lfb.allocate(
+                address // self.dcache.config.line_bytes, self.cycle, tainted=tainted
+            )
+            if slot is not None:
+                self.lfb.complete(slot)
+            return CacheAccessResult(
+                hit=False,
+                latency=latency,
+                set_index=result.set_index,
+                evicted_line=result.evicted_line,
+                filled=True,
+            )
+        return result
+
+    def instruction_access(self, address: int) -> CacheAccessResult:
+        return self.icache.access(address)
+
+    def flush_icache(self) -> None:
+        self.icache.flush()
+
+    def flush_dcache(self) -> None:
+        self.dcache.flush()
+        if self.l2 is not None:
+            self.l2.flush()
+        self.lfb.reset()
+
+    def tainted_counts(self) -> Dict[str, int]:
+        counts = {
+            "icache": self.icache.tainted_entry_count(),
+            "dcache": self.dcache.tainted_entry_count(),
+            "lfb": self.lfb.tainted_entry_count(),
+        }
+        if self.l2 is not None:
+            counts["l2"] = self.l2.tainted_entry_count()
+        return counts
+
+    def state_fingerprint(self) -> Tuple:
+        parts = [self.icache.state_fingerprint(), self.dcache.state_fingerprint(), self.lfb.state_fingerprint()]
+        if self.l2 is not None:
+            parts.append(self.l2.state_fingerprint())
+        return tuple(parts)

@@ -1,0 +1,172 @@
+"""Trace-log events emitted by the processor model.
+
+The fuzzer's transient-window detection (§4.1.2, "DejaVuzz analyzes the RoB IO
+events from the trace log. If the number of enqueued instructions within the
+transient window exceeds the number of its committed instructions, it
+indicates that the transient window has been successfully triggered") consumes
+exactly these events, so the processor emits one event per RoB enqueue,
+commit, squash, trap commit and fetch redirect.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Tuple
+
+
+class SquashReason(enum.Enum):
+    """Why a group of in-flight instructions was squashed."""
+
+    BRANCH_MISPREDICTION = "branch_misprediction"
+    INDIRECT_MISPREDICTION = "indirect_misprediction"
+    RETURN_MISPREDICTION = "return_misprediction"
+    MEMORY_DISAMBIGUATION = "memory_disambiguation"
+    EXCEPTION = "exception"
+    FENCE = "fence"
+
+
+@dataclass(frozen=True)
+class RobEnqueueEvent:
+    cycle: int
+    rob_index: int
+    sequence: int
+    pc: int
+    mnemonic: str
+
+
+@dataclass(frozen=True)
+class RobCommitEvent:
+    cycle: int
+    rob_index: int
+    sequence: int
+    pc: int
+    mnemonic: str
+
+
+@dataclass(frozen=True)
+class RobSquashEvent:
+    cycle: int
+    reason: SquashReason
+    trigger_sequence: int
+    trigger_pc: int
+    squashed_sequences: Tuple[int, ...]
+
+
+@dataclass(frozen=True)
+class TrapCommitEvent:
+    cycle: int
+    sequence: int
+    pc: int
+    cause: str
+    tval: int
+
+
+@dataclass(frozen=True)
+class RedirectEvent:
+    cycle: int
+    source_pc: int
+    target_pc: int
+    reason: str
+
+
+@dataclass
+class TraceLog:
+    """Accumulates processor events and answers the fuzzer's queries."""
+
+    enqueues: List[RobEnqueueEvent] = field(default_factory=list)
+    commits: List[RobCommitEvent] = field(default_factory=list)
+    squashes: List[RobSquashEvent] = field(default_factory=list)
+    traps: List[TrapCommitEvent] = field(default_factory=list)
+    redirects: List[RedirectEvent] = field(default_factory=list)
+
+    def record_enqueue(self, event: RobEnqueueEvent) -> None:
+        self.enqueues.append(event)
+
+    def record_commit(self, event: RobCommitEvent) -> None:
+        self.commits.append(event)
+
+    def record_squash(self, event: RobSquashEvent) -> None:
+        self.squashes.append(event)
+
+    def record_trap(self, event: TrapCommitEvent) -> None:
+        self.traps.append(event)
+
+    def record_redirect(self, event: RedirectEvent) -> None:
+        self.redirects.append(event)
+
+    # -- fuzzer-facing queries ---------------------------------------------------
+
+    def enqueued_sequences(self) -> List[int]:
+        return [event.sequence for event in self.enqueues]
+
+    def committed_sequences(self) -> List[int]:
+        return [event.sequence for event in self.commits]
+
+    def squashed_sequences(self) -> List[int]:
+        squashed: List[int] = []
+        for event in self.squashes:
+            squashed.extend(event.squashed_sequences)
+        return squashed
+
+    def transient_sequences(self) -> List[int]:
+        """Sequences that were enqueued but never committed (transient instructions)."""
+        committed = set(self.committed_sequences())
+        return [seq for seq in self.enqueued_sequences() if seq not in committed]
+
+    def transient_window_triggered(self, window_pcs: Optional[set] = None) -> bool:
+        """Did a transient window trigger?
+
+        With ``window_pcs`` the check is restricted to the given addresses
+        (the window section of the transient packet); otherwise any squashed
+        instruction counts.
+        """
+        if window_pcs is None:
+            return len(self.transient_sequences()) > 0
+        committed = set(self.committed_sequences())
+        for event in self.enqueues:
+            if event.pc in window_pcs and event.sequence not in committed:
+                return True
+        return False
+
+    def window_cycle_range(self, window_pcs: Optional[set] = None) -> Optional[Tuple[int, int]]:
+        """The [first, last] cycle during which transient window instructions were in flight."""
+        committed = set(self.committed_sequences())
+        cycles: List[int] = []
+        transient_sequences = set()
+        for event in self.enqueues:
+            if event.sequence in committed:
+                continue
+            if window_pcs is not None and event.pc not in window_pcs:
+                continue
+            cycles.append(event.cycle)
+            transient_sequences.add(event.sequence)
+        if not cycles:
+            return None
+        last = max(cycles)
+        for squash in self.squashes:
+            if transient_sequences & set(squash.squashed_sequences):
+                last = max(last, squash.cycle)
+        return min(cycles), last
+
+    def enqueue_count_in_window(self, window_pcs: set) -> int:
+        return sum(1 for event in self.enqueues if event.pc in window_pcs)
+
+    def commit_count_in_window(self, window_pcs: set) -> int:
+        return sum(1 for event in self.commits if event.pc in window_pcs)
+
+    def squash_reasons(self) -> List[SquashReason]:
+        return [event.reason for event in self.squashes]
+
+    def committed_pcs(self) -> List[int]:
+        return [event.pc for event in self.commits]
+
+    def summary(self) -> Dict[str, int]:
+        return {
+            "enqueued": len(self.enqueues),
+            "committed": len(self.commits),
+            "squashes": len(self.squashes),
+            "transient": len(self.transient_sequences()),
+            "traps": len(self.traps),
+            "redirects": len(self.redirects),
+        }

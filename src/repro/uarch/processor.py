@@ -1,0 +1,806 @@
+"""The out-of-order pipeline model (the Design Under Test).
+
+The processor is a cycle-driven model with speculative fetch, dataflow issue,
+out-of-order completion and in-order commit:
+
+* **Fetch** follows the predicted path (BHT + loop predictor for conditional
+  branches, BTB for indirect jumps, RAS for returns) and allocates RoB
+  entries speculatively, emitting ``RobEnqueueEvent`` trace events.
+* **Issue/execute** dispatches entries whose operands are ready to free issue
+  ports; results become available after a latency that includes cache, TLB
+  and structural-hazard effects.  Faulting instructions mark their entry with
+  an exception but *younger instructions keep executing* — this is the
+  transient window.
+* **Resolve** compares actual and predicted control flow when a control
+  instruction completes, squashing the wrong path and redirecting fetch
+  (branch/indirect/return mispredictions), and detects memory-ordering
+  violations when stores resolve (memory disambiguation windows).
+* **Commit** retires instructions in order; exceptions are taken at commit
+  time, squashing the whole window, which is exactly when the transient
+  instructions between the faulting instruction and its commit disappear from
+  the architectural state while their microarchitectural side effects remain.
+
+Secret propagation is tracked by :class:`repro.uarch.taint.TaintState` under
+the configured taint mode; side-channel structures (caches, TLB, predictors,
+LFB, ports) live in their own modules and are updated speculatively.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.isa.instructions import Instruction, InstructionClass
+from repro.isa.simulator import (
+    Permission,
+    SimMemory,
+    TrapCause,
+    branch_taken,
+    compute_alu,
+    effective_address,
+    next_pc,
+)
+from repro.isa.program import Program
+from repro.uarch.cache import MemoryHierarchy
+from repro.uarch.config import CoreConfig, TaintTrackingMode
+from repro.uarch.events import (
+    RedirectEvent,
+    RobCommitEvent,
+    RobEnqueueEvent,
+    RobSquashEvent,
+    SquashReason,
+    TraceLog,
+    TrapCommitEvent,
+)
+from repro.uarch.execute import ExecutionPorts, base_latency, is_divider_op
+from repro.uarch.lsu import LoadStoreUnit
+from repro.uarch.predictors import BranchPredictorUnit
+from repro.uarch.rob import ReorderBuffer, RobEntry
+from repro.uarch.taint import DiffOracle, TaintState
+from repro.uarch.tlb import Tlb
+from repro.utils.bitops import is_aligned, mask, sign_extend, to_signed, to_unsigned
+
+# Addresses with bits at or above this position set are architecturally illegal.
+PHYSICAL_ADDRESS_BITS = 39
+# Width to which the buggy XiangShan load path truncates illegal addresses (B1).
+TRUNCATED_ADDRESS_BITS = 32
+
+FetchSource = Callable[[int], Optional[Instruction]]
+TrapHook = Callable[[TrapCause, int, int], Optional[int]]
+
+
+@dataclass
+class SimulationOutcome:
+    """Everything the fuzzer needs to know about one simulation run."""
+
+    cycles: int
+    committed_instructions: int
+    trace: TraceLog
+    taint: TaintState
+    halted_on: str = "max_cycles"
+    commit_cycles: List[Tuple[int, int]] = field(default_factory=list)  # (cycle, pc)
+    contention: Dict[str, int] = field(default_factory=dict)
+    side_channel_fingerprint: Tuple = ()
+
+    def cycles_between_pcs(self, start_pc: int, end_pc: int) -> Optional[int]:
+        """Cycles elapsed between the commits of two PCs (timing measurement)."""
+        start_cycle = end_cycle = None
+        for cycle, pc in self.commit_cycles:
+            if pc == start_pc and start_cycle is None:
+                start_cycle = cycle
+            if pc == end_pc:
+                end_cycle = cycle
+        if start_cycle is None or end_cycle is None:
+            return None
+        return end_cycle - start_cycle
+
+    def commit_cycle_of(self, pc: int) -> Optional[int]:
+        for cycle, committed_pc in self.commit_cycles:
+            if committed_pc == pc:
+                return cycle
+        return None
+
+
+class Processor:
+    """One simulated out-of-order core instance."""
+
+    def __init__(
+        self,
+        config: CoreConfig,
+        memory: Optional[SimMemory] = None,
+        taint_mode: TaintTrackingMode = TaintTrackingMode.NONE,
+        diff_oracle: Optional[DiffOracle] = None,
+        trap_vector: Optional[int] = None,
+    ) -> None:
+        self.config = config
+        self.memory = memory if memory is not None else SimMemory()
+        self.taint = TaintState(mode=taint_mode, diff_oracle=diff_oracle)
+        self.trap_vector = trap_vector
+        self.trap_hook: Optional[TrapHook] = None
+
+        self.rob = ReorderBuffer(config.rob_entries)
+        self.lsu = LoadStoreUnit(
+            config.ldq_entries,
+            config.stq_entries,
+            writeback_port_shared=config.has_bug("spectre-reload"),
+        )
+        self.predictors = BranchPredictorUnit.from_config(config)
+        self.hierarchy = MemoryHierarchy.from_config(config)
+        self.tlb = Tlb(config.tlb_entries, miss_latency=config.tlb_miss_latency)
+        self.ports = ExecutionPorts(config)
+
+        self.registers: List[int] = [0] * 32
+        self.trace = TraceLog()
+
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.fetch_stall_until = 0
+        self.fetch_serialized = False
+        self.committed_instructions = 0
+        self.commit_cycles: List[Tuple[int, int]] = []
+        self._fetch_source: Optional[FetchSource] = None
+        self._last_writer: Dict[int, int] = {}
+        self._results: Dict[int, Tuple[int, bool]] = {}
+        self._halt_reason: Optional[str] = None
+        self._stop_pcs: Set[int] = set()
+        # Phantom-BTB (B3) race bookkeeping: the cycle and corrected target of
+        # the most recent indirect-jump misprediction resolution.
+        self._indirect_correction: Optional[Tuple[int, int, bool]] = None
+
+    # -- program / memory setup ---------------------------------------------------------
+
+    def set_fetch_source(self, source: FetchSource) -> None:
+        self._fetch_source = source
+
+    def load_program(self, program: Program, map_pages: bool = True) -> None:
+        """Fetch instructions from a static program image (no swapMem)."""
+        if map_pages:
+            for section in program.sections:
+                self.memory.map_range(section.base, max(section.size, 4))
+        self.set_fetch_source(program.instruction_at)
+        if program.entry is not None:
+            self.fetch_pc = program.entry
+
+    def write_register(self, index: int, value: int, tainted: bool = False) -> None:
+        if index != 0:
+            self.registers[index] = to_unsigned(value, 64)
+            self.taint.set_register_taint(index, tainted)
+
+    def read_register(self, index: int) -> int:
+        return 0 if index == 0 else self.registers[index]
+
+    # -- main loop ------------------------------------------------------------------------
+
+    def run(
+        self,
+        max_cycles: int = 2000,
+        stop_pcs: Optional[Set[int]] = None,
+        max_commits: Optional[int] = None,
+    ) -> SimulationOutcome:
+        """Run until a stop PC commits, the commit budget is reached, or timeout."""
+        self._stop_pcs = stop_pcs or set()
+        self._halt_reason = None
+        target_commits = max_commits if max_commits is not None else float("inf")
+        start_cycle = self.cycle
+        while self.cycle - start_cycle < max_cycles:
+            self.step_cycle()
+            if self._halt_reason is not None:
+                break
+            if self.committed_instructions >= target_commits:
+                self._halt_reason = "max_commits"
+                break
+        return SimulationOutcome(
+            cycles=self.cycle - start_cycle,
+            committed_instructions=self.committed_instructions,
+            trace=self.trace,
+            taint=self.taint,
+            halted_on=self._halt_reason or "max_cycles",
+            commit_cycles=list(self.commit_cycles),
+            contention=self._contention_summary(),
+            side_channel_fingerprint=self.side_channel_fingerprint(),
+        )
+
+    def step_cycle(self) -> None:
+        """Advance the pipeline by one clock cycle."""
+        self.cycle += 1
+        self.hierarchy.cycle = self.cycle
+        # Control-flow resolution runs before commit: a mispredicted branch
+        # must squash its wrong path before younger entries can retire.
+        self._resolve_stage()
+        self._commit_stage()
+        if self._halt_reason is not None:
+            self._record_census()
+            return
+        self._execute_stage()
+        self._fetch_stage()
+        self.ports.drop_usage_before(self.cycle)
+        self._record_census()
+
+    # -- commit stage ------------------------------------------------------------------------
+
+    def _commit_stage(self) -> None:
+        for _ in range(self.config.commit_width):
+            head = self.rob.head()
+            if head is None:
+                return
+            if head.head_arrival_cycle is None:
+                head.head_arrival_cycle = self.cycle
+            if not head.is_ready_to_commit(self.cycle, self.config.exception_commit_delay):
+                return
+            if head.exception is not None:
+                self._commit_exception(head)
+                return
+            self._commit_instruction(head)
+
+    def _commit_instruction(self, entry: RobEntry) -> None:
+        instruction = entry.instruction
+        self.rob.pop_head()
+        entry.committed = True
+        self.trace.record_commit(
+            RobCommitEvent(
+                cycle=self.cycle,
+                rob_index=0,
+                sequence=entry.sequence,
+                pc=entry.pc,
+                mnemonic=instruction.mnemonic,
+            )
+        )
+        self.commit_cycles.append((self.cycle, entry.pc))
+        self.committed_instructions += 1
+
+        if entry.dest_reg is not None:
+            self.registers[entry.dest_reg] = entry.result
+            self.taint.set_register_taint(entry.dest_reg, entry.result_tainted)
+        if instruction.is_store and entry.effective_address is not None:
+            committed = self.lsu.commit_store(entry.sequence)
+            nbytes = instruction.info.mem_bytes
+            value = committed.value if committed is not None else entry.store_value
+            self.memory.write(entry.effective_address, value, nbytes)
+            self.taint.taint_memory_write(entry.effective_address, nbytes, entry.result_tainted)
+        if instruction.is_load:
+            self.lsu.retire_load(entry.sequence)
+        if instruction.is_control_flow:
+            self._train_predictors_at_commit(entry)
+        if instruction.mnemonic == "fence.i":
+            self.hierarchy.flush_icache()
+        if entry.pc in self._stop_pcs:
+            self._halt_reason = "stop_pc"
+
+    def _commit_exception(self, entry: RobEntry) -> None:
+        cause = entry.exception
+        self.trace.record_trap(
+            TrapCommitEvent(
+                cycle=self.cycle,
+                sequence=entry.sequence,
+                pc=entry.pc,
+                cause=cause.value,
+                tval=entry.exception_tval,
+            )
+        )
+        # Phantom-BTB (B3): if an indirect-jump misprediction correction landed
+        # in this same cycle, the buggy core applies it to the excepting PC.
+        if self.config.has_bug("phantom-btb") and self._indirect_correction is not None:
+            correction_cycle, corrected_target, corrected_tainted = self._indirect_correction
+            if correction_cycle == self.cycle:
+                self.predictors.btb.install(entry.pc, corrected_target, tainted=corrected_tainted)
+
+        squashed = self.rob.remove_all()
+        self._record_squash(SquashReason.EXCEPTION, entry, squashed)
+        self._apply_squash_control_taint(squashed, extra_tainted=False)
+        self.lsu.squash_all()
+        self._rebuild_last_writers()
+        self.fetch_serialized = False
+
+        redirect_target: Optional[int] = None
+        if self.trap_hook is not None:
+            redirect_target = self.trap_hook(cause, entry.pc, entry.exception_tval)
+        elif self.trap_vector is not None:
+            redirect_target = self.trap_vector
+        if redirect_target is None:
+            self._halt_reason = f"trap:{cause.value}"
+            return
+        self._redirect_fetch(redirect_target, f"trap:{cause.value}", entry.pc)
+
+    def _train_predictors_at_commit(self, entry: RobEntry) -> None:
+        instruction = entry.instruction
+        tainted = entry.sources_tainted
+        if instruction.is_branch:
+            taken = entry.actual_next_pc != entry.pc + 4
+            self.predictors.bht.train(entry.pc, taken, tainted=tainted)
+            self.predictors.loop.train(entry.pc, taken, tainted=tainted)
+            if taken:
+                self.predictors.btb.install(entry.pc, entry.actual_next_pc, tainted=tainted)
+        elif instruction.is_indirect_jump and not instruction.is_return:
+            self.predictors.btb.install(entry.pc, entry.actual_next_pc, tainted=tainted)
+
+    # -- resolve stage -----------------------------------------------------------------------
+
+    def _resolve_stage(self) -> None:
+        for entry in list(self.rob.entries):
+            if not entry.executed or entry.complete_cycle is None or entry.complete_cycle > self.cycle:
+                continue
+            if entry.instruction.is_control_flow and not entry.mispredicted:
+                self._resolve_control_flow(entry)
+            if self._halt_reason is not None:
+                return
+
+    def _resolve_control_flow(self, entry: RobEntry) -> None:
+        if entry.actual_next_pc is None or entry.exception is not None:
+            return
+        if entry.actual_next_pc == entry.predicted_next_pc:
+            return
+        entry.mispredicted = True
+        instruction = entry.instruction
+        if instruction.is_return:
+            reason = SquashReason.RETURN_MISPREDICTION
+        elif instruction.is_indirect_jump:
+            reason = SquashReason.INDIRECT_MISPREDICTION
+        else:
+            reason = SquashReason.BRANCH_MISPREDICTION
+
+        tainted = entry.sources_tainted
+        propagate = self.taint.control_event(
+            kind="redirect",
+            key=(entry.sequence,),
+            value=entry.actual_next_pc,
+            tainted=tainted,
+            cycle=self.cycle,
+        )
+        squashed = self.rob.remove_younger_than(entry.sequence)
+        self._record_squash(reason, entry, squashed)
+        self._apply_squash_control_taint(squashed, extra_tainted=propagate)
+        self.lsu.squash_younger_than(entry.sequence)
+        self._rebuild_last_writers()
+
+        if entry.ras_snapshot is not None:
+            self.predictors.ras.restore(entry.ras_snapshot)
+        if instruction.is_indirect_jump and not instruction.is_return:
+            self._indirect_correction = (self.cycle, entry.actual_next_pc, tainted)
+            self.predictors.btb.install(entry.pc, entry.actual_next_pc, tainted=tainted)
+
+        redirect_cycle_penalty = self.config.misprediction_penalty
+        self._redirect_fetch(entry.actual_next_pc, reason.value, entry.pc, redirect_cycle_penalty)
+
+    def _record_squash(self, reason: SquashReason, trigger: RobEntry, squashed: List[RobEntry]) -> None:
+        self.trace.record_squash(
+            RobSquashEvent(
+                cycle=self.cycle,
+                reason=reason,
+                trigger_sequence=trigger.sequence,
+                trigger_pc=trigger.pc,
+                squashed_sequences=tuple(entry.sequence for entry in squashed),
+            )
+        )
+
+    def _apply_squash_control_taint(self, squashed: List[RobEntry], extra_tainted: bool) -> None:
+        """Model the RoB-rollback control-taint behaviour of §2.2.
+
+        When tainted state is in flight during a squash, CellIFT taints every
+        RoB entry field (and downstream rename/frontend state) because the
+        tail-pointer movement is tainted.  diffIFT only does so when the
+        differential oracle confirms the squash decision actually diverged
+        between the two instances.
+        """
+        had_tainted_inflight = any(entry.result_tainted or entry.sources_tainted for entry in squashed)
+        if not had_tainted_inflight:
+            return
+        propagate = self.taint.control_event(
+            kind="rollback",
+            key=(squashed[0].sequence if squashed else -1,),
+            value=len(squashed),
+            tainted=True,
+            cycle=self.cycle,
+        )
+        if propagate or extra_tainted:
+            if self.taint.mode is TaintTrackingMode.CELLIFT:
+                # Whole-structure explosion: every RoB field register, the
+                # rename map and the frontend become tainted and stay tainted.
+                self.taint.add_control_overlay("rob", self.config.rob_entries)
+                self.taint.add_control_overlay("regfile", 32)
+                self.taint.add_control_overlay("bht", self.config.predictors.bht_entries)
+                self.taint.add_control_overlay("btb", self.config.predictors.btb_entries)
+                self.taint.add_control_overlay("ldq", self.config.ldq_entries)
+                self.taint.add_control_overlay("stq", self.config.stq_entries)
+                self.taint.add_control_overlay("dcache", self.config.dcache.sets)
+            else:
+                # diffIFT: the divergence is real but bounded — only the
+                # squashed entries' worth of state is marked.
+                self.taint.add_control_overlay("rob", len(squashed))
+
+    def _redirect_fetch(self, target: int, reason: str, source_pc: int, penalty: Optional[int] = None) -> None:
+        self.trace.record_redirect(
+            RedirectEvent(cycle=self.cycle, source_pc=source_pc, target_pc=target, reason=reason)
+        )
+        self.fetch_pc = target
+        stall = self.cycle + (penalty if penalty is not None else self.config.misprediction_penalty)
+        if self.config.has_bug("spectre-refetch"):
+            # The fetch unit stays busy with the (now useless) transient
+            # instruction-cache miss: do not cancel the outstanding stall.
+            self.fetch_stall_until = max(self.fetch_stall_until, stall)
+        else:
+            self.fetch_stall_until = stall
+        self.fetch_serialized = False
+
+    # -- execute stage ------------------------------------------------------------------------
+
+    def _execute_stage(self) -> None:
+        for entry in list(self.rob.entries):
+            if entry.executed:
+                continue
+            if not self._operands_ready(entry):
+                continue
+            grant = self.ports.request(entry.instruction, self.cycle)
+            if not grant.granted:
+                continue
+            self._execute_entry(entry)
+            if self._halt_reason is not None:
+                return
+
+    def _operands_ready(self, entry: RobEntry) -> bool:
+        for source in entry.instruction.reads():
+            if source == 0:
+                continue
+            producer = getattr(entry, "_producers", {}).get(source)
+            if producer is None:
+                continue
+            if producer not in self._results:
+                return False
+            producing_entry = self.rob.find(producer)
+            if producing_entry is not None and (
+                not producing_entry.executed
+                or producing_entry.complete_cycle is None
+                or producing_entry.complete_cycle > self.cycle
+            ):
+                return False
+        return True
+
+    def _operand_value(self, entry: RobEntry, source: int) -> Tuple[int, bool]:
+        if source == 0:
+            return 0, False
+        producer = getattr(entry, "_producers", {}).get(source)
+        if producer is not None and producer in self._results:
+            return self._results[producer]
+        return self.registers[source], self.taint.register_is_tainted(source)
+
+    def _execute_entry(self, entry: RobEntry) -> None:
+        instruction = entry.instruction
+        rs1_value, rs1_tainted = self._operand_value(entry, instruction.rs1)
+        rs2_value, rs2_tainted = self._operand_value(entry, instruction.rs2)
+        sources_tainted = (rs1_tainted and instruction.info.reads_rs1) or (
+            rs2_tainted and instruction.info.reads_rs2
+        )
+        entry.sources_tainted = sources_tainted
+        entry.dispatch_cycle = self.cycle
+        latency = base_latency(instruction, self.config)
+
+        if instruction.is_illegal:
+            entry.exception = TrapCause.ILLEGAL_INSTRUCTION
+            entry.result = 0
+        elif instruction.mnemonic == "ecall":
+            entry.exception = TrapCause.ECALL
+        elif instruction.mnemonic == "ebreak":
+            entry.exception = TrapCause.BREAKPOINT
+        elif instruction.is_load:
+            latency = self._execute_load(entry, instruction, rs1_value, rs1_tainted)
+        elif instruction.is_store:
+            latency = self._execute_store(entry, instruction, rs1_value, rs2_value, rs1_tainted, rs2_tainted)
+        elif instruction.is_control_flow:
+            entry.result = compute_alu(instruction, rs1_value, rs2_value, entry.pc)
+            entry.actual_next_pc = next_pc(instruction, entry.pc, rs1_value, rs2_value)
+            if sources_tainted:
+                self.taint.control_event(
+                    kind="branch_target",
+                    key=(entry.sequence,),
+                    value=entry.actual_next_pc,
+                    tainted=True,
+                    cycle=self.cycle,
+                )
+        else:
+            entry.result = compute_alu(instruction, rs1_value, rs2_value, entry.pc)
+            entry.actual_next_pc = entry.pc + 4
+
+        if is_divider_op(instruction) and entry.exception is None:
+            start = self.ports.claim_divider(
+                self.cycle, latency, floating_point=instruction.iclass is InstructionClass.FP_DIV
+            )
+            latency += start - self.cycle
+
+        entry.result_tainted = sources_tainted or entry.result_tainted
+        entry.executed = True
+        entry.complete_cycle = self.cycle + max(latency, 1)
+        if instruction.writes() is not None:
+            entry.dest_reg = instruction.writes()
+            self._results[entry.sequence] = (entry.result, entry.result_tainted)
+        if entry.result_tainted or entry.sources_tainted:
+            self.rob.mark_tainted(entry.sequence)
+
+    # -- memory execution ------------------------------------------------------------------------
+
+    def _translate(self, address: int, tainted_address: bool) -> int:
+        result = self.tlb.access(address, tainted=tainted_address)
+        return result.latency
+
+    def _check_memory_exception(self, address: int, nbytes: int, is_store: bool) -> Optional[TrapCause]:
+        if address >= (1 << PHYSICAL_ADDRESS_BITS):
+            return TrapCause.STORE_ACCESS_FAULT if is_store else TrapCause.LOAD_ACCESS_FAULT
+        if not is_aligned(address, nbytes):
+            return TrapCause.MISALIGNED_STORE if is_store else TrapCause.MISALIGNED_LOAD
+        permission = self.memory.permission_at(address)
+        if permission is None:
+            return TrapCause.STORE_ACCESS_FAULT if is_store else TrapCause.LOAD_ACCESS_FAULT
+        needed = Permission.WRITE if is_store else Permission.READ
+        if not permission & needed:
+            return TrapCause.STORE_PAGE_FAULT if is_store else TrapCause.LOAD_PAGE_FAULT
+        return None
+
+    def _execute_load(
+        self, entry: RobEntry, instruction: Instruction, rs1_value: int, rs1_tainted: bool
+    ) -> int:
+        address = effective_address(instruction, rs1_value)
+        nbytes = instruction.info.mem_bytes
+        entry.effective_address = address
+        entry.address_tainted = rs1_tainted
+        exception = self._check_memory_exception(address, nbytes, is_store=False)
+
+        access_address = address
+        data_available = exception is None
+        if exception is not None:
+            entry.exception = exception
+            entry.exception_tval = address
+            if exception in (TrapCause.LOAD_PAGE_FAULT, TrapCause.MISALIGNED_LOAD):
+                # Classic Meltdown behaviour on both cores: the faulting load
+                # still forwards the data it read to dependent instructions.
+                data_available = self.memory.is_mapped(address)
+            elif exception is TrapCause.LOAD_ACCESS_FAULT and self.config.has_bug("meltdown-sampling"):
+                # B1: the illegal high address is truncated on the way to the
+                # load unit, sampling an attacker-chosen valid location.
+                access_address = address & mask(TRUNCATED_ADDRESS_BITS)
+                data_available = self.memory.is_mapped(access_address)
+
+        # Secret taint: the data itself is tainted when it comes from a
+        # tainted address range.
+        data_tainted = data_available and self.taint.address_tainted(access_address, nbytes)
+        # Address taint: under diffIFT the dcache set-index only becomes a
+        # control taint when the two instances touch different sets.
+        set_index = (access_address // self.config.dcache.line_bytes) % self.config.dcache.sets
+        address_taint_propagates = False
+        if rs1_tainted:
+            address_taint_propagates = self.taint.control_event(
+                kind="dcache_set",
+                key=(entry.sequence,),
+                value=set_index,
+                tainted=True,
+                cycle=self.cycle,
+            )
+
+        latency = self._translate(access_address, rs1_tainted and address_taint_propagates)
+        line_tainted = data_tainted or address_taint_propagates
+        if data_available or exception is None:
+            cache_result = self.hierarchy.data_access(access_address, tainted=line_tainted)
+            latency += cache_result.latency
+        else:
+            latency += self.config.dcache.hit_latency
+
+        forwarded = self.lsu.forward_for_load(entry.sequence, address, nbytes)
+        if forwarded is not None and exception is None:
+            value = forwarded.value
+            value_tainted = forwarded.tainted
+            entry.result_tainted = value_tainted
+            forwarded_from = forwarded.sequence
+        else:
+            value = self.memory.read(access_address, nbytes) if data_available else 0
+            value_tainted = data_tainted
+            forwarded_from = None
+        if not instruction.info.is_unsigned_load and data_available:
+            value = sign_extend(value, nbytes * 8, 64)
+
+        entry.result = to_unsigned(value, 64)
+        entry.result_tainted = entry.result_tainted or value_tainted or rs1_tainted
+        entry.actual_next_pc = entry.pc + 4
+        self.lsu.record_load(
+            sequence=entry.sequence,
+            address=address,
+            nbytes=nbytes,
+            cycle=self.cycle,
+            tainted_address=rs1_tainted,
+            forwarded_from_store=forwarded_from,
+        )
+        # Spectre-Reload (B5): completions serialize on the shared write-back port.
+        writeback_cycle = self.lsu.schedule_writeback(self.cycle + latency)
+        return writeback_cycle - self.cycle
+
+    def _execute_store(
+        self,
+        entry: RobEntry,
+        instruction: Instruction,
+        rs1_value: int,
+        rs2_value: int,
+        rs1_tainted: bool,
+        rs2_tainted: bool,
+    ) -> int:
+        address = effective_address(instruction, rs1_value)
+        nbytes = instruction.info.mem_bytes
+        entry.effective_address = address
+        entry.address_tainted = rs1_tainted
+        entry.store_value = to_unsigned(rs2_value, nbytes * 8)
+        entry.result_tainted = rs2_tainted
+        entry.actual_next_pc = entry.pc + 4
+        exception = self._check_memory_exception(address, nbytes, is_store=True)
+        if exception is not None:
+            entry.exception = exception
+            entry.exception_tval = address
+            return self.config.alu_latency
+
+        latency = self._translate(address, rs1_tainted)
+        self.lsu.allocate_store(entry.sequence)
+        self.lsu.resolve_store(entry.sequence, address, nbytes, entry.store_value, rs2_tainted)
+
+        violating = self.lsu.check_ordering_violation(entry.sequence, address, nbytes)
+        if violating is not None:
+            self._memory_disambiguation_squash(entry, violating.sequence)
+        return latency + self.config.dcache.hit_latency
+
+    def _memory_disambiguation_squash(self, store_entry: RobEntry, violating_sequence: int) -> None:
+        violating_entry = self.rob.find(violating_sequence)
+        if violating_entry is None:
+            return
+        propagate = self.taint.control_event(
+            kind="mem_disamb",
+            key=(store_entry.sequence,),
+            value=violating_sequence,
+            tainted=store_entry.result_tainted or violating_entry.result_tainted,
+            cycle=self.cycle,
+        )
+        squashed = self.rob.remove_younger_than(violating_sequence - 1)
+        self._record_squash(SquashReason.MEMORY_DISAMBIGUATION, store_entry, squashed)
+        self._apply_squash_control_taint(squashed, extra_tainted=propagate)
+        self.lsu.squash_younger_than(violating_sequence - 1)
+        self._rebuild_last_writers()
+        self._redirect_fetch(violating_entry.pc, SquashReason.MEMORY_DISAMBIGUATION.value, store_entry.pc)
+
+    # -- fetch stage ----------------------------------------------------------------------------
+
+    def _fetch_stage(self) -> None:
+        if self._fetch_source is None:
+            return
+        if self.cycle < self.fetch_stall_until:
+            return
+        if self.fetch_serialized:
+            return
+        fetched = 0
+        while fetched < self.config.fetch_width and not self.rob.is_full:
+            instruction = self._fetch_source(self.fetch_pc)
+            if instruction is None:
+                return
+            icache_result = self.hierarchy.instruction_access(self.fetch_pc)
+            if not icache_result.hit:
+                self.fetch_stall_until = self.cycle + icache_result.latency
+            entry = self._dispatch(instruction)
+            fetched += 1
+            if self.fetch_serialized:
+                break
+            if not icache_result.hit:
+                break
+            if entry.exception is not None and entry.instruction.is_illegal:
+                break
+
+    def _dispatch(self, instruction: Instruction) -> RobEntry:
+        sequence = self.rob.allocate_sequence()
+        predicted_next_pc, ras_snapshot = self._predict(instruction, self.fetch_pc)
+        entry = RobEntry(
+            sequence=sequence,
+            pc=self.fetch_pc,
+            instruction=instruction,
+            fetch_cycle=self.cycle,
+            predicted_next_pc=predicted_next_pc,
+            ras_snapshot=ras_snapshot,
+        )
+        producers: Dict[int, int] = {}
+        for source in instruction.reads():
+            if source != 0 and source in self._last_writer:
+                producers[source] = self._last_writer[source]
+        entry._producers = producers  # type: ignore[attr-defined]
+        self.rob.enqueue(entry)
+        self.trace.record_enqueue(
+            RobEnqueueEvent(
+                cycle=self.cycle,
+                rob_index=len(self.rob) - 1,
+                sequence=sequence,
+                pc=self.fetch_pc,
+                mnemonic=instruction.mnemonic,
+            )
+        )
+        if instruction.writes() is not None:
+            self._last_writer[instruction.writes()] = sequence
+        if instruction.is_illegal and not self.config.illegal_instruction_opens_window:
+            # The frontend refuses to speculate past an illegal instruction
+            # (BOOM behaviour): no transient window opens.
+            entry.exception = TrapCause.ILLEGAL_INSTRUCTION
+            entry.executed = True
+            entry.complete_cycle = self.cycle + 1
+            self.fetch_serialized = True
+        if instruction.mnemonic in ("ecall", "ebreak", "mret", "fence", "fence.i"):
+            # System instructions serialize the frontend: fetch does not run
+            # past them until they resolve (redirect or trap).
+            self.fetch_serialized = True
+        self.fetch_pc = predicted_next_pc
+        return entry
+
+    def _predict(self, instruction: Instruction, pc: int) -> Tuple[int, Optional[object]]:
+        """Predict the next fetch PC and capture a RAS snapshot when needed."""
+        snapshot = None
+        if instruction.is_branch:
+            target = to_unsigned(pc + to_signed(instruction.imm, 64), 64)
+            loop_prediction = self.predictors.loop.predict(pc)
+            if loop_prediction is not None:
+                taken = loop_prediction
+            else:
+                taken = self.predictors.bht.predict(pc).taken
+            return (target if taken else pc + 4), None
+        if instruction.mnemonic == "jal":
+            target = to_unsigned(pc + to_signed(instruction.imm, 64), 64)
+            if instruction.rd == 1:
+                snapshot = self.predictors.ras.snapshot()
+                if self.config.speculative_ras_update:
+                    self.predictors.ras.push(pc + 4)
+            return target, snapshot
+        if instruction.is_indirect_jump:
+            snapshot = self.predictors.ras.snapshot()
+            if instruction.is_return:
+                if self.config.speculative_ras_update:
+                    predicted = self.predictors.ras.pop()
+                else:
+                    predicted = self.predictors.ras.peek()
+                return predicted, snapshot
+            btb_prediction = self.predictors.btb.predict(pc)
+            if instruction.rd == 1 and self.config.speculative_ras_update:
+                self.predictors.ras.push(pc + 4)
+            if btb_prediction.hit and btb_prediction.target is not None:
+                return btb_prediction.target, snapshot
+            return pc + 4, snapshot
+        return pc + 4, snapshot
+
+    # -- bookkeeping --------------------------------------------------------------------------------
+
+    def _rebuild_last_writers(self) -> None:
+        self._last_writer = {}
+        for entry in self.rob.entries:
+            destination = entry.instruction.writes()
+            if destination is not None:
+                self._last_writer[destination] = entry.sequence
+
+    def _record_census(self) -> None:
+        if not self.taint.enabled:
+            return
+        counts: Dict[str, int] = {"rob": self.rob.tainted_entry_count()}
+        counts.update(self.hierarchy.tainted_counts())
+        counts["tlb"] = self.tlb.tainted_entry_count()
+        counts.update(self.predictors.tainted_counts())
+        counts.update(self.lsu.tainted_counts())
+        self.taint.record_census(self.cycle, counts)
+
+    def _contention_summary(self) -> Dict[str, int]:
+        summary = dict(self.ports.contention_cycles)
+        summary["lsu_writeback"] = self.lsu.port_contention_cycles
+        return summary
+
+    def side_channel_fingerprint(self) -> Tuple:
+        """Hash-able snapshot of every timing component (SpecDoctor's oracle)."""
+        return (
+            self.hierarchy.state_fingerprint(),
+            self.tlb.state_fingerprint(),
+            self.predictors.state_fingerprint(),
+        )
+
+    # -- convenience -----------------------------------------------------------------------------------
+
+    def mark_secret(self, base: int, size: int) -> None:
+        """Declare a memory region as the sensitive data to be tracked."""
+        self.taint.taint_address_range(base, size)
+
+    def flush_transient_state(self) -> None:
+        """Drop all in-flight state (used by the swap scheduler between packets)."""
+        self.rob.remove_all()
+        self.lsu.squash_all()
+        self._last_writer = {}
+        self._results = {}

@@ -1,0 +1,147 @@
+"""Reorder buffer model."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional, Set
+
+from repro.isa.instructions import Instruction
+from repro.isa.simulator import TrapCause
+
+
+@dataclass
+class RobEntry:
+    """One in-flight instruction."""
+
+    sequence: int
+    pc: int
+    instruction: Instruction
+    fetch_cycle: int
+    predicted_next_pc: int
+    dispatch_cycle: int = -1
+    executed: bool = False
+    complete_cycle: Optional[int] = None
+    result: int = 0
+    actual_next_pc: Optional[int] = None
+    exception: Optional[TrapCause] = None
+    exception_tval: int = 0
+
+    # Rollback support: the destination's previous value and taint.
+    dest_reg: Optional[int] = None
+    old_value: int = 0
+    old_taint: bool = False
+
+    # Memory metadata.
+    effective_address: Optional[int] = None
+    store_value: int = 0
+    address_tainted: bool = False
+
+    # Taint metadata.
+    sources_tainted: bool = False
+    result_tainted: bool = False
+
+    # Control-flow metadata.
+    ras_snapshot: Optional[object] = None
+    mispredicted: bool = False
+
+    squashed: bool = False
+    committed: bool = False
+    # Cycle at which this entry became the RoB head (set by the commit stage);
+    # exception-type transient windows are measured from this point.
+    head_arrival_cycle: Optional[int] = None
+
+    @property
+    def in_flight(self) -> bool:
+        return not self.squashed and not self.committed
+
+    def is_ready_to_commit(self, cycle: int, exception_commit_delay: int) -> bool:
+        if not self.executed or self.complete_cycle is None:
+            return False
+        if self.exception is not None:
+            # The trap is taken at retirement: the faulting instruction must be
+            # the oldest instruction, and the trap pipeline then needs
+            # ``exception_commit_delay`` cycles before the flush — that is the
+            # transient window younger instructions execute in.
+            if self.head_arrival_cycle is None:
+                return False
+            return cycle >= max(self.complete_cycle, self.head_arrival_cycle + exception_commit_delay)
+        return cycle >= self.complete_cycle
+
+
+class ReorderBuffer:
+    """A bounded in-order list of in-flight instructions."""
+
+    def __init__(self, capacity: int) -> None:
+        self.capacity = capacity
+        self.entries: List[RobEntry] = []
+        self.tainted_entries: Set[int] = set()
+        self._next_sequence = 0
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    @property
+    def is_full(self) -> bool:
+        return len(self.entries) >= self.capacity
+
+    @property
+    def is_empty(self) -> bool:
+        return not self.entries
+
+    def allocate_sequence(self) -> int:
+        sequence = self._next_sequence
+        self._next_sequence += 1
+        return sequence
+
+    def enqueue(self, entry: RobEntry) -> RobEntry:
+        if self.is_full:
+            raise RuntimeError("RoB overflow: caller must check is_full before enqueueing")
+        self.entries.append(entry)
+        return entry
+
+    def head(self) -> Optional[RobEntry]:
+        return self.entries[0] if self.entries else None
+
+    def pop_head(self) -> RobEntry:
+        return self.entries.pop(0)
+
+    def younger_than(self, sequence: int) -> List[RobEntry]:
+        return [entry for entry in self.entries if entry.sequence > sequence]
+
+    def remove_younger_than(self, sequence: int) -> List[RobEntry]:
+        """Remove and return all entries younger than ``sequence`` (exclusive)."""
+        squashed = [entry for entry in self.entries if entry.sequence > sequence]
+        self.entries = [entry for entry in self.entries if entry.sequence <= sequence]
+        for entry in squashed:
+            entry.squashed = True
+            self.tainted_entries.discard(entry.sequence)
+        return squashed
+
+    def remove_all(self) -> List[RobEntry]:
+        squashed = self.entries
+        self.entries = []
+        for entry in squashed:
+            entry.squashed = True
+        self.tainted_entries = set()
+        return squashed
+
+    def mark_tainted(self, sequence: int) -> None:
+        self.tainted_entries.add(sequence)
+
+    def taint_all_inflight(self) -> None:
+        """Taint every in-flight entry (the CellIFT rollback explosion)."""
+        for entry in self.entries:
+            self.tainted_entries.add(entry.sequence)
+
+    def tainted_entry_count(self) -> int:
+        inflight = {entry.sequence for entry in self.entries}
+        return len(self.tainted_entries & inflight)
+
+    def occupancy(self) -> int:
+        return len(self.entries)
+
+    def find(self, sequence: int) -> Optional[RobEntry]:
+        for entry in self.entries:
+            if entry.sequence == sequence:
+                return entry
+        return None

@@ -1,0 +1,224 @@
+"""Module-granular taint tracking for the processor model.
+
+The processor tracks how secret data (initially resident at tainted memory
+addresses) propagates into architectural registers, in-flight RoB entries,
+caches, TLB, predictors, the line-fill buffer and the load/store queues.
+
+Data taints always propagate (operands → results, tainted addresses → touched
+cache lines).  Control taints — the taints produced when a *decision* depends
+on a secret (a squash of tainted in-flight state, a secret-dependent branch
+redirect, a secret-indexed replacement decision) — are propagated according to
+the configured mode, mirroring the circuit-level policies:
+
+* ``CELLIFT``: control taints always propagate; a rollback with tainted
+  in-flight state therefore taints entire structures (the taint explosion of
+  §2.2 / Figure 6).
+* ``DIFFIFT``: control taints only propagate when the differential oracle
+  reports that the two DUT instances actually diverged on that decision
+  (Table 1's ``*_diff`` gating).
+* ``NONE``: no taint is tracked at all (the un-instrumented "Base" rows of
+  Table 4).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Set, Tuple
+
+from repro.uarch.config import TaintTrackingMode
+
+# Bit-weights used when converting tainted elements into tainted state bits,
+# so the taint-sum curves are comparable with the paper's register-bit counts.
+BIT_WEIGHTS: Dict[str, int] = {
+    "regfile": 64,
+    "rob": 32,
+    "dcache": 512,
+    "icache": 512,
+    "l2": 512,
+    "tlb": 64,
+    "bht": 2,
+    "btb": 64,
+    "ras": 64,
+    "loop": 16,
+    "lfb": 512,
+    "ldq": 72,
+    "stq": 136,
+    "memory": 64,
+}
+
+
+@dataclass
+class TaintCensus:
+    """Tainted element and bit counts per module at one cycle."""
+
+    cycle: int
+    element_counts: Dict[str, int] = field(default_factory=dict)
+
+    def bit_count(self, module: str) -> int:
+        return self.element_counts.get(module, 0) * BIT_WEIGHTS.get(module, 64)
+
+    def total_elements(self) -> int:
+        return sum(self.element_counts.values())
+
+    def total_bits(self) -> int:
+        return sum(self.bit_count(module) for module in self.element_counts)
+
+    def nonzero_modules(self) -> Dict[str, int]:
+        return {module: count for module, count in self.element_counts.items() if count}
+
+
+@dataclass
+class ControlEvent:
+    """A recorded secret-influenced (or potentially influenced) decision."""
+
+    kind: str
+    key: Tuple
+    value: int
+    tainted: bool
+    cycle: int
+
+
+DiffOracle = Callable[[str, Tuple, int], bool]
+
+
+class TaintState:
+    """Architectural-register and memory taint plus control-taint gating."""
+
+    def __init__(
+        self,
+        mode: TaintTrackingMode = TaintTrackingMode.NONE,
+        diff_oracle: Optional[DiffOracle] = None,
+    ) -> None:
+        self.mode = mode
+        self.diff_oracle = diff_oracle
+        self.register_taint: List[bool] = [False] * 32
+        self.tainted_addresses: Set[int] = set()
+        self.control_log: List[ControlEvent] = []
+        self.census_log: List[TaintCensus] = []
+        # Count of extra structure-wide taints injected by control-taint
+        # explosions (CellIFT mode); keyed by module name.
+        self.control_taint_overlays: Dict[str, int] = {}
+
+    # -- configuration ------------------------------------------------------------
+
+    @property
+    def enabled(self) -> bool:
+        return self.mode is not TaintTrackingMode.NONE
+
+    def reset(self) -> None:
+        self.register_taint = [False] * 32
+        self.tainted_addresses = set()
+        self.control_log = []
+        self.census_log = []
+        self.control_taint_overlays = {}
+
+    # -- data taint ------------------------------------------------------------------
+
+    def taint_address_range(self, base: int, size: int) -> None:
+        """Mark a memory region (the secret) as the taint source."""
+        for offset in range(size):
+            self.tainted_addresses.add(base + offset)
+
+    def address_tainted(self, address: int, nbytes: int = 1) -> bool:
+        return any((address + offset) in self.tainted_addresses for offset in range(nbytes))
+
+    def taint_memory_write(self, address: int, nbytes: int, tainted: bool) -> None:
+        if not self.enabled:
+            return
+        for offset in range(nbytes):
+            if tainted:
+                self.tainted_addresses.add(address + offset)
+            else:
+                self.tainted_addresses.discard(address + offset)
+
+    def set_register_taint(self, index: int, tainted: bool) -> None:
+        if index != 0 and self.enabled:
+            self.register_taint[index] = tainted
+
+    def register_is_tainted(self, index: int) -> bool:
+        return index != 0 and self.register_taint[index]
+
+    def any_register_tainted(self, indices) -> bool:
+        return any(self.register_is_tainted(index) for index in indices)
+
+    def tainted_register_count(self) -> int:
+        return sum(1 for tainted in self.register_taint if tainted)
+
+    # -- control taint ------------------------------------------------------------------
+
+    def control_event(self, kind: str, key: Tuple, value: int, tainted: bool, cycle: int) -> bool:
+        """Record a control decision; return True when control taint must propagate."""
+        self.control_log.append(ControlEvent(kind=kind, key=key, value=value, tainted=tainted, cycle=cycle))
+        if not self.enabled or not tainted:
+            return False
+        if self.mode is TaintTrackingMode.CELLIFT:
+            return True
+        if self.mode is TaintTrackingMode.DIFFIFT:
+            if self.diff_oracle is None:
+                return False
+            return self.diff_oracle(kind, key, value)
+        return False
+
+    def add_control_overlay(self, module: str, elements: int) -> None:
+        """Taint ``elements`` additional elements of ``module`` due to control flow."""
+        if not self.enabled or elements <= 0:
+            return
+        self.control_taint_overlays[module] = self.control_taint_overlays.get(module, 0) + elements
+
+    def clear_control_overlay(self, module: Optional[str] = None) -> None:
+        if module is None:
+            self.control_taint_overlays = {}
+        else:
+            self.control_taint_overlays.pop(module, None)
+
+    # -- census --------------------------------------------------------------------------
+
+    def record_census(self, cycle: int, component_counts: Dict[str, int]) -> TaintCensus:
+        """Combine component-reported counts with overlays and archive them."""
+        counts = dict(component_counts)
+        counts["regfile"] = self.tainted_register_count()
+        counts["memory"] = 0  # architectural memory taint is the source, not coverage
+        for module, extra in self.control_taint_overlays.items():
+            counts[module] = counts.get(module, 0) + extra
+        census = TaintCensus(cycle=cycle, element_counts=counts)
+        self.census_log.append(census)
+        return census
+
+    def taint_sum_series(self) -> List[int]:
+        """Tainted state bits per recorded cycle (the Figure 6 y-axis)."""
+        return [census.total_bits() for census in self.census_log]
+
+    def final_census(self) -> Optional[TaintCensus]:
+        return self.census_log[-1] if self.census_log else None
+
+    def max_taint_bits(self) -> int:
+        return max((census.total_bits() for census in self.census_log), default=0)
+
+    # -- differential support ------------------------------------------------------------------
+
+    def control_events_by_key(self) -> Dict[Tuple, ControlEvent]:
+        index: Dict[Tuple, ControlEvent] = {}
+        for event in self.control_log:
+            index[(event.kind,) + event.key] = event
+        return index
+
+
+def make_peer_diff_oracle(peer: TaintState) -> DiffOracle:
+    """Build a diff oracle that compares control values against a peer instance.
+
+    The peer instance must have already executed the same stimulus (the
+    differential testbench runs the secondary DUT first); decisions are keyed
+    by the dynamic instruction sequence number, which is identical across the
+    two instances because they fetch the same instruction stream.
+    """
+    peer_events = peer.control_events_by_key()
+
+    def oracle(kind: str, key: Tuple, value: int) -> bool:
+        event = peer_events.get((kind,) + key)
+        if event is None:
+            # The peer never reached this decision: the divergence itself is a
+            # difference, so control taint may propagate.
+            return True
+        return event.value != value
+
+    return oracle

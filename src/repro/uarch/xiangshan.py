@@ -1,0 +1,64 @@
+"""The XiangShan-MinimalConfig-like core configuration (Table 2, right column)."""
+
+from __future__ import annotations
+
+from repro.uarch.bugs import default_bug_set
+from repro.uarch.config import CacheConfig, CoreConfig, PredictorConfig
+
+
+def xiangshan_minimal_config(
+    enable_bugs: bool = True,
+    taint_annotations: bool = True,
+) -> CoreConfig:
+    """A configuration modelled on XiangShan MinimalConfig.
+
+    XiangShan is the wider, deeper core of the two: larger ROB and queues,
+    wider fetch/commit, and a bigger predictor complex.  Its quirks relevant
+    to the paper:
+
+    * illegal instructions are resolved at commit, so they do open transient
+      windows (the Illegal column of Table 3 and Table 5);
+    * the load path truncates illegal high addresses (MeltDown-Sampling, B1);
+    * fetch keeps servicing transient I-cache misses after squash
+      (Spectre-Refetch, B4);
+    * the load pipeline and load queue share a write-back port
+      (Spectre-Reload, B5).
+    """
+    bugs = default_bug_set("xiangshan") if enable_bugs else frozenset()
+    return CoreConfig(
+        name="xiangshan-minimal",
+        isa="RV64GC",
+        fetch_width=4,
+        decode_width=4,
+        commit_width=4,
+        rob_entries=64,
+        ldq_entries=16,
+        stq_entries=16,
+        int_issue_ports=4,
+        mem_issue_ports=2,
+        fp_issue_ports=2,
+        alu_latency=1,
+        mul_latency=3,
+        div_latency=10,
+        fp_latency=3,
+        fp_div_latency=14,
+        misprediction_penalty=9,
+        # Trap-pipeline latency between the faulting instruction reaching the
+        # RoB head and the flush: the length of exception-type windows.
+        exception_commit_delay=46,
+        icache=CacheConfig(sets=128, ways=4, line_bytes=64, hit_latency=1, miss_latency=26),
+        dcache=CacheConfig(sets=128, ways=4, line_bytes=64, hit_latency=3, miss_latency=28),
+        l2_present=True,
+        l2_extra_latency=24,
+        tlb_entries=32,
+        tlb_miss_latency=16,
+        mshr_entries=8,
+        predictors=PredictorConfig(
+            bht_entries=256, btb_entries=64, ras_entries=16, loop_entries=32
+        ),
+        illegal_instruction_opens_window=True,
+        speculative_ras_update=True,
+        bugs=bugs,
+        verilog_loc=893_000,
+        annotation_loc=592 if taint_annotations else 0,
+    )

@@ -1,0 +1,30 @@
+"""Shared utilities: bit manipulation, deterministic RNG streams, logging."""
+
+from repro.utils.bitops import (
+    bit,
+    bits,
+    mask,
+    sign_extend,
+    to_signed,
+    to_unsigned,
+    popcount,
+    align_down,
+    align_up,
+    is_aligned,
+)
+from repro.utils.rng import DeterministicRng, split_rng
+
+__all__ = [
+    "bit",
+    "bits",
+    "mask",
+    "sign_extend",
+    "to_signed",
+    "to_unsigned",
+    "popcount",
+    "align_down",
+    "align_up",
+    "is_aligned",
+    "DeterministicRng",
+    "split_rng",
+]

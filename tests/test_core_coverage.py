@@ -1,0 +1,86 @@
+"""Tests for the taint coverage matrix and the feedback rule."""
+
+from repro.core.coverage import CoverageFeedback, CoveragePoint, TaintCoverageMatrix
+from repro.uarch.taint import TaintCensus
+
+
+def census(cycle, **counts):
+    return TaintCensus(cycle=cycle, element_counts=dict(counts))
+
+
+class TestTaintCoverageMatrix:
+    def test_new_points_counted_once(self):
+        matrix = TaintCoverageMatrix()
+        assert matrix.observe_census(census(0, dcache=2, rob=1)) == 2
+        assert matrix.observe_census(census(1, dcache=2, rob=1)) == 0
+        assert len(matrix) == 2
+
+    def test_position_insensitivity_by_count(self):
+        """Encoding into a different slot of the same structure is not new coverage."""
+        matrix = TaintCoverageMatrix()
+        matrix.observe_census(census(0, dcache=1))
+        # A different line tainted but still exactly one tainted entry: same point.
+        assert matrix.observe_census(census(1, dcache=1)) == 0
+        # Two tainted entries is a new propagation depth: new point.
+        assert matrix.observe_census(census(2, dcache=2)) == 1
+
+    def test_locality_per_module(self):
+        matrix = TaintCoverageMatrix()
+        matrix.observe_census(census(0, dcache=1))
+        assert matrix.observe_census(census(1, tlb=1)) == 1
+        assert matrix.per_module_counts() == {"dcache": 1, "tlb": 1}
+
+    def test_zero_counts_ignored(self):
+        matrix = TaintCoverageMatrix()
+        assert matrix.observe_census(census(0, dcache=0)) == 0
+        assert len(matrix) == 0
+
+    def test_bitmap_saturation(self):
+        matrix = TaintCoverageMatrix(bitmap_size=4)
+        matrix.observe_census(census(0, rob=100))
+        matrix.observe_census(census(1, rob=200))
+        # Both clamp to the last slot: only one point.
+        assert len(matrix) == 1
+
+    def test_cycle_range_restriction(self):
+        matrix = TaintCoverageMatrix()
+        log = [census(5, dcache=1), census(50, tlb=1)]
+        added = matrix.observe_census_log(log, cycle_range=(0, 10))
+        assert added == 1
+        assert matrix.points == {CoveragePoint("dcache", 1)}
+
+    def test_merge_and_history(self):
+        first = TaintCoverageMatrix()
+        first.observe_census_log([census(0, dcache=1)])
+        second = TaintCoverageMatrix()
+        second.observe_census_log([census(0, rob=1)])
+        first.merge(second)
+        assert len(first) == 2
+        assert first.history == [1]
+        assert first.snapshot() == 2
+
+
+class TestCoverageFeedback:
+    def test_keep_when_productive(self):
+        feedback = CoverageFeedback.decide(
+            new_points=10, taint_increased=True, average_gain=2.0, consecutive_low_gain=0
+        )
+        assert feedback.action == "keep"
+
+    def test_mutate_window_when_below_average(self):
+        feedback = CoverageFeedback.decide(
+            new_points=1, taint_increased=True, average_gain=5.0, consecutive_low_gain=0
+        )
+        assert feedback.action == "mutate_window"
+
+    def test_mutate_window_when_no_taint(self):
+        feedback = CoverageFeedback.decide(
+            new_points=10, taint_increased=False, average_gain=0.0, consecutive_low_gain=1
+        )
+        assert feedback.action == "mutate_window"
+
+    def test_discard_after_repeated_low_gain(self):
+        feedback = CoverageFeedback.decide(
+            new_points=0, taint_increased=False, average_gain=3.0, consecutive_low_gain=3
+        )
+        assert feedback.action == "discard_seed"

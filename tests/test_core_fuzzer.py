@@ -1,0 +1,129 @@
+"""Tests for the fuzzing manager, its ablation variants and the SpecDoctor baseline."""
+
+import pytest
+
+from repro.baselines import SPECDOCTOR_SUPPORTED_WINDOWS, SpecDoctorConfiguration, SpecDoctorFuzzer
+from repro.core import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.generation import TrainingMode, TransientWindowType
+from repro.uarch import TaintTrackingMode, small_boom_config, xiangshan_minimal_config
+
+BOOM = small_boom_config()
+
+
+class TestDejaVuzzFuzzer:
+    def test_campaign_runs_and_reports(self):
+        configuration = FuzzerConfiguration(core=BOOM, entropy=11)
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=20)
+        assert campaign.iterations_run == 20
+        assert len(campaign.coverage_history) == 20
+        assert campaign.coverage_history == sorted(campaign.coverage_history)  # monotone
+        assert campaign.final_coverage() > 0
+        assert campaign.triggered_windows  # at least one window type triggered
+        summary = campaign.summary()
+        assert summary["fuzzer"] == "dejavuzz"
+        assert summary["core"] == BOOM.name
+
+    def test_campaign_finds_leakages(self):
+        configuration = FuzzerConfiguration(core=BOOM, entropy=11)
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=25)
+        assert campaign.reports, "expected at least one reported leakage in 25 iterations"
+        assert campaign.first_bug_iteration is not None
+        assert campaign.table5_rows()
+
+    def test_deterministic_given_entropy(self):
+        first = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4)).run_campaign(8)
+        second = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4)).run_campaign(8)
+        assert first.coverage_history == second.coverage_history
+
+    def test_variant_names(self):
+        assert FuzzerConfiguration(core=BOOM).variant_name() == "dejavuzz"
+        assert (
+            FuzzerConfiguration(core=BOOM, training_mode=TrainingMode.RANDOM).variant_name()
+            == "dejavuzz*"
+        )
+        assert (
+            FuzzerConfiguration(core=BOOM, coverage_feedback=False).variant_name() == "dejavuzz-"
+        )
+
+    def test_dejavuzz_star_uses_random_training(self):
+        configuration = FuzzerConfiguration(
+            core=BOOM, entropy=5, training_mode=TrainingMode.RANDOM
+        )
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=10)
+        assert campaign.fuzzer_name == "dejavuzz*"
+        # Random training keeps whole random packets, so the effective overhead
+        # of triggered misprediction windows is much larger than derived training.
+        for group, samples in campaign.effective_training_overhead.items():
+            if group in ("Branch Misprediction", "Indirect Jump Misprediction",
+                         "Return Address Misprediction") and samples:
+                assert max(samples) > 10
+
+    def test_dejavuzz_minus_still_measures_coverage(self):
+        configuration = FuzzerConfiguration(core=BOOM, entropy=6, coverage_feedback=False)
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=10)
+        assert campaign.fuzzer_name == "dejavuzz-"
+        assert campaign.final_coverage() >= 0
+
+    def test_progress_callback_invoked(self):
+        calls = []
+        DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=2)).run_campaign(
+            iterations=3, progress_callback=lambda i, result: calls.append(i)
+        )
+        assert calls == [0, 1, 2]
+
+
+class TestSpecDoctorBaseline:
+    def test_supported_window_types_only(self):
+        fuzzer = SpecDoctorFuzzer(SpecDoctorConfiguration(core=BOOM, entropy=1))
+        with pytest.raises(ValueError):
+            fuzzer.generate_stimulus(TransientWindowType.RETURN_MISPREDICTION)
+        stimulus = fuzzer.generate_stimulus(TransientWindowType.LOAD_PAGE_FAULT)
+        assert stimulus.window_type in SPECDOCTOR_SUPPORTED_WINDOWS
+
+    def test_linear_stimulus_is_single_packet(self):
+        fuzzer = SpecDoctorFuzzer(SpecDoctorConfiguration(core=BOOM, entropy=1))
+        stimulus = fuzzer.generate_stimulus(TransientWindowType.BRANCH_MISPREDICTION)
+        assert len(stimulus.schedule.packets) == 1
+        assert stimulus.training_instructions >= 100
+
+    def test_campaign_triggers_windows_and_candidates(self):
+        fuzzer = SpecDoctorFuzzer(SpecDoctorConfiguration(core=BOOM, entropy=5))
+        campaign = fuzzer.run_campaign(iterations=8)
+        assert campaign.fuzzer_name == "specdoctor"
+        assert campaign.triggered_windows
+        # Only the four supported groups can ever appear.
+        supported_groups = {
+            "Load/Store Page Fault",
+            "Memory Disambiguation",
+            "Branch Misprediction",
+            "Indirect Jump Misprediction",
+        }
+        assert set(campaign.triggered_windows) <= supported_groups
+        # The unreduced random prefix is counted as training overhead.
+        for samples in campaign.training_overhead.values():
+            assert min(samples) >= 100
+
+    def test_specdoctor_coverage_grows_slower_than_dejavuzz(self):
+        iterations = 12
+        dejavuzz = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=7)).run_campaign(iterations)
+        specdoctor = SpecDoctorFuzzer(SpecDoctorConfiguration(core=BOOM, entropy=7)).run_campaign(
+            iterations
+        )
+        assert dejavuzz.final_coverage() >= specdoctor.final_coverage()
+
+
+class TestCrossCoreCampaigns:
+    def test_xiangshan_campaign_matches_its_bugs(self):
+        configuration = FuzzerConfiguration(core=xiangshan_minimal_config(), entropy=11)
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=20)
+        matched = set(campaign.matched_known_bugs())
+        for identifier in matched:
+            assert identifier in {"meltdown-sampling", "spectre-refetch", "spectre-reload"}
+
+    def test_none_taint_mode_reports_nothing_via_taint(self):
+        configuration = FuzzerConfiguration(
+            core=BOOM, entropy=11, taint_mode=TaintTrackingMode.NONE
+        )
+        campaign = DejaVuzzFuzzer(configuration).run_campaign(iterations=6)
+        # Without IFT there is no coverage signal.
+        assert campaign.final_coverage() == 0

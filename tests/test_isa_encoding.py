@@ -1,0 +1,102 @@
+"""Encode/decode round-trip tests for the RV64 subset."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.isa.encoding import EncodingError, decode_word, encode_instruction
+from repro.isa.instructions import Instruction
+
+REGS = st.integers(min_value=0, max_value=31)
+
+
+class TestFixedEncodings:
+    def test_ecall(self):
+        assert encode_instruction(Instruction("ecall")) == 0x00000073
+
+    def test_nop_encoding(self):
+        word = encode_instruction(Instruction("addi", rd=0, rs1=0, imm=0))
+        assert word == 0x00000013
+
+    def test_illegal_is_all_zero(self):
+        assert encode_instruction(Instruction("illegal")) == 0
+
+    def test_decode_fixed(self):
+        assert decode_word(0x00000073).mnemonic == "ecall"
+        assert decode_word(0).mnemonic == "illegal"
+
+    def test_unknown_word_rejected(self):
+        with pytest.raises(EncodingError):
+            decode_word(0xFFFFFFFF)
+
+
+class TestRoundTrip:
+    def _roundtrip(self, instruction: Instruction) -> Instruction:
+        return decode_word(encode_instruction(instruction))
+
+    def test_r_type(self):
+        original = Instruction("add", rd=3, rs1=4, rs2=5)
+        decoded = self._roundtrip(original)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) == ("add", 3, 4, 5)
+
+    def test_i_type_negative_imm(self):
+        original = Instruction("addi", rd=7, rs1=8, imm=(-16) & ((1 << 64) - 1))
+        decoded = self._roundtrip(original)
+        assert decoded.mnemonic == "addi"
+        assert decoded.imm == (-16) & ((1 << 64) - 1)
+
+    def test_load_store(self):
+        load = self._roundtrip(Instruction("ld", rd=9, rs1=10, imm=24))
+        assert (load.mnemonic, load.rd, load.rs1, load.imm) == ("ld", 9, 10, 24)
+        store = self._roundtrip(Instruction("sd", rs1=11, rs2=12, imm=40))
+        assert (store.mnemonic, store.rs1, store.rs2, store.imm) == ("sd", 11, 12, 40)
+
+    def test_branch(self):
+        branch = self._roundtrip(Instruction("bne", rs1=1, rs2=2, imm=64))
+        assert (branch.mnemonic, branch.rs1, branch.rs2, branch.imm) == ("bne", 1, 2, 64)
+
+    def test_branch_negative_offset(self):
+        offset = (-32) & ((1 << 64) - 1)
+        branch = self._roundtrip(Instruction("beq", rs1=3, rs2=4, imm=offset))
+        assert branch.imm == offset
+
+    def test_jal(self):
+        jal = self._roundtrip(Instruction("jal", rd=1, imm=2048))
+        assert (jal.mnemonic, jal.rd, jal.imm) == ("jal", 1, 2048)
+
+    def test_lui_auipc(self):
+        lui = self._roundtrip(Instruction("lui", rd=5, imm=0x12345000))
+        assert (lui.mnemonic, lui.rd, lui.imm) == ("lui", 5, 0x12345000)
+        auipc = self._roundtrip(Instruction("auipc", rd=6, imm=0x1000))
+        assert (auipc.mnemonic, auipc.imm) == ("auipc", 0x1000)
+
+    def test_shift_immediates(self):
+        slli = self._roundtrip(Instruction("slli", rd=2, rs1=3, imm=13))
+        assert (slli.mnemonic, slli.imm) == ("slli", 13)
+        srai = self._roundtrip(Instruction("srai", rd=2, rs1=3, imm=7))
+        assert (srai.mnemonic, srai.imm) == ("srai", 7)
+
+    @given(rd=REGS, rs1=REGS, rs2=REGS, mnemonic=st.sampled_from(["add", "sub", "and", "or", "xor", "sltu", "mul"]))
+    def test_r_type_roundtrip_property(self, rd, rs1, rs2, mnemonic):
+        original = Instruction(mnemonic, rd=rd, rs1=rs1, rs2=rs2)
+        decoded = self._roundtrip(original)
+        assert (decoded.mnemonic, decoded.rd, decoded.rs1, decoded.rs2) == (mnemonic, rd, rs1, rs2)
+
+    @given(rd=REGS, rs1=REGS, imm=st.integers(min_value=-2048, max_value=2047))
+    def test_addi_roundtrip_property(self, rd, rs1, imm):
+        encoded_imm = imm & ((1 << 64) - 1)
+        decoded = self._roundtrip(Instruction("addi", rd=rd, rs1=rs1, imm=encoded_imm))
+        assert decoded.imm == encoded_imm
+
+    @given(rs1=REGS, rs2=REGS, imm=st.integers(min_value=-2048, max_value=2047).map(lambda x: (x * 2) & ((1 << 64) - 1)))
+    def test_branch_roundtrip_property(self, rs1, rs2, imm):
+        decoded = self._roundtrip(Instruction("bne", rs1=rs1, rs2=rs2, imm=imm))
+        assert decoded.imm == imm
+
+    def test_every_word_is_32_bits(self):
+        for instruction in (
+            Instruction("add", rd=1, rs1=2, rs2=3),
+            Instruction("ld", rd=1, rs1=2, imm=8),
+            Instruction("jal", rd=1, imm=16),
+            Instruction("lui", rd=1, imm=0xFFFFF000),
+        ):
+            assert 0 <= encode_instruction(instruction) < (1 << 32)

@@ -1,0 +1,135 @@
+"""Tests for the attack-scenario library, analysis helpers and bug ablations."""
+
+import pytest
+
+from repro.analysis import (
+    TaintCurve,
+    coverage_curve_statistics,
+    coverage_improvement,
+    extract_taint_curve,
+    iterations_to_reach,
+    summarize_training_overhead,
+    training_overhead_table,
+)
+from repro.core import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.report import CampaignResult
+from repro.scenarios import ATTACK_SCENARIOS, build_attack_schedule, run_attack
+from repro.swapmem import DualCoreHarness
+from repro.uarch import TaintTrackingMode, small_boom_config, xiangshan_minimal_config
+
+BOOM = small_boom_config()
+
+
+class TestAttackScenarios:
+    def test_all_five_scenarios_registered(self):
+        assert set(ATTACK_SCENARIOS) == {
+            "spectre-v1",
+            "spectre-v2",
+            "spectre-rsb",
+            "spectre-v4",
+            "meltdown",
+        }
+
+    @pytest.mark.parametrize("name", sorted(ATTACK_SCENARIOS))
+    def test_scenarios_trigger_on_boom(self, name):
+        result = run_attack(name, BOOM, taint_mode=TaintTrackingMode.DIFFIFT)
+        assert result.window_triggered
+        assert result.primary.processor.taint.max_taint_bits() > 0
+
+    def test_build_attack_schedule_returns_completed_window(self):
+        schedule, seed = build_attack_schedule("spectre-v1", BOOM)
+        transient = schedule.transient_packet()
+        assert transient.metadata.get("window_completed") is True
+        assert schedule.window_training_packets()
+        assert seed.window_type.name == "BRANCH_MISPREDICTION"
+
+    def test_unknown_scenario_rejected(self):
+        with pytest.raises(KeyError):
+            build_attack_schedule("spectre-v99", BOOM)
+
+    def test_cellift_taints_more_than_diffift(self):
+        """The Figure 6 relationship: CellIFT over-taints, diffIFT stays bounded."""
+        diff_result = run_attack("spectre-v1", BOOM, taint_mode=TaintTrackingMode.DIFFIFT)
+        cell_result = run_attack("spectre-v1", BOOM, taint_mode=TaintTrackingMode.CELLIFT)
+        diff_peak = max(diff_result.primary.processor.taint.taint_sum_series())
+        cell_peak = max(cell_result.primary.processor.taint.taint_sum_series())
+        assert cell_peak > 5 * diff_peak
+
+    def test_false_negative_mode_suppresses_control_taints(self):
+        diff_result = run_attack("meltdown", BOOM, taint_mode=TaintTrackingMode.DIFFIFT)
+        fn_result = run_attack(
+            "meltdown", BOOM, taint_mode=TaintTrackingMode.DIFFIFT, false_negative_mode=True
+        )
+        diff_peak = max(diff_result.primary.processor.taint.taint_sum_series())
+        fn_peak = max(fn_result.primary.processor.taint.taint_sum_series())
+        assert fn_peak <= diff_peak
+        # Data taints still propagate in the false-negative case.
+        assert fn_peak > 0
+
+
+class TestBugAblations:
+    def test_phantom_rsb_requires_the_bug(self):
+        """B2: transiently written RAS entries survive only on the buggy core."""
+        buggy = run_attack("spectre-rsb", small_boom_config())
+        patched = run_attack("spectre-rsb", small_boom_config(enable_bugs=False))
+        assert buggy.window_triggered and patched.window_triggered
+        buggy_ras = buggy.primary.processor.predictors.ras
+        patched_ras = patched.primary.processor.predictors.ras
+        assert buggy_ras.restore_below_tos is False
+        assert patched_ras.restore_below_tos is True
+
+    def test_spectre_reload_contention_only_with_bug(self):
+        """B5: the shared load write-back port only exists on the buggy core."""
+        buggy = run_attack("spectre-v1", xiangshan_minimal_config())
+        patched = run_attack("spectre-v1", xiangshan_minimal_config(enable_bugs=False))
+        assert buggy.primary.processor.lsu.writeback_port_shared is True
+        assert patched.primary.processor.lsu.writeback_port_shared is False
+
+    def test_patched_core_produces_fewer_or_equal_findings(self):
+        buggy_campaign = DejaVuzzFuzzer(
+            FuzzerConfiguration(core=xiangshan_minimal_config(), entropy=13)
+        ).run_campaign(12)
+        patched_campaign = DejaVuzzFuzzer(
+            FuzzerConfiguration(core=xiangshan_minimal_config(enable_bugs=False), entropy=13)
+        ).run_campaign(12)
+        assert len(patched_campaign.matched_known_bugs()) <= len(buggy_campaign.matched_known_bugs())
+
+
+class TestAnalysisHelpers:
+    def test_taint_curve_extraction(self):
+        from repro.uarch.taint import TaintCensus
+
+        log = [
+            TaintCensus(cycle=10, element_counts={"dcache": 1}),
+            TaintCensus(cycle=11, element_counts={"dcache": 2}),
+        ]
+        curve = extract_taint_curve(log, label="diffIFT", cycle_offset=10)
+        assert curve.cycles == [0, 1]
+        assert curve.peak() == curve.final() == 2 * 512
+        assert curve.value_at(0) == 512
+        assert curve.saturated(512) and not curve.saturated(10**9)
+
+    def test_empty_curve(self):
+        curve = TaintCurve(label="empty")
+        assert curve.peak() == 0 and curve.final() == 0
+
+    def test_summarize_training_overhead(self):
+        assert summarize_training_overhead([]) is None
+        assert summarize_training_overhead([10, 20]) == 15
+
+    def test_training_overhead_table_marks_missing_types(self):
+        campaign = CampaignResult(fuzzer_name="dejavuzz", core="small-boom")
+        campaign.training_overhead["Branch Misprediction"] = [100, 110]
+        campaign.effective_training_overhead["Branch Misprediction"] = [2, 4]
+        rows = training_overhead_table({"dejavuzz": campaign})
+        row = rows[0]
+        assert row["Branch Misprediction"] == (105.0, 3.0)
+        assert row["Illegal Instruction"] is None
+
+    def test_coverage_statistics_and_improvement(self):
+        stats = coverage_curve_statistics([[1, 5, 9], [2, 4, 11]])
+        assert stats["mean_final"] == 10
+        assert coverage_improvement([0, 10, 47], [0, 5, 10]) == pytest.approx(4.7)
+        assert coverage_improvement([], [1]) is None
+        assert iterations_to_reach([0, 2, 5, 9], 5) == 2
+        assert iterations_to_reach([0, 1], 10) is None

@@ -1,0 +1,233 @@
+"""Tests for the taint engine, trace-log queries, reports and co-simulation."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.report import BugReport, CampaignResult, classify_report
+from repro.core.phase3 import LeakageVerdict
+from repro.generation import TransientWindowType
+from repro.generation.random_inst import RandomInstructionGenerator, SafeRegion
+from repro.isa import Assembler, IsaSimulator, SimMemory
+from repro.isa.instructions import Instruction
+from repro.uarch import (
+    Processor,
+    RobCommitEvent,
+    RobEnqueueEvent,
+    RobSquashEvent,
+    SquashReason,
+    TaintTrackingMode,
+    TraceLog,
+    small_boom_config,
+)
+from repro.uarch.config import TaintTrackingMode as Mode
+from repro.uarch.taint import BIT_WEIGHTS, TaintCensus, TaintState, make_peer_diff_oracle
+from repro.utils.rng import DeterministicRng
+
+
+class TestTaintState:
+    def test_disabled_mode_tracks_nothing(self):
+        taint = TaintState(mode=Mode.NONE)
+        taint.set_register_taint(5, True)
+        assert not taint.register_is_tainted(5)
+        assert not taint.enabled
+
+    def test_register_taint_and_x0(self):
+        taint = TaintState(mode=Mode.CELLIFT)
+        taint.set_register_taint(5, True)
+        taint.set_register_taint(0, True)
+        assert taint.register_is_tainted(5)
+        assert not taint.register_is_tainted(0)
+        assert taint.tainted_register_count() == 1
+
+    def test_address_range_taint(self):
+        taint = TaintState(mode=Mode.DIFFIFT)
+        taint.taint_address_range(0x1000, 8)
+        assert taint.address_tainted(0x1004)
+        assert taint.address_tainted(0x0FFF, nbytes=2)
+        assert not taint.address_tainted(0x1008)
+        taint.taint_memory_write(0x2000, 4, tainted=True)
+        assert taint.address_tainted(0x2002)
+        taint.taint_memory_write(0x2000, 4, tainted=False)
+        assert not taint.address_tainted(0x2002)
+
+    def test_control_event_gating_by_mode(self):
+        cellift = TaintState(mode=Mode.CELLIFT)
+        assert cellift.control_event("dcache_set", (1,), 3, tainted=True, cycle=0) is True
+        assert cellift.control_event("dcache_set", (2,), 3, tainted=False, cycle=0) is False
+
+        diffift_no_oracle = TaintState(mode=Mode.DIFFIFT)
+        assert diffift_no_oracle.control_event("dcache_set", (1,), 3, tainted=True, cycle=0) is False
+
+        diffift = TaintState(mode=Mode.DIFFIFT, diff_oracle=lambda kind, key, value: value == 3)
+        assert diffift.control_event("dcache_set", (1,), 3, tainted=True, cycle=0) is True
+        assert diffift.control_event("dcache_set", (1,), 4, tainted=True, cycle=0) is False
+
+    def test_peer_diff_oracle(self):
+        peer = TaintState(mode=Mode.DIFFIFT)
+        peer.control_event("dcache_set", (7,), 5, tainted=True, cycle=1)
+        oracle = make_peer_diff_oracle(peer)
+        assert oracle("dcache_set", (7,), 6) is True    # values differ
+        assert oracle("dcache_set", (7,), 5) is False   # identical
+        assert oracle("dcache_set", (99,), 5) is True   # peer never got there
+
+    def test_census_and_overlays(self):
+        taint = TaintState(mode=Mode.CELLIFT)
+        taint.set_register_taint(3, True)
+        taint.add_control_overlay("rob", 4)
+        census = taint.record_census(cycle=10, component_counts={"dcache": 2})
+        assert census.element_counts["regfile"] == 1
+        assert census.element_counts["rob"] == 4
+        assert census.bit_count("dcache") == 2 * BIT_WEIGHTS["dcache"]
+        assert census.total_bits() > 0
+        assert taint.taint_sum_series() == [census.total_bits()]
+        taint.clear_control_overlay("rob")
+        second = taint.record_census(cycle=11, component_counts={})
+        assert "rob" not in second.nonzero_modules()
+
+    def test_census_totals(self):
+        census = TaintCensus(cycle=0, element_counts={"dcache": 1, "rob": 2, "tlb": 0})
+        assert census.total_elements() == 3
+        assert census.nonzero_modules() == {"dcache": 1, "rob": 2}
+
+
+class TestTraceLog:
+    def _log(self):
+        log = TraceLog()
+        log.record_enqueue(RobEnqueueEvent(cycle=1, rob_index=0, sequence=0, pc=0x100, mnemonic="addi"))
+        log.record_enqueue(RobEnqueueEvent(cycle=2, rob_index=1, sequence=1, pc=0x104, mnemonic="ld"))
+        log.record_enqueue(RobEnqueueEvent(cycle=3, rob_index=2, sequence=2, pc=0x108, mnemonic="add"))
+        log.record_commit(RobCommitEvent(cycle=4, rob_index=0, sequence=0, pc=0x100, mnemonic="addi"))
+        log.record_squash(
+            RobSquashEvent(
+                cycle=5,
+                reason=SquashReason.EXCEPTION,
+                trigger_sequence=1,
+                trigger_pc=0x104,
+                squashed_sequences=(1, 2),
+            )
+        )
+        return log
+
+    def test_transient_sequences(self):
+        log = self._log()
+        assert log.transient_sequences() == [1, 2]
+        assert log.squashed_sequences() == [1, 2]
+
+    def test_window_detection_with_and_without_pcs(self):
+        log = self._log()
+        assert log.transient_window_triggered()
+        assert log.transient_window_triggered({0x108})
+        assert not log.transient_window_triggered({0x900})
+
+    def test_window_cycle_range(self):
+        log = self._log()
+        start, end = log.window_cycle_range({0x104, 0x108})
+        assert start == 2 and end == 5
+        assert log.window_cycle_range({0x900}) is None
+
+    def test_counts_and_summary(self):
+        log = self._log()
+        assert log.enqueue_count_in_window({0x104, 0x108}) == 2
+        assert log.commit_count_in_window({0x100}) == 1
+        summary = log.summary()
+        assert summary == {
+            "enqueued": 3,
+            "committed": 1,
+            "squashes": 1,
+            "transient": 2,
+            "traps": 0,
+            "redirects": 0,
+        }
+
+
+class TestReports:
+    def _verdict(self, live=None, reason="live_taint", timing=0):
+        return LeakageVerdict(
+            is_leak=True,
+            reason=reason,
+            timing_difference=timing,
+            live_sinks=live or {"dcache": 1},
+        )
+
+    def test_classification_components_and_matching(self):
+        report = classify_report(
+            iteration=1,
+            seed_id=2,
+            core_name="xiangshan-minimal",
+            window_type=TransientWindowType.LOAD_ACCESS_FAULT,
+            verdict=self._verdict(),
+        )
+        assert report.attack_type == "meltdown"
+        assert report.window_category == "mem-excp"
+        assert "dcache" in report.timing_components
+        assert "meltdown-sampling" in report.matched_known_bugs
+
+    def test_timing_report_uses_contention(self):
+        report = classify_report(
+            iteration=0,
+            seed_id=0,
+            core_name="small-boom",
+            window_type=TransientWindowType.BRANCH_MISPREDICTION,
+            verdict=LeakageVerdict(is_leak=True, reason="timing", timing_difference=4),
+            contention={"fdiv": 10},
+        )
+        assert "fpu" in report.timing_components
+
+    def test_signature_deduplication(self):
+        result = CampaignResult(fuzzer_name="dejavuzz", core="small-boom")
+        for _ in range(3):
+            result.record_report(
+                classify_report(
+                    iteration=0,
+                    seed_id=0,
+                    core_name="small-boom",
+                    window_type=TransientWindowType.LOAD_PAGE_FAULT,
+                    verdict=self._verdict(),
+                )
+            )
+        assert len(result.reports) == 3
+        assert len(result.unique_bug_signatures()) == 1
+        assert result.first_bug_iteration == 0
+        assert result.table5_rows()[0]["attack_type"] == "meltdown"
+
+    def test_campaign_summary_fields(self):
+        result = CampaignResult(fuzzer_name="dejavuzz", core="c")
+        result.coverage_history = [1, 2, 3]
+        result.iterations_run = 3
+        summary = result.finish().summary()
+        assert summary["coverage"] == 3
+        assert summary["iterations"] == 3
+        assert summary["elapsed_seconds"] >= 0
+
+
+class TestCoSimulation:
+    """Property test: the OoO pipeline retires the same architectural state as the ISA model."""
+
+    @settings(max_examples=15, deadline=None)
+    @given(entropy=st.integers(min_value=0, max_value=10_000))
+    def test_random_arithmetic_programs_match_golden_model(self, entropy):
+        rng = DeterministicRng(entropy, "cosim")
+        generator = RandomInstructionGenerator(
+            rng, safe_regions=[SafeRegion(0xA000, 0x1000)]
+        )
+        body = generator.filler_block(30, allow_branches=False)
+        body.append(Instruction("ecall"))
+        program = Assembler(base=0x1000).assemble_instructions(body)
+
+        def fresh_memory():
+            memory = SimMemory()
+            memory.map_range(0x1000, 0x1000)
+            memory.map_range(0xA000, 0x1000)
+            return memory
+
+        reference = IsaSimulator(program, memory=fresh_memory())
+        reference.run(max_instructions=200)
+
+        processor = Processor(small_boom_config(), memory=fresh_memory())
+        processor.load_program(program, map_pages=False)
+        outcome = processor.run(max_cycles=1500)
+        assert outcome.halted_on == "trap:ecall"
+        for register in range(32):
+            assert processor.read_register(register) == reference.read_register(register), (
+                f"register x{register} diverged for entropy {entropy}"
+            )
