@@ -24,6 +24,30 @@ from repro.core.phase2 import Phase2Result, TransientExecutionExploration
 from repro.core.phase3 import LeakageVerdict, Phase3Result, TransientLeakageAnalysis
 from repro.core.report import BugReport, CampaignResult
 from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.corpus import CorpusEntry, SharedCorpus
+
+# The engine is exported lazily (PEP 562) so that ``python -m repro.core.engine``
+# does not import the module twice (once via this package init, once as
+# ``__main__``), which would trip runpy's double-import warning.
+_ENGINE_EXPORTS = frozenset(
+    {
+        "EngineConfiguration",
+        "EngineResult",
+        "ParallelCampaignEngine",
+        "ShardTask",
+        "run_parallel_campaign",
+        "run_shard_task",
+    }
+)
+
+
+def __getattr__(name):
+    if name in _ENGINE_EXPORTS:
+        from repro.core import engine
+
+        return getattr(engine, name)
+    raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
+
 
 __all__ = [
     "CoveragePoint",
@@ -39,4 +63,10 @@ __all__ = [
     "CampaignResult",
     "DejaVuzzFuzzer",
     "FuzzerConfiguration",
+    "CorpusEntry",
+    "SharedCorpus",
+    "EngineConfiguration",
+    "EngineResult",
+    "ParallelCampaignEngine",
+    "run_parallel_campaign",
 ]

@@ -1,0 +1,119 @@
+"""The shared seed corpus of the sharded campaign engine.
+
+Each shard of a parallel campaign reports its most productive seeds (ranked by
+cumulative coverage gain) at every sync epoch.  The engine folds them into one
+:class:`SharedCorpus`, which keeps a bounded, gain-ranked pool and hands the
+best entries back out to lagging shards — the standard corpus-redistribution
+move of parallel coverage-guided fuzzers, applied to DejaVuzz's taint-coverage
+gain signal.
+
+Everything here is deliberately wire-friendly: entries round-trip through
+``to_dict``/``from_dict`` so a corpus can be checkpointed to JSON or shipped
+across process boundaries without pickling simulator state.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional
+
+from repro.generation.seeds import Seed
+
+
+@dataclass
+class CorpusEntry:
+    """One corpus inhabitant: a seed plus its provenance and productivity."""
+
+    seed: Seed
+    gain: int
+    shard_index: int
+    epoch: int
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "seed": self.seed.to_dict(),
+            "gain": self.gain,
+            "shard_index": self.shard_index,
+            "epoch": self.epoch,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "CorpusEntry":
+        return CorpusEntry(
+            seed=Seed.from_dict(payload["seed"]),
+            gain=int(payload["gain"]),
+            shard_index=int(payload["shard_index"]),
+            epoch=int(payload["epoch"]),
+        )
+
+
+class SharedCorpus:
+    """A bounded, gain-ranked pool of seeds shared across campaign shards."""
+
+    def __init__(self, capacity: int = 64) -> None:
+        if capacity <= 0:
+            raise ValueError(f"corpus capacity must be positive, got {capacity}")
+        self.capacity = capacity
+        self._entries: Dict[int, CorpusEntry] = {}  # keyed by seed_id
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def add(self, seed: Seed, gain: int, shard_index: int, epoch: int) -> CorpusEntry:
+        """Insert or update one seed; the highest observed gain wins.
+
+        Seed ids are globally unique (shards allocate from disjoint id bases),
+        so the id is a stable identity across epochs: a seed re-reported with
+        a higher cumulative gain moves up in the ranking instead of
+        duplicating.
+        """
+        entry = self._entries.get(seed.seed_id)
+        if entry is None or gain > entry.gain:
+            entry = CorpusEntry(seed=seed, gain=gain, shard_index=shard_index, epoch=epoch)
+            self._entries[seed.seed_id] = entry
+        self._trim()
+        # A full corpus may evict the entry straight away; the caller still
+        # gets the entry it offered, it just is not retained.
+        return entry
+
+    def extend(self, entries: Iterable[CorpusEntry]) -> None:
+        for entry in entries:
+            self.add(entry.seed, entry.gain, entry.shard_index, entry.epoch)
+
+    def best(
+        self, count: int, exclude_shard: Optional[int] = None
+    ) -> List[CorpusEntry]:
+        """The top-gain entries, optionally excluding one shard's own seeds.
+
+        ``exclude_shard`` keeps redistribution useful: handing a shard back a
+        seed it bred itself adds nothing to its exploration frontier.
+        """
+        candidates = [
+            entry
+            for entry in self._entries.values()
+            if exclude_shard is None or entry.shard_index != exclude_shard
+        ]
+        return sorted(candidates, key=self._rank)[:count]
+
+    def seeds(self) -> List[Seed]:
+        return [entry.seed for entry in sorted(self._entries.values(), key=self._rank)]
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        return [entry.to_dict() for entry in sorted(self._entries.values(), key=self._rank)]
+
+    @staticmethod
+    def from_dicts(payload: Iterable[Dict[str, object]], capacity: int = 64) -> "SharedCorpus":
+        corpus = SharedCorpus(capacity=capacity)
+        corpus.extend(CorpusEntry.from_dict(entry) for entry in payload)
+        return corpus
+
+    @staticmethod
+    def _rank(entry: CorpusEntry):
+        # Descending gain; seed id as a deterministic tiebreaker.
+        return (-entry.gain, entry.seed.seed_id)
+
+    def _trim(self) -> None:
+        if len(self._entries) <= self.capacity:
+            return
+        keep = sorted(self._entries.values(), key=self._rank)[: self.capacity]
+        self._entries = {entry.seed.seed_id: entry for entry in keep}

@@ -26,6 +26,15 @@ class CoveragePoint:
     module: str
     tainted_count: int
 
+    def to_dict(self) -> Dict[str, object]:
+        return {"module": self.module, "tainted_count": self.tainted_count}
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "CoveragePoint":
+        return CoveragePoint(
+            module=str(payload["module"]), tainted_count=int(payload["tainted_count"])
+        )
+
 
 class TaintCoverageMatrix:
     """Accumulates coverage points across a fuzzing campaign."""
@@ -76,8 +85,38 @@ class TaintCoverageMatrix:
             counts[point.module] = counts.get(point.module, 0) + 1
         return counts
 
-    def merge(self, other: "TaintCoverageMatrix") -> None:
-        self._points |= other._points
+    def merge(self, other: "TaintCoverageMatrix") -> int:
+        """Union another matrix into this one.
+
+        Records a history snapshot (so merged campaigns keep a continuous
+        coverage curve) and returns the number of points that were new to this
+        matrix — the per-shard accounting signal of the parallel engine.
+        """
+        added = self.add_points(other._points)
+        return added
+
+    def add_points(self, points: Iterable[CoveragePoint]) -> int:
+        """Add pre-computed coverage points; snapshot history; return new points."""
+        added = 0
+        for point in points:
+            if point not in self._points:
+                self._points.add(point)
+                added += 1
+        self.history.append(len(self._points))
+        return added
+
+    def to_dicts(self) -> List[Dict[str, object]]:
+        """All points in a JSON-safe wire form, deterministically ordered."""
+        ordered = sorted(self._points, key=lambda point: (point.module, point.tainted_count))
+        return [point.to_dict() for point in ordered]
+
+    @staticmethod
+    def from_dicts(
+        payload: Iterable[Dict[str, object]], bitmap_size: int = 256
+    ) -> "TaintCoverageMatrix":
+        matrix = TaintCoverageMatrix(bitmap_size=bitmap_size)
+        matrix._points = {CoveragePoint.from_dict(entry) for entry in payload}
+        return matrix
 
     def snapshot(self) -> int:
         """Record the current total into the history curve and return it."""

@@ -1,0 +1,502 @@
+"""The sharded parallel campaign engine.
+
+Scales a DejaVuzz campaign across N worker processes.  Each shard is a full
+:class:`~repro.core.fuzzer.DejaVuzzFuzzer` driven by its own split of the root
+:class:`~repro.utils.rng.DeterministicRng` entropy (label
+``engine/shard<i>/epoch<e>``) and a disjoint seed-id namespace, so a parallel
+run is reproducible from a single integer no matter how the OS schedules the
+workers.
+
+The campaign is divided into **sync epochs**.  Within an epoch the shards run
+independently; at the epoch boundary the engine
+
+1. merges every shard's :class:`~repro.core.coverage.TaintCoverageMatrix`
+   into the global matrix (``merge``/``add_points`` report how many points
+   each shard contributed that were globally new),
+2. folds the shard :class:`~repro.core.report.CampaignResult` objects into the
+   aggregate report,
+3. collects each shard's top-gain seeds into a :class:`SharedCorpus`, and
+4. redistributes the best corpus seeds to the *lagging* shards (lowest global
+   coverage contribution this epoch) for the next epoch, while every shard
+   restarts from the merged global coverage baseline so no shard spends
+   iterations rediscovering another shard's points.
+
+Only cheap wire forms (``to_dict`` payloads and plain dataclasses of
+primitives) cross the process boundary — simulator state never gets pickled.
+
+Run it directly::
+
+    python -m repro.core.engine --core boom --shards 4 --iterations 100
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field, replace
+from typing import Callable, Dict, List, Optional, Set
+
+from repro.core.corpus import SharedCorpus
+from repro.core.coverage import CoveragePoint, TaintCoverageMatrix
+from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.report import CampaignResult
+from repro.generation.seeds import Seed
+from repro.uarch.boom import small_boom_config
+from repro.uarch.xiangshan import xiangshan_minimal_config
+from repro.utils.rng import DeterministicRng
+
+# Cores the CLI can name; the programmatic API accepts any CoreConfig.
+CORE_FACTORIES = {
+    "boom": small_boom_config,
+    "small-boom": small_boom_config,
+    "xiangshan": xiangshan_minimal_config,
+    "xiangshan-minimal": xiangshan_minimal_config,
+}
+
+# Seed-id namespacing: shard i / epoch e allocates ids from
+# (i + 1) * SHARD_ID_STRIDE + e * EPOCH_ID_STRIDE upward.  A shard would need
+# to breed 100k seeds in one epoch (or run 100 epochs) to collide, far beyond
+# any realistic campaign; ids stay disjoint so the shared corpus can use the
+# seed id as a global identity.
+SHARD_ID_STRIDE = 10_000_000
+EPOCH_ID_STRIDE = 100_000
+
+
+@dataclass
+class EngineConfiguration:
+    """Knobs of a sharded campaign."""
+
+    fuzzer: FuzzerConfiguration          # prototype; entropy/seed ids are re-derived per shard
+    shards: int = 4
+    iterations: int = 100                # total budget, split across shards and epochs
+    sync_epochs: int = 2
+    corpus_capacity: int = 64
+    redistribute_top: int = 2            # lagging shards reseeded per epoch
+    report_top_seeds: int = 4            # seeds each shard reports per epoch
+    max_workers: Optional[int] = None    # defaults to `shards`
+    executor: str = "process"            # "process" | "inline"
+
+    def __post_init__(self) -> None:
+        if self.shards <= 0:
+            raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.sync_epochs <= 0:
+            raise ValueError(f"sync_epochs must be positive, got {self.sync_epochs}")
+        if self.executor not in ("process", "inline"):
+            raise ValueError(f"unknown executor {self.executor!r}")
+
+
+@dataclass
+class ShardTask:
+    """One shard-epoch work unit; everything in it is cheaply picklable."""
+
+    shard_index: int
+    epoch: int
+    iterations: int
+    configuration: FuzzerConfiguration
+    initial_seed: Optional[Dict[str, object]] = None
+    baseline_points: List[Dict[str, object]] = field(default_factory=list)
+    report_top_seeds: int = 4
+
+
+def run_shard_task(task: ShardTask) -> Dict[str, object]:
+    """Execute one shard-epoch in the current process (the pool worker).
+
+    Pure function of the task payload: no module-global state is read or
+    mutated, which is what makes ``inline`` and ``process`` execution produce
+    identical results.
+    """
+    started = time.perf_counter()
+    fuzzer = DejaVuzzFuzzer(task.configuration)
+    baseline = set()
+    if task.baseline_points:
+        # Start from the merged global coverage so feedback only rewards
+        # globally-new points and mutation steers away from covered modules.
+        fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
+        baseline = fuzzer.coverage.points
+    initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
+    result = fuzzer.run_campaign(task.iterations, initial_seed=initial_seed)
+    observed = sorted(
+        fuzzer.coverage.points - baseline,
+        key=lambda point: (point.module, point.tainted_count),
+    )
+    return {
+        "shard_index": task.shard_index,
+        "epoch": task.epoch,
+        "result": result.to_dict(),
+        "points": [point.to_dict() for point in observed],
+        "top_seeds": [
+            {"seed": seed.to_dict(), "gain": gain}
+            for seed, gain in fuzzer.top_seeds(task.report_top_seeds)
+        ],
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+@dataclass
+class EngineResult:
+    """The outcome of one sharded campaign."""
+
+    campaign: CampaignResult
+    coverage: TaintCoverageMatrix
+    shards: int
+    epochs: int
+    shard_points: Dict[int, Set[CoveragePoint]] = field(default_factory=dict)
+    shard_summaries: List[Dict[str, object]] = field(default_factory=list)
+    redistributed_seeds: int = 0
+    wall_clock_seconds: float = 0.0
+
+    def summary(self) -> Dict[str, object]:
+        summary = self.campaign.summary()
+        summary.update(
+            {
+                "shards": self.shards,
+                "sync_epochs": self.epochs,
+                "coverage": len(self.coverage),
+                "redistributed_seeds": self.redistributed_seeds,
+                "wall_clock_seconds": round(self.wall_clock_seconds, 2),
+            }
+        )
+        return summary
+
+
+class ParallelCampaignEngine:
+    """Runs N DejaVuzz shards with periodic coverage/corpus synchronisation."""
+
+    def __init__(self, configuration: EngineConfiguration) -> None:
+        self.configuration = configuration
+        self.corpus = SharedCorpus(capacity=configuration.corpus_capacity)
+        # Wire form of the merged coverage, handed to shards as their starting
+        # baseline; refreshed at every epoch merge.
+        self._baseline_points: List[Dict[str, object]] = []
+
+    # -- deterministic derivations ---------------------------------------------------------
+
+    def shard_entropy(self, shard_index: int, epoch: int) -> int:
+        """The entropy of one shard-epoch, derived only from the root entropy."""
+        stream = DeterministicRng(
+            self.configuration.fuzzer.entropy, f"engine/shard{shard_index}/epoch{epoch}"
+        )
+        return stream.randint(0, 2**31 - 1)
+
+    @staticmethod
+    def shard_seed_id_base(shard_index: int, epoch: int) -> int:
+        return (shard_index + 1) * SHARD_ID_STRIDE + epoch * EPOCH_ID_STRIDE
+
+    def epoch_budgets(self) -> List[List[int]]:
+        """Split the total iteration budget across epochs, then across shards.
+
+        Remainders go to the lowest indices, so the grand total is exactly
+        ``configuration.iterations`` for any shard/epoch combination.
+        """
+        configuration = self.configuration
+        total, epochs, shards = (
+            configuration.iterations,
+            configuration.sync_epochs,
+            configuration.shards,
+        )
+        per_epoch = [
+            total // epochs + (1 if index < total % epochs else 0) for index in range(epochs)
+        ]
+        return [
+            [
+                budget // shards + (1 if index < budget % shards else 0)
+                for index in range(shards)
+            ]
+            for budget in per_epoch
+        ]
+
+    # -- campaign --------------------------------------------------------------------------
+
+    def run(
+        self,
+        progress_callback: Optional[Callable[[int, "EngineResult"], None]] = None,
+    ) -> EngineResult:
+        """Run the full sharded campaign and return the merged outcome."""
+        configuration = self.configuration
+        started = time.perf_counter()
+        coverage = TaintCoverageMatrix()
+        aggregate = CampaignResult(
+            fuzzer_name=configuration.fuzzer.variant_name(),
+            core=configuration.fuzzer.core.name,
+        )
+        result = EngineResult(
+            campaign=aggregate,
+            coverage=coverage,
+            shards=configuration.shards,
+            epochs=configuration.sync_epochs,
+            shard_points={index: set() for index in range(configuration.shards)},
+        )
+
+        assignments: Dict[int, Optional[Dict[str, object]]] = {
+            index: None for index in range(configuration.shards)
+        }
+        shard_iterations_done: Dict[int, int] = {}
+        for epoch, budgets in enumerate(self.epoch_budgets()):
+            tasks = [
+                self._build_task(shard_index, epoch, budgets[shard_index], assignments)
+                for shard_index in range(configuration.shards)
+                if budgets[shard_index] > 0
+            ]
+            if not tasks:
+                continue
+            epoch_offset_seconds = time.perf_counter() - started
+            payloads = self._execute(tasks)
+            epoch_gains = self._merge_epoch(
+                payloads, result, epoch_offset_seconds, shard_iterations_done
+            )
+            if epoch < configuration.sync_epochs - 1:
+                assignments = self._redistribute(epoch_gains, result)
+            if progress_callback is not None:
+                progress_callback(epoch, result)
+
+        aggregate.coverage_history = list(coverage.history)
+        aggregate.finish()
+        result.wall_clock_seconds = time.perf_counter() - started
+        return result
+
+    # -- epoch plumbing ---------------------------------------------------------------------
+
+    def _build_task(
+        self,
+        shard_index: int,
+        epoch: int,
+        iterations: int,
+        assignments: Dict[int, Optional[Dict[str, object]]],
+    ) -> ShardTask:
+        shard_configuration = replace(
+            self.configuration.fuzzer,
+            entropy=self.shard_entropy(shard_index, epoch),
+            seed_id_base=self.shard_seed_id_base(shard_index, epoch),
+        )
+        return ShardTask(
+            shard_index=shard_index,
+            epoch=epoch,
+            iterations=iterations,
+            configuration=shard_configuration,
+            initial_seed=assignments.get(shard_index),
+            baseline_points=self._baseline_points,
+            report_top_seeds=self.configuration.report_top_seeds,
+        )
+
+    def _execute(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        configuration = self.configuration
+        if configuration.executor == "inline" or len(tasks) == 1:
+            payloads = [run_shard_task(task) for task in tasks]
+        else:
+            workers = min(len(tasks), configuration.max_workers or configuration.shards)
+            with ProcessPoolExecutor(max_workers=workers) as pool:
+                payloads = list(pool.map(run_shard_task, tasks))
+        # Merge in shard order regardless of completion order: set-union makes
+        # the merged points order-independent, but history snapshots and corpus
+        # tiebreaks stay deterministic only under a fixed fold order.
+        return sorted(payloads, key=lambda payload: payload["shard_index"])
+
+    def _merge_epoch(
+        self,
+        payloads: List[Dict[str, object]],
+        result: EngineResult,
+        epoch_offset_seconds: float,
+        shard_iterations_done: Dict[int, int],
+    ) -> Dict[int, int]:
+        """Fold one epoch's shard payloads into the global state."""
+        epoch_gains: Dict[int, int] = {}
+        for payload in payloads:
+            shard_index = payload["shard_index"]
+            points = {CoveragePoint.from_dict(entry) for entry in payload["points"]}
+            newly_added = result.coverage.add_points(points)
+            epoch_gains[shard_index] = newly_added
+            result.shard_points[shard_index] |= points
+            shard_result = CampaignResult.from_dict(payload["result"])
+            # Shard first-bug metrics are epoch-local; rebase them to the
+            # engine's origin (campaign start, shard-cumulative iterations) so
+            # merge_shard's min() compares like with like.
+            if shard_result.first_bug_iteration is not None:
+                shard_result.first_bug_iteration += shard_iterations_done.get(shard_index, 0)
+            if shard_result.first_bug_seconds is not None:
+                shard_result.first_bug_seconds += epoch_offset_seconds
+            shard_iterations_done[shard_index] = (
+                shard_iterations_done.get(shard_index, 0) + shard_result.iterations_run
+            )
+            result.campaign.merge_shard(shard_result)
+            for entry in payload["top_seeds"]:
+                self.corpus.add(
+                    Seed.from_dict(entry["seed"]),
+                    gain=int(entry["gain"]),
+                    shard_index=shard_index,
+                    epoch=payload["epoch"],
+                )
+            result.shard_summaries.append(
+                {
+                    "shard": shard_index,
+                    "epoch": payload["epoch"],
+                    "iterations": shard_result.iterations_run,
+                    "new_global_points": newly_added,
+                    "reports": len(shard_result.reports),
+                    "wall_seconds": round(payload["wall_seconds"], 3),
+                }
+            )
+        self._baseline_points = result.coverage.to_dicts()
+        return epoch_gains
+
+    def _redistribute(
+        self, epoch_gains: Dict[int, int], result: EngineResult
+    ) -> Dict[int, Optional[Dict[str, object]]]:
+        """Assign top corpus seeds to the shards that gained the least."""
+        configuration = self.configuration
+        assignments: Dict[int, Optional[Dict[str, object]]] = {
+            index: None for index in range(configuration.shards)
+        }
+        if not epoch_gains or len(self.corpus) == 0:
+            return assignments
+        lagging = sorted(epoch_gains, key=lambda index: (epoch_gains[index], index))
+        assigned_ids: set = set()
+        for shard_index in lagging[: configuration.redistribute_top]:
+            # Each lagging shard gets a *distinct* donor seed, otherwise every
+            # redistribution slot would restart from the same global best.
+            donors = self.corpus.best(
+                configuration.redistribute_top + 1, exclude_shard=shard_index
+            )
+            for donor in donors:
+                if donor.seed.seed_id not in assigned_ids:
+                    assignments[shard_index] = donor.seed.to_dict()
+                    assigned_ids.add(donor.seed.seed_id)
+                    result.redistributed_seeds += 1
+                    break
+        return assignments
+
+
+def run_parallel_campaign(
+    core,
+    shards: int = 4,
+    iterations: int = 100,
+    sync_epochs: int = 2,
+    entropy: int = 2025,
+    executor: str = "process",
+    **fuzzer_overrides,
+) -> EngineResult:
+    """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`."""
+    fuzzer_configuration = FuzzerConfiguration(core=core, entropy=entropy, **fuzzer_overrides)
+    configuration = EngineConfiguration(
+        fuzzer=fuzzer_configuration,
+        shards=shards,
+        iterations=iterations,
+        sync_epochs=sync_epochs,
+        executor=executor,
+    )
+    return ParallelCampaignEngine(configuration).run()
+
+
+# -- CLI -------------------------------------------------------------------------------------
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.engine",
+        description="Run a sharded parallel DejaVuzz campaign.",
+    )
+    parser.add_argument(
+        "--core",
+        choices=sorted(CORE_FACTORIES),
+        default="boom",
+        help="which simulated core to fuzz (default: boom)",
+    )
+    parser.add_argument("--shards", type=int, default=4, help="parallel shard count")
+    parser.add_argument(
+        "--iterations", type=int, default=100, help="total iteration budget across all shards"
+    )
+    parser.add_argument(
+        "--epochs", type=int, default=2, help="sync epochs (corpus/coverage merges)"
+    )
+    parser.add_argument("--entropy", type=int, default=2025, help="root entropy")
+    parser.add_argument(
+        "--workers", type=int, default=None, help="process pool size (default: one per shard)"
+    )
+    parser.add_argument(
+        "--inline",
+        action="store_true",
+        help="run shards sequentially in-process (debugging / single-CPU hosts)",
+    )
+    parser.add_argument(
+        "--random-training",
+        action="store_true",
+        help="DejaVuzz* ablation: random trigger-training packets",
+    )
+    parser.add_argument(
+        "--no-coverage-feedback",
+        action="store_true",
+        help="DejaVuzz- ablation: mutation ignores taint coverage",
+    )
+    parser.add_argument(
+        "--low-gain-limit",
+        type=int,
+        default=3,
+        help="consecutive low-gain attempts before a seed is discarded",
+    )
+    parser.add_argument("--json", metavar="PATH", help="also dump the merged result as JSON")
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    from repro.generation.training import TrainingMode
+
+    args = build_parser().parse_args(argv)
+    core = CORE_FACTORIES[args.core]()
+    fuzzer_configuration = FuzzerConfiguration(
+        core=core,
+        entropy=args.entropy,
+        training_mode=TrainingMode.RANDOM if args.random_training else TrainingMode.DERIVED,
+        coverage_feedback=not args.no_coverage_feedback,
+        low_gain_limit=args.low_gain_limit,
+    )
+    try:
+        configuration = EngineConfiguration(
+            fuzzer=fuzzer_configuration,
+            shards=args.shards,
+            iterations=args.iterations,
+            sync_epochs=args.epochs,
+            max_workers=args.workers,
+            executor="inline" if args.inline else "process",
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+
+    def report_epoch(epoch: int, result: EngineResult) -> None:
+        print(
+            f"[epoch {epoch + 1}/{configuration.sync_epochs}] "
+            f"coverage={len(result.coverage)} reports={len(result.campaign.reports)} "
+            f"redistributed={result.redistributed_seeds}"
+        )
+
+    engine = ParallelCampaignEngine(configuration)
+    result = engine.run(progress_callback=report_epoch)
+
+    print(f"\n{result.campaign.fuzzer_name} on {core.name}: "
+          f"{configuration.shards} shards x {configuration.sync_epochs} epochs")
+    for key, value in result.summary().items():
+        print(f"  {key:22s} {value}")
+    print("\nper shard-epoch:")
+    for row in result.shard_summaries:
+        print(
+            f"  shard {row['shard']} epoch {row['epoch']}: "
+            f"{row['iterations']:4d} iters, +{row['new_global_points']} global points, "
+            f"{row['reports']} reports, {row['wall_seconds']}s"
+        )
+
+    if args.json:
+        payload = {
+            "summary": result.summary(),
+            "campaign": result.campaign.to_dict(),
+            "coverage_points": result.coverage.to_dicts(),
+            "shard_summaries": result.shard_summaries,
+        }
+        with open(args.json, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        print(f"\nwrote {args.json}")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

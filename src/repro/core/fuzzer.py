@@ -47,6 +47,9 @@ class FuzzerConfiguration:
     max_cycles_per_packet: int = 600
     window_mutations_per_trigger: int = 6
     low_gain_limit: int = 3
+    # Namespace for seed ids: parallel shards use disjoint bases so their seeds
+    # never collide in a shared corpus (seed ids also feed per-seed rng streams).
+    seed_id_base: int = 0
     name: str = "dejavuzz"
 
     def variant_name(self) -> str:
@@ -63,7 +66,9 @@ class DejaVuzzFuzzer:
     def __init__(self, configuration: FuzzerConfiguration) -> None:
         self.configuration = configuration
         self.rng = DeterministicRng(configuration.entropy, "fuzzer")
-        self.mutator = Mutator(self.rng.split("mutation"))
+        self.mutator = Mutator(
+            self.rng.split("mutation"), seed_id_base=configuration.seed_id_base
+        )
         self.coverage = TaintCoverageMatrix()
         self.phase1 = TransientWindowTriggering(
             configuration.core,
@@ -77,6 +82,7 @@ class DejaVuzzFuzzer:
             layout=configuration.layout,
             taint_mode=configuration.taint_mode,
             max_cycles_per_packet=configuration.max_cycles_per_packet,
+            low_gain_limit=configuration.low_gain_limit,
         )
         self.phase3 = TransientLeakageAnalysis(
             configuration.core,
@@ -86,6 +92,8 @@ class DejaVuzzFuzzer:
             max_cycles_per_packet=configuration.max_cycles_per_packet,
         )
         self._gain_history: List[int] = []
+        self._seed_gains: Dict[int, int] = {}
+        self._seeds_by_id: Dict[int, Seed] = {}
 
     # -- campaign loop ----------------------------------------------------------------------
 
@@ -93,18 +101,23 @@ class DejaVuzzFuzzer:
         self,
         iterations: int,
         progress_callback: Optional[Callable[[int, CampaignResult], None]] = None,
+        initial_seed: Optional[Seed] = None,
     ) -> CampaignResult:
         """Run the fuzzing loop for a fixed number of iterations.
 
         One iteration corresponds to one Phase-2 exploration attempt (the unit
         the paper's Figure 7 uses on its x axis); Phase 1 attempts required to
         obtain a triggered window are folded into the same iteration.
+
+        ``initial_seed`` lets a caller start the campaign from an existing seed
+        instead of a freshly generated one — the parallel engine uses this to
+        redistribute high-gain seeds from the shared corpus to lagging shards.
         """
         configuration = self.configuration
         result = CampaignResult(
             fuzzer_name=configuration.variant_name(), core=configuration.core.name
         )
-        current_seed = self._new_seed()
+        current_seed = initial_seed if initial_seed is not None else self._new_seed()
         current_phase1: Optional[Phase1Result] = None
         window_mutations = 0
         consecutive_low_gain = 0
@@ -130,6 +143,7 @@ class DejaVuzzFuzzer:
                 consecutive_low_gain=consecutive_low_gain,
             )
             self._gain_history.append(phase2_result.new_coverage_points)
+            self._record_gain(current_seed, phase2_result.new_coverage_points)
             result.coverage_history.append(len(self.coverage))
             result.iterations_run = iteration + 1
 
@@ -165,11 +179,28 @@ class DejaVuzzFuzzer:
 
     def _new_seed(self) -> Seed:
         return Seed.fresh(
+            seed_id=self.mutator.allocate_seed_id(),
             entropy=self.rng.randint(0, 2**31 - 1),
             window_type=self.rng.choice(list(TransientWindowType)),
-            encode_strategies=self.mutator._pick_strategies(),
+            encode_strategies=self.mutator.pick_strategies(),
             mask_high_bits=self.rng.bernoulli(0.2),
         )
+
+    def _record_gain(self, seed: Seed, new_points: int) -> None:
+        self._seeds_by_id[seed.seed_id] = seed
+        self._seed_gains[seed.seed_id] = self._seed_gains.get(seed.seed_id, 0) + new_points
+
+    def top_seeds(self, count: int = 5) -> List[tuple]:
+        """The most productive seeds of this campaign as ``(seed, gain)`` pairs.
+
+        Ordered by descending cumulative coverage gain, ties broken by seed id
+        so the ranking is deterministic; the parallel engine feeds these into
+        the shared corpus at sync epochs.
+        """
+        ranked = sorted(
+            self._seed_gains.items(), key=lambda item: (-item[1], item[0])
+        )
+        return [(self._seeds_by_id[seed_id], gain) for seed_id, gain in ranked[:count]]
 
     def _uncovered_modules(self):
         """Census modules that have not yet produced any coverage point."""

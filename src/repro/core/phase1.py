@@ -12,7 +12,7 @@ triggering are permanently discarded.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.generation.seeds import Seed
 from repro.generation.training import TrainingDeriver, TrainingMode
@@ -31,8 +31,8 @@ class Phase1Result:
     """The outcome of one Phase-1 attempt for one seed."""
 
     seed: Seed
-    spec: TriggerSpec
-    schedule: SwapSchedule
+    spec: Optional[TriggerSpec]
+    schedule: Optional[SwapSchedule]
     triggered: bool
     simulations_used: int
     training_overhead: int = 0
@@ -42,7 +42,40 @@ class Phase1Result:
 
     @property
     def window_type(self):
-        return self.spec.window_type
+        # The seed carries the same window type as the generated spec, and it
+        # survives the statistics-only wire form (spec does not).
+        return self.spec.window_type if self.spec is not None else self.seed.window_type
+
+    def to_dict(self) -> Dict[str, object]:
+        """The cheap wire form: statistics only, no schedule/spec/run payloads.
+
+        Shard processes report Phase-1 outcomes to the engine through this
+        form; the heavyweight simulation artefacts never cross the process
+        boundary.
+        """
+        return {
+            "seed": self.seed.to_dict(),
+            "window_type": self.seed.window_type.value,
+            "triggered": self.triggered,
+            "simulations_used": self.simulations_used,
+            "training_overhead": self.training_overhead,
+            "effective_training_overhead": self.effective_training_overhead,
+            "training_required": self.training_required,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Phase1Result":
+        """Rebuild the statistics-only view (spec/schedule/run are not carried)."""
+        return Phase1Result(
+            seed=Seed.from_dict(payload["seed"]),
+            spec=None,
+            schedule=None,
+            triggered=bool(payload["triggered"]),
+            simulations_used=int(payload["simulations_used"]),
+            training_overhead=int(payload["training_overhead"]),
+            effective_training_overhead=int(payload["effective_training_overhead"]),
+            training_required=bool(payload["training_required"]),
+        )
 
 
 class TransientWindowTriggering:

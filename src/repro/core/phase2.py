@@ -49,6 +49,7 @@ class TransientExecutionExploration:
         layout: MemoryLayout = DEFAULT_LAYOUT,
         taint_mode: TaintTrackingMode = TaintTrackingMode.DIFFIFT,
         max_cycles_per_packet: int = 600,
+        low_gain_limit: int = 3,
     ) -> None:
         self.config = config
         self.layout = layout
@@ -56,6 +57,7 @@ class TransientExecutionExploration:
         self.window_completer = WindowCompleter(layout)
         self.training_deriver = TrainingDeriver(layout)
         self.max_cycles_per_packet = max_cycles_per_packet
+        self.low_gain_limit = low_gain_limit
 
     # -- Step 2.1: window completion ----------------------------------------------------
 
@@ -99,6 +101,7 @@ class TransientExecutionExploration:
             taint_increased=taint_increased,
             average_gain=average_gain,
             consecutive_low_gain=consecutive_low_gain,
+            low_gain_limit=self.low_gain_limit,
         )
         return Phase2Result(
             seed=seed,

@@ -57,6 +57,27 @@ class LeakageVerdict:
         sinks = ", ".join(sorted(self.live_sinks))
         return f"exploitable encoded taint in live sinks: {sinks}"
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "is_leak": self.is_leak,
+            "reason": self.reason,
+            "timing_difference": self.timing_difference,
+            "live_sinks": dict(self.live_sinks),
+            "dead_sinks": dict(self.dead_sinks),
+            "encoded_sinks": dict(self.encoded_sinks),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "LeakageVerdict":
+        return LeakageVerdict(
+            is_leak=bool(payload["is_leak"]),
+            reason=str(payload["reason"]),
+            timing_difference=int(payload["timing_difference"]),
+            live_sinks=dict(payload["live_sinks"]),
+            dead_sinks=dict(payload["dead_sinks"]),
+            encoded_sinks=dict(payload["encoded_sinks"]),
+        )
+
 
 @dataclass
 class Phase3Result:

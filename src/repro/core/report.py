@@ -69,6 +69,35 @@ class BugReport:
             f"encoded into: {components}{matched}"
         )
 
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "iteration": self.iteration,
+            "seed_id": self.seed_id,
+            "core": self.core,
+            "window_type": self.window_type.value,
+            "attack_type": self.attack_type,
+            "window_category": self.window_category,
+            "timing_components": list(self.timing_components),
+            "verdict": self.verdict.to_dict(),
+            "wall_clock_seconds": self.wall_clock_seconds,
+            "matched_known_bugs": list(self.matched_known_bugs),
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "BugReport":
+        return BugReport(
+            iteration=int(payload["iteration"]),
+            seed_id=int(payload["seed_id"]),
+            core=str(payload["core"]),
+            window_type=TransientWindowType(payload["window_type"]),
+            attack_type=str(payload["attack_type"]),
+            window_category=str(payload["window_category"]),
+            timing_components=tuple(payload["timing_components"]),
+            verdict=LeakageVerdict.from_dict(payload["verdict"]),
+            wall_clock_seconds=float(payload["wall_clock_seconds"]),
+            matched_known_bugs=tuple(payload["matched_known_bugs"]),
+        )
+
 
 def classify_report(
     iteration: int,
@@ -145,6 +174,77 @@ class CampaignResult:
 
     def finish(self) -> "CampaignResult":
         self.elapsed_seconds = time.perf_counter() - self.start_time
+        return self
+
+    def to_dict(self) -> Dict[str, object]:
+        """A JSON-safe wire form carrying everything but the live clock."""
+        return {
+            "fuzzer_name": self.fuzzer_name,
+            "core": self.core,
+            "iterations_run": self.iterations_run,
+            "coverage_history": list(self.coverage_history),
+            "reports": [report.to_dict() for report in self.reports],
+            "triggered_windows": dict(self.triggered_windows),
+            "training_overhead": {
+                group: list(samples) for group, samples in self.training_overhead.items()
+            },
+            "effective_training_overhead": {
+                group: list(samples)
+                for group, samples in self.effective_training_overhead.items()
+            },
+            "elapsed_seconds": self.elapsed_seconds,
+            "first_bug_seconds": self.first_bug_seconds,
+            "first_bug_iteration": self.first_bug_iteration,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "CampaignResult":
+        result = CampaignResult(
+            fuzzer_name=str(payload["fuzzer_name"]), core=str(payload["core"])
+        )
+        result.iterations_run = int(payload["iterations_run"])
+        result.coverage_history = list(payload["coverage_history"])
+        result.reports = [BugReport.from_dict(entry) for entry in payload["reports"]]
+        result.triggered_windows = dict(payload["triggered_windows"])
+        result.training_overhead = {
+            group: list(samples) for group, samples in payload["training_overhead"].items()
+        }
+        result.effective_training_overhead = {
+            group: list(samples)
+            for group, samples in payload["effective_training_overhead"].items()
+        }
+        result.elapsed_seconds = float(payload["elapsed_seconds"])
+        result.first_bug_seconds = payload["first_bug_seconds"]
+        result.first_bug_iteration = payload["first_bug_iteration"]
+        return result
+
+    def merge_shard(self, shard: "CampaignResult") -> "CampaignResult":
+        """Fold one shard's campaign into this aggregate.
+
+        Everything except ``coverage_history`` is combined here — the merged
+        coverage curve is owned by the parallel engine, which snapshots its
+        global :class:`~repro.core.coverage.TaintCoverageMatrix` at every sync
+        epoch (shard-local curves count duplicate cross-shard points and would
+        over-report if summed).
+        """
+        self.iterations_run += shard.iterations_run
+        self.reports.extend(shard.reports)
+        for group, count in shard.triggered_windows.items():
+            self.triggered_windows[group] = self.triggered_windows.get(group, 0) + count
+        for group, samples in shard.training_overhead.items():
+            self.training_overhead.setdefault(group, []).extend(samples)
+        for group, samples in shard.effective_training_overhead.items():
+            self.effective_training_overhead.setdefault(group, []).extend(samples)
+        if shard.first_bug_iteration is not None and (
+            self.first_bug_iteration is None
+            or shard.first_bug_iteration < self.first_bug_iteration
+        ):
+            self.first_bug_iteration = shard.first_bug_iteration
+        if shard.first_bug_seconds is not None and (
+            self.first_bug_seconds is None
+            or shard.first_bug_seconds < self.first_bug_seconds
+        ):
+            self.first_bug_seconds = shard.first_bug_seconds
         return self
 
     def record_report(self, report: BugReport) -> None:

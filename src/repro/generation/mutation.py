@@ -2,6 +2,7 @@
 
 from __future__ import annotations
 
+import itertools
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.generation.seeds import EncodeStrategy, Seed
@@ -24,10 +25,22 @@ STRATEGY_TARGETS: Dict[EncodeStrategy, Set[str]] = {
 
 
 class Mutator:
-    """Produces child seeds: window re-rolls when coverage stalls, or fresh triggers."""
+    """Produces child seeds: window re-rolls when coverage stalls, or fresh triggers.
 
-    def __init__(self, rng: DeterministicRng) -> None:
+    Seed identities are allocated from a mutator-local counter rather than the
+    module-level one so that two campaigns built from the same entropy assign
+    the same ids (seed ids feed the per-seed rng streams); ``seed_id_base``
+    namespaces the ids of parallel shards so seeds from different shards never
+    collide in a shared corpus.
+    """
+
+    def __init__(self, rng: DeterministicRng, seed_id_base: int = 0) -> None:
         self.rng = rng
+        self._seed_ids = itertools.count(seed_id_base)
+
+    def allocate_seed_id(self) -> int:
+        """Hand out the next campaign-local seed id."""
+        return next(self._seed_ids)
 
     def mutate_window(self, seed: Seed, uncovered_modules: Optional[Iterable[str]] = None) -> Seed:
         """Regenerate the window section: new encode strategies / length / masking.
@@ -36,8 +49,9 @@ class Mutator:
         coverage increase was below average.  When ``uncovered_modules`` is
         given, strategies that can reach those modules are preferred.
         """
-        strategies = self._pick_strategies(uncovered_modules)
+        strategies = self.pick_strategies(uncovered_modules)
         return seed.mutated(
+            seed_id=self.allocate_seed_id(),
             entropy=self.rng.randint(0, 2**31 - 1),
             encode_strategies=strategies,
             encode_block_length=self.rng.randint(1, 3),
@@ -58,17 +72,25 @@ class Mutator:
         pool = list(preferred_types) if preferred_types else list(TransientWindowType)
         new_type = self.rng.choice(pool)
         return seed.mutated(
+            seed_id=self.allocate_seed_id(),
             entropy=self.rng.randint(0, 2**31 - 1),
             window_type=new_type,
-            encode_strategies=self._pick_strategies(uncovered_modules),
+            encode_strategies=self.pick_strategies(uncovered_modules),
             mask_high_bits=self.rng.bernoulli(0.25),
         )
 
     def mutate_secret(self, seed: Seed) -> Seed:
         """Try a different secret pair (mitigates diffIFT false negatives, §3.3)."""
-        return seed.mutated(secret_value=self.rng.randbits(64) | 1)
+        return seed.mutated(
+            seed_id=self.allocate_seed_id(), secret_value=self.rng.randbits(64) | 1
+        )
 
-    def _pick_strategies(self, uncovered_modules: Optional[Iterable[str]] = None) -> tuple:
+    def pick_strategies(self, uncovered_modules: Optional[Iterable[str]] = None) -> tuple:
+        """Choose the secret-encoding strategies for a new window section.
+
+        Public because the fuzzing manager also uses it when constructing fresh
+        seeds (previously it reached into the private helper).
+        """
         pool = list(EncodeStrategy)
         count = self.rng.randint(1, 2)
         uncovered = set(uncovered_modules or ())
@@ -90,9 +112,10 @@ class Mutator:
         for _ in range(count):
             seeds.append(
                 Seed.fresh(
+                    seed_id=self.allocate_seed_id(),
                     entropy=self.rng.randint(0, 2**31 - 1),
                     window_type=self.rng.choice(list(TransientWindowType)),
-                    encode_strategies=self._pick_strategies(),
+                    encode_strategies=self.pick_strategies(),
                     mask_high_bits=self.rng.bernoulli(0.2),
                 )
             )

@@ -13,7 +13,7 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import List, Optional
+from typing import Dict, List, Optional
 
 from repro.generation.window_types import TransientWindowType
 from repro.utils.rng import DeterministicRng
@@ -51,11 +51,17 @@ class Seed:
     def rng(self, label: str = "seed") -> DeterministicRng:
         return DeterministicRng(self.entropy, f"{label}/{self.seed_id}")
 
-    def mutated(self, **changes) -> "Seed":
-        """Return a child seed with updated fields and lineage bookkeeping."""
+    def mutated(self, seed_id: Optional[int] = None, **changes) -> "Seed":
+        """Return a child seed with updated fields and lineage bookkeeping.
+
+        Callers that need reproducible seed identities across campaigns (the
+        fuzzer's :class:`~repro.generation.mutation.Mutator` and the parallel
+        engine's shards) pass an explicit ``seed_id``; the module-level counter
+        is only a fallback for ad-hoc construction.
+        """
         child = replace(
             self,
-            seed_id=next(_seed_counter),
+            seed_id=next(_seed_counter) if seed_id is None else seed_id,
             generation=self.generation + 1,
             parent_id=self.seed_id,
             **changes,
@@ -66,13 +72,47 @@ class Seed:
     def fresh(
         entropy: int,
         window_type: TransientWindowType,
+        seed_id: Optional[int] = None,
         **kwargs,
     ) -> "Seed":
         return Seed(
-            seed_id=next(_seed_counter),
+            seed_id=next(_seed_counter) if seed_id is None else seed_id,
             entropy=entropy,
             window_type=window_type,
             **kwargs,
+        )
+
+    # -- wire format -------------------------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, object]:
+        """A cheap, JSON-safe wire form (used to ship seeds between shard processes)."""
+        return {
+            "seed_id": self.seed_id,
+            "entropy": self.entropy,
+            "window_type": self.window_type.value,
+            "encode_strategies": [strategy.value for strategy in self.encode_strategies],
+            "encode_block_length": self.encode_block_length,
+            "mask_high_bits": self.mask_high_bits,
+            "secret_value": self.secret_value,
+            "generation": self.generation,
+            "parent_id": self.parent_id,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "Seed":
+        """Rebuild a seed from :meth:`to_dict` without touching the id counter."""
+        return Seed(
+            seed_id=int(payload["seed_id"]),
+            entropy=int(payload["entropy"]),
+            window_type=TransientWindowType(payload["window_type"]),
+            encode_strategies=tuple(
+                EncodeStrategy(value) for value in payload["encode_strategies"]
+            ),
+            encode_block_length=int(payload["encode_block_length"]),
+            mask_high_bits=bool(payload["mask_high_bits"]),
+            secret_value=int(payload["secret_value"]),
+            generation=int(payload["generation"]),
+            parent_id=payload["parent_id"] if payload["parent_id"] is None else int(payload["parent_id"]),
         )
 
 

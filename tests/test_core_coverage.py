@@ -49,15 +49,36 @@ class TestTaintCoverageMatrix:
         assert added == 1
         assert matrix.points == {CoveragePoint("dcache", 1)}
 
-    def test_merge_and_history(self):
+    def test_merge_counts_new_points_and_extends_history(self):
         first = TaintCoverageMatrix()
         first.observe_census_log([census(0, dcache=1)])
         second = TaintCoverageMatrix()
-        second.observe_census_log([census(0, rob=1)])
-        first.merge(second)
+        second.observe_census_log([census(0, rob=1), census(1, dcache=1)])
+        added = first.merge(second)
+        # dcache=1 is shared; only rob=1 is new to ``first``.
+        assert added == 1
         assert len(first) == 2
-        assert first.history == [1]
+        # The merge records a snapshot so merged campaigns keep a continuous curve.
+        assert first.history == [1, 2]
         assert first.snapshot() == 2
+
+    def test_merge_of_disjoint_matrices_is_a_superset(self):
+        first = TaintCoverageMatrix()
+        first.observe_census_log([census(0, dcache=1)])
+        second = TaintCoverageMatrix()
+        second.observe_census_log([census(0, tlb=2)])
+        first.merge(second)
+        assert second.points <= first.points
+
+    def test_add_points_and_wire_roundtrip(self):
+        matrix = TaintCoverageMatrix()
+        matrix.observe_census_log([census(0, dcache=1, tlb=3)])
+        rebuilt = TaintCoverageMatrix.from_dicts(matrix.to_dicts())
+        assert rebuilt.points == matrix.points
+        fresh = TaintCoverageMatrix()
+        assert fresh.add_points(matrix.points) == 2
+        assert fresh.add_points(matrix.points) == 0
+        assert fresh.history == [2, 2]
 
 
 class TestCoverageFeedback:
@@ -84,3 +105,40 @@ class TestCoverageFeedback:
             new_points=0, taint_increased=False, average_gain=3.0, consecutive_low_gain=3
         )
         assert feedback.action == "discard_seed"
+
+    def test_zero_average_gain_with_zero_points_is_kept(self):
+        # At campaign start the running average is 0.0; a taint-propagating run
+        # with 0 new points is not below average (strict comparison), so the
+        # window is kept rather than churned.
+        feedback = CoverageFeedback.decide(
+            new_points=0, taint_increased=True, average_gain=0.0, consecutive_low_gain=0
+        )
+        assert feedback.action == "keep"
+
+    def test_exactly_at_limit_discards(self):
+        at_limit = CoverageFeedback.decide(
+            new_points=0, taint_increased=True, average_gain=2.0, consecutive_low_gain=3
+        )
+        assert at_limit.action == "discard_seed"
+        below_limit = CoverageFeedback.decide(
+            new_points=0, taint_increased=True, average_gain=2.0, consecutive_low_gain=2
+        )
+        assert below_limit.action == "mutate_window"
+
+    def test_non_default_low_gain_limit(self):
+        tolerant = CoverageFeedback.decide(
+            new_points=0,
+            taint_increased=False,
+            average_gain=2.0,
+            consecutive_low_gain=4,
+            low_gain_limit=5,
+        )
+        assert tolerant.action == "mutate_window"
+        exhausted = CoverageFeedback.decide(
+            new_points=0,
+            taint_increased=False,
+            average_gain=2.0,
+            consecutive_low_gain=5,
+            low_gain_limit=5,
+        )
+        assert exhausted.action == "discard_seed"

@@ -1,0 +1,342 @@
+"""Tests for the sharded parallel campaign engine, the shared corpus and the
+wire-format serialization that carries state between shard processes."""
+
+import pytest
+
+from repro.core import (
+    CampaignResult,
+    CoveragePoint,
+    DejaVuzzFuzzer,
+    EngineConfiguration,
+    FuzzerConfiguration,
+    LeakageVerdict,
+    ParallelCampaignEngine,
+    SharedCorpus,
+    run_parallel_campaign,
+)
+from repro.core.engine import ShardTask, run_shard_task
+from repro.core.phase1 import Phase1Result
+from repro.core.report import BugReport
+from repro.generation.seeds import EncodeStrategy, Seed
+from repro.generation.window_types import TransientWindowType
+from repro.uarch import small_boom_config
+
+BOOM = small_boom_config()
+
+
+def make_seed(seed_id=7, entropy=123, **kwargs):
+    return Seed.fresh(
+        seed_id=seed_id,
+        entropy=entropy,
+        window_type=TransientWindowType.LOAD_PAGE_FAULT,
+        **kwargs,
+    )
+
+
+class TestWireFormats:
+    def test_seed_roundtrip(self):
+        seed = make_seed(
+            encode_strategies=(EncodeStrategy.TLB_INDEX, EncodeStrategy.FPU_CONTENTION),
+            mask_high_bits=True,
+        )
+        child = seed.mutated(seed_id=99, entropy=456)
+        rebuilt = Seed.from_dict(child.to_dict())
+        assert rebuilt == child
+        # The per-seed rng stream depends on (entropy, seed_id): a faithful
+        # round trip must reproduce it exactly.
+        assert rebuilt.rng("phase1").randint(0, 10**6) == child.rng("phase1").randint(0, 10**6)
+
+    def test_seed_from_dict_does_not_touch_the_id_counter(self):
+        before = make_seed(seed_id=None).seed_id
+        Seed.from_dict(make_seed(seed_id=1234).to_dict())
+        after = make_seed(seed_id=None).seed_id
+        assert after == before + 1
+
+    def test_coverage_point_roundtrip(self):
+        point = CoveragePoint(module="dcache", tainted_count=3)
+        assert CoveragePoint.from_dict(point.to_dict()) == point
+
+    def test_leakage_verdict_roundtrip(self):
+        verdict = LeakageVerdict(
+            is_leak=True,
+            reason="live_taint",
+            timing_difference=0,
+            live_sinks={"dcache": 2},
+            dead_sinks={"rob": 1},
+            encoded_sinks={"dcache": 2, "rob": 1},
+        )
+        assert LeakageVerdict.from_dict(verdict.to_dict()) == verdict
+
+    def test_bug_report_roundtrip(self):
+        report = BugReport(
+            iteration=4,
+            seed_id=11,
+            core="small-boom",
+            window_type=TransientWindowType.BRANCH_MISPREDICTION,
+            attack_type="spectre",
+            window_category="mispred",
+            timing_components=("dcache",),
+            verdict=LeakageVerdict(is_leak=True, reason="timing", timing_difference=3),
+            wall_clock_seconds=1.5,
+            matched_known_bugs=("phantom-btb",),
+        )
+        assert BugReport.from_dict(report.to_dict()) == report
+
+    def test_campaign_result_roundtrip(self):
+        campaign = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=3)).run_campaign(6)
+        rebuilt = CampaignResult.from_dict(campaign.to_dict())
+        assert rebuilt.coverage_history == campaign.coverage_history
+        assert rebuilt.iterations_run == campaign.iterations_run
+        assert rebuilt.reports == campaign.reports
+        assert rebuilt.triggered_windows == campaign.triggered_windows
+        assert rebuilt.summary()["unique_bugs"] == campaign.summary()["unique_bugs"]
+
+    def test_phase1_result_roundtrip_keeps_statistics(self):
+        original = Phase1Result(
+            seed=make_seed(),
+            spec=None,
+            schedule=None,
+            triggered=True,
+            simulations_used=4,
+            training_overhead=12,
+            effective_training_overhead=3,
+            training_required=True,
+        )
+        rebuilt = Phase1Result.from_dict(original.to_dict())
+        assert rebuilt.seed == original.seed
+        assert rebuilt.triggered
+        assert rebuilt.simulations_used == 4
+        assert rebuilt.training_overhead == 12
+        assert rebuilt.effective_training_overhead == 3
+        # window_type must survive the wire form even though spec does not.
+        assert rebuilt.window_type == original.seed.window_type
+
+
+class TestSharedCorpus:
+    def test_ranked_by_gain_with_deterministic_ties(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=5, shard_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=9, shard_index=1, epoch=0)
+        corpus.add(make_seed(seed_id=3), gain=5, shard_index=0, epoch=0)
+        best = corpus.best(3)
+        assert [entry.seed.seed_id for entry in best] == [2, 1, 3]
+
+    def test_higher_gain_updates_existing_entry(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=2, shard_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=1), gain=8, shard_index=0, epoch=1)
+        corpus.add(make_seed(seed_id=1), gain=4, shard_index=0, epoch=2)
+        assert len(corpus) == 1
+        assert corpus.best(1)[0].gain == 8
+
+    def test_capacity_trim_keeps_top_gain(self):
+        corpus = SharedCorpus(capacity=2)
+        for seed_id, gain in ((1, 1), (2, 9), (3, 5)):
+            corpus.add(make_seed(seed_id=seed_id), gain=gain, shard_index=0, epoch=0)
+        assert len(corpus) == 2
+        assert [entry.seed.seed_id for entry in corpus.best(2)] == [2, 3]
+
+    def test_adding_a_low_gain_seed_to_a_full_corpus_does_not_crash(self):
+        # Regression: the freshly-offered entry can be the one trimmed away;
+        # add() must still return it instead of raising KeyError.
+        corpus = SharedCorpus(capacity=2)
+        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=5, shard_index=0, epoch=0)
+        evicted = corpus.add(make_seed(seed_id=3), gain=1, shard_index=1, epoch=0)
+        assert evicted.seed.seed_id == 3
+        assert len(corpus) == 2
+        assert [entry.seed.seed_id for entry in corpus.best(2)] == [1, 2]
+
+    def test_exclude_shard_skips_own_seeds(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=1, shard_index=1, epoch=0)
+        best = corpus.best(1, exclude_shard=0)
+        assert best[0].seed.seed_id == 2
+
+    def test_wire_roundtrip(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=3, shard_index=0, epoch=1)
+        rebuilt = SharedCorpus.from_dicts(corpus.to_dicts())
+        assert rebuilt.best(1)[0].seed == corpus.best(1)[0].seed
+
+    def test_rejects_nonpositive_capacity(self):
+        with pytest.raises(ValueError):
+            SharedCorpus(capacity=0)
+
+
+class TestShardTask:
+    def test_shard_task_is_a_pure_function_of_its_payload(self):
+        task = ShardTask(
+            shard_index=0,
+            epoch=0,
+            iterations=4,
+            configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
+        )
+        first = run_shard_task(task)
+        second = run_shard_task(task)
+        assert first["points"] == second["points"]
+        assert first["result"]["coverage_history"] == second["result"]["coverage_history"]
+        assert first["top_seeds"] == second["top_seeds"]
+
+    def test_baseline_points_are_not_reported_back(self):
+        baseline = [{"module": "dcache", "tainted_count": 1}]
+        task = ShardTask(
+            shard_index=0,
+            epoch=0,
+            iterations=3,
+            configuration=FuzzerConfiguration(core=BOOM, entropy=31),
+            baseline_points=baseline,
+        )
+        payload = run_shard_task(task)
+        # Reported points are (final - baseline): the preloaded global point
+        # must never be echoed back as a shard observation.
+        assert {"module": "dcache", "tainted_count": 1} not in payload["points"]
+
+
+class TestParallelCampaignEngine:
+    def test_budget_split_is_exact(self):
+        engine = ParallelCampaignEngine(
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=1),
+                shards=3,
+                iterations=17,
+                sync_epochs=2,
+            )
+        )
+        budgets = engine.epoch_budgets()
+        assert sum(sum(epoch) for epoch in budgets) == 17
+        assert len(budgets) == 2 and all(len(epoch) == 3 for epoch in budgets)
+
+    def test_runs_full_budget_and_merges_supersets(self):
+        result = run_parallel_campaign(
+            BOOM, shards=2, iterations=12, sync_epochs=2, entropy=7, executor="inline"
+        )
+        assert result.campaign.iterations_run == 12
+        assert len(result.coverage) > 0
+        for shard_index, points in result.shard_points.items():
+            assert points <= result.coverage.points, f"shard {shard_index} not a subset"
+        # The merged curve is the engine's epoch-by-epoch history: monotone.
+        history = result.campaign.coverage_history
+        assert history == sorted(history)
+        assert history[-1] == len(result.coverage)
+
+    def test_deterministic_given_root_entropy(self):
+        first = run_parallel_campaign(
+            BOOM, shards=2, iterations=10, sync_epochs=2, entropy=5, executor="inline"
+        )
+        second = run_parallel_campaign(
+            BOOM, shards=2, iterations=10, sync_epochs=2, entropy=5, executor="inline"
+        )
+        assert first.coverage.points == second.coverage.points
+        assert first.campaign.coverage_history == second.campaign.coverage_history
+        assert first.campaign.triggered_windows == second.campaign.triggered_windows
+        assert [r.signature for r in first.campaign.reports] == [
+            r.signature for r in second.campaign.reports
+        ]
+
+    def test_process_executor_matches_inline(self):
+        inline = run_parallel_campaign(
+            BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9, executor="inline"
+        )
+        pooled = run_parallel_campaign(
+            BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9, executor="process"
+        )
+        assert pooled.coverage.points == inline.coverage.points
+        assert pooled.campaign.coverage_history == inline.campaign.coverage_history
+
+    def test_redistribution_reaches_lagging_shards(self):
+        result = run_parallel_campaign(
+            BOOM, shards=2, iterations=12, sync_epochs=3, entropy=7, executor="inline"
+        )
+        assert result.redistributed_seeds > 0
+
+    def test_redistribution_assigns_distinct_seeds(self):
+        from repro.core.engine import ParallelCampaignEngine as Engine
+
+        engine = Engine(
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=1),
+                shards=3,
+                redistribute_top=2,
+            )
+        )
+        engine.corpus.add(make_seed(seed_id=100), gain=9, shard_index=2, epoch=0)
+        engine.corpus.add(make_seed(seed_id=200), gain=5, shard_index=2, epoch=0)
+        from repro.core.engine import EngineResult
+        from repro.core.coverage import TaintCoverageMatrix
+        from repro.core.report import CampaignResult
+
+        result = EngineResult(
+            campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
+            coverage=TaintCoverageMatrix(),
+            shards=3,
+            epochs=1,
+        )
+        assignments = engine._redistribute({0: 0, 1: 1, 2: 10}, result)
+        # Shards 0 and 1 lag; they must receive two *different* donor seeds.
+        assert assignments[0] is not None and assignments[1] is not None
+        assert assignments[0]["seed_id"] != assignments[1]["seed_id"]
+        assert result.redistributed_seeds == 2
+
+    def test_first_bug_iteration_is_rebased_across_epochs(self):
+        result = run_parallel_campaign(
+            BOOM, shards=2, iterations=16, sync_epochs=2, entropy=7, executor="inline"
+        )
+        if result.campaign.first_bug_iteration is not None:
+            # Rebased to shard-cumulative iterations: can never exceed the
+            # per-shard total budget.
+            assert 0 <= result.campaign.first_bug_iteration < 16
+
+    def test_shard_seed_ids_never_collide(self):
+        bases = {
+            ParallelCampaignEngine.shard_seed_id_base(shard, epoch)
+            for shard in range(8)
+            for epoch in range(4)
+        }
+        assert len(bases) == 8 * 4
+
+    def test_rejects_bad_configuration(self):
+        with pytest.raises(ValueError):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=0)
+        with pytest.raises(ValueError):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), executor="threads")
+
+
+class TestFeedbackKnobPlumbing:
+    def test_low_gain_limit_reaches_phase2(self):
+        configuration = FuzzerConfiguration(core=BOOM, entropy=1, low_gain_limit=7)
+        fuzzer = DejaVuzzFuzzer(configuration)
+        assert fuzzer.phase2.low_gain_limit == 7
+
+    def test_low_gain_limit_changes_campaign_behaviour(self):
+        # limit=0 discards a seed on the first below-average attempt; a large
+        # limit keeps re-rolling the same window.  The two policies must not
+        # explore identically.
+        impatient = DejaVuzzFuzzer(
+            FuzzerConfiguration(core=BOOM, entropy=13, low_gain_limit=0)
+        ).run_campaign(12)
+        patient = DejaVuzzFuzzer(
+            FuzzerConfiguration(core=BOOM, entropy=13, low_gain_limit=50)
+        ).run_campaign(12)
+        assert (
+            impatient.coverage_history != patient.coverage_history
+            or impatient.triggered_windows != patient.triggered_windows
+        )
+
+    def test_mutator_pick_strategies_is_public(self):
+        fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=1))
+        strategies = fuzzer.mutator.pick_strategies()
+        assert strategies and all(isinstance(s, EncodeStrategy) for s in strategies)
+
+    def test_seed_id_base_namespaces_campaigns(self):
+        shard0 = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=2, seed_id_base=0))
+        shard1 = DejaVuzzFuzzer(
+            FuzzerConfiguration(core=BOOM, entropy=2, seed_id_base=1_000_000)
+        )
+        shard0.run_campaign(4)
+        shard1.run_campaign(4)
+        ids0 = {seed.seed_id for seed, _ in shard0.top_seeds(10)}
+        ids1 = {seed.seed_id for seed, _ in shard1.top_seeds(10)}
+        assert ids0 and ids1
+        assert not ids0 & ids1

@@ -31,9 +31,20 @@ class TestDejaVuzzFuzzer:
         assert campaign.table5_rows()
 
     def test_deterministic_given_entropy(self):
-        first = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4)).run_campaign(8)
-        second = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4)).run_campaign(8)
+        # Back-to-back campaigns in the same process: seed ids are allocated
+        # from a campaign-local counter (not module-global state), so the
+        # second run replays the first exactly — histories, reports and the
+        # seeds themselves.
+        first_fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4))
+        second_fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=4))
+        first = first_fuzzer.run_campaign(8)
+        second = second_fuzzer.run_campaign(8)
         assert first.coverage_history == second.coverage_history
+        assert first.triggered_windows == second.triggered_windows
+        assert [report.seed_id for report in first.reports] == [
+            report.seed_id for report in second.reports
+        ]
+        assert first_fuzzer.top_seeds(5) == second_fuzzer.top_seeds(5)
 
     def test_variant_names(self):
         assert FuzzerConfiguration(core=BOOM).variant_name() == "dejavuzz"
