@@ -69,6 +69,7 @@ def dejavuzz_liveness_ablation(core):
             entropy=entropy,
             window_type=TransientWindowType.LOAD_PAGE_FAULT,
             encode_strategies=(EncodeStrategy.DCACHE_INDEX,),
+            seed_id=entropy,
         )
         entropy += 1
         phase1_result = phase1.run(seed)

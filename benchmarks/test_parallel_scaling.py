@@ -10,10 +10,10 @@ process pool.  The benchmark demonstrates
 * **coverage parity** — the merged matrix is a superset of every single
   shard's points and lands in the same ballpark as the serial run,
 * **determinism** — two sharded runs from the same root entropy are identical,
-* **wall-clock speedup** — on a multi-core host the 4-shard run beats the
-  serial loop (on a single-CPU host true parallel speedup is physically
-  impossible, so there the assertion degrades to an orchestration-overhead
-  bound and the measured ratio is only recorded).
+* **wall-clock speedup** — on a host with at least as many cores as shards
+  the 4-shard run beats the serial loop (with fewer cores a full parallel
+  speedup is physically impossible, so there the assertion degrades to an
+  orchestration-overhead bound and the measured ratio is only recorded).
 """
 
 import os
@@ -89,18 +89,19 @@ def test_parallel_scaling(benchmark):
         assert points <= sharded.coverage.points, f"shard {shard_index} lost points in merge"
     assert len(sharded.coverage) >= 0.5 * serial.final_coverage()
 
-    if cpus >= 2 and not os.environ.get("CI"):
-        # Real parallel hardware: demand a wall-clock win.  Skipped on CI
-        # runners, whose shared vCPUs make wall-clock racing too noisy to
-        # gate a build on.
+    if cpus >= SHARDS and not os.environ.get("CI"):
+        # Enough cores to host every shard: demand a wall-clock win.  Skipped
+        # on CI runners, whose shared vCPUs make wall-clock racing too noisy
+        # to gate a build on.
         assert speedup > 1.1, (
             f"4-shard run should beat serial on {cpus} CPUs "
             f"(serial {serial_seconds:.2f}s vs sharded {sharded_seconds:.2f}s)"
         )
     else:
-        # Single CPU (or noisy CI host): no reliable parallel speedup; bound
-        # the orchestration overhead instead (pool + merge must stay a small
-        # constant factor).
+        # Fewer cores than shards (or noisy CI host): pool startup + merge
+        # overhead can eat the partial parallel win, so no reliable speedup;
+        # bound the orchestration overhead instead (pool + merge must stay a
+        # small constant factor).
         assert sharded_seconds < 2.5 * serial_seconds, (
             f"orchestration overhead too high "
             f"(serial {serial_seconds:.2f}s vs sharded {sharded_seconds:.2f}s on {cpus} CPUs)"

@@ -33,7 +33,9 @@ def collect_dejavuzz_overheads(core, training_mode, entropy_base=40_000):
         attempts = 0
         while collected < WINDOWS_PER_TYPE and attempts < WINDOWS_PER_TYPE * MAX_ATTEMPTS_PER_WINDOW:
             window_type = members[attempts % len(members)]
-            seed = Seed.fresh(entropy=entropy, window_type=window_type)
+            # Explicit seed_id keeps the table independent of how many seeds
+            # earlier tests drew from the module-level id counter.
+            seed = Seed.fresh(entropy=entropy, window_type=window_type, seed_id=entropy)
             entropy += 1
             attempts += 1
             result = phase1.run(seed)

@@ -36,7 +36,7 @@ import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set
+from typing import Callable, Dict, List, Optional, Set, Tuple
 
 from repro.core.corpus import SharedCorpus
 from repro.core.coverage import CoveragePoint, TaintCoverageMatrix
@@ -81,8 +81,12 @@ class EngineConfiguration:
     def __post_init__(self) -> None:
         if self.shards <= 0:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.iterations <= 0:
+            raise ValueError(f"iterations must be positive, got {self.iterations}")
         if self.sync_epochs <= 0:
             raise ValueError(f"sync_epochs must be positive, got {self.sync_epochs}")
+        if self.max_workers is not None and self.max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {self.max_workers}")
         if self.executor not in ("process", "inline"):
             raise ValueError(f"unknown executor {self.executor!r}")
 
@@ -233,23 +237,31 @@ class ParallelCampaignEngine:
             index: None for index in range(configuration.shards)
         }
         shard_iterations_done: Dict[int, int] = {}
-        for epoch, budgets in enumerate(self.epoch_budgets()):
-            tasks = [
-                self._build_task(shard_index, epoch, budgets[shard_index], assignments)
-                for shard_index in range(configuration.shards)
-                if budgets[shard_index] > 0
-            ]
-            if not tasks:
-                continue
-            epoch_offset_seconds = time.perf_counter() - started
-            payloads = self._execute(tasks)
-            epoch_gains = self._merge_epoch(
-                payloads, result, epoch_offset_seconds, shard_iterations_done
-            )
-            if epoch < configuration.sync_epochs - 1:
-                assignments = self._redistribute(epoch_gains, result)
-            if progress_callback is not None:
-                progress_callback(epoch, result)
+        pool: Optional[ProcessPoolExecutor] = None
+        all_budgets = self.epoch_budgets()
+        try:
+            for epoch, budgets in enumerate(all_budgets):
+                tasks = [
+                    self._build_task(shard_index, epoch, budgets[shard_index], assignments)
+                    for shard_index in range(configuration.shards)
+                    if budgets[shard_index] > 0
+                ]
+                if not tasks:
+                    continue
+                epoch_offset_seconds = time.perf_counter() - started
+                payloads, pool = self._execute(tasks, pool)
+                epoch_gains = self._merge_epoch(
+                    payloads, result, epoch_offset_seconds, shard_iterations_done
+                )
+                if epoch < configuration.sync_epochs - 1:
+                    assignments = self._redistribute(
+                        epoch_gains, result, all_budgets[epoch + 1]
+                    )
+                if progress_callback is not None:
+                    progress_callback(epoch, result)
+        finally:
+            if pool is not None:
+                pool.shutdown()
 
         aggregate.coverage_history = list(coverage.history)
         aggregate.finish()
@@ -280,18 +292,26 @@ class ParallelCampaignEngine:
             report_top_seeds=self.configuration.report_top_seeds,
         )
 
-    def _execute(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+    def _execute(
+        self, tasks: List[ShardTask], pool: Optional[ProcessPoolExecutor] = None
+    ) -> Tuple[List[Dict[str, object]], Optional[ProcessPoolExecutor]]:
         configuration = self.configuration
         if configuration.executor == "inline" or len(tasks) == 1:
             payloads = [run_shard_task(task) for task in tasks]
         else:
-            workers = min(len(tasks), configuration.max_workers or configuration.shards)
-            with ProcessPoolExecutor(max_workers=workers) as pool:
-                payloads = list(pool.map(run_shard_task, tasks))
+            if pool is None:
+                # One pool for the whole campaign: worker spawn + interpreter
+                # boot is expensive relative to an epoch's work, so the caller
+                # keeps the returned pool alive across sync epochs.
+                workers = min(
+                    configuration.shards, configuration.max_workers or configuration.shards
+                )
+                pool = ProcessPoolExecutor(max_workers=workers)
+            payloads = list(pool.map(run_shard_task, tasks))
         # Merge in shard order regardless of completion order: set-union makes
         # the merged points order-independent, but history snapshots and corpus
         # tiebreaks stay deterministic only under a fixed fold order.
-        return sorted(payloads, key=lambda payload: payload["shard_index"])
+        return sorted(payloads, key=lambda payload: payload["shard_index"]), pool
 
     def _merge_epoch(
         self,
@@ -309,13 +329,18 @@ class ParallelCampaignEngine:
             epoch_gains[shard_index] = newly_added
             result.shard_points[shard_index] |= points
             shard_result = CampaignResult.from_dict(payload["result"])
-            # Shard first-bug metrics are epoch-local; rebase them to the
-            # engine's origin (campaign start, shard-cumulative iterations) so
-            # merge_shard's min() compares like with like.
+            # Shard bug metrics are epoch-local; rebase them to the engine's
+            # origin (campaign start, shard-cumulative iterations) so
+            # merge_shard's min() compares like with like and the merged
+            # reports sit on the same timeline as first_bug_*.
+            iterations_before = shard_iterations_done.get(shard_index, 0)
             if shard_result.first_bug_iteration is not None:
-                shard_result.first_bug_iteration += shard_iterations_done.get(shard_index, 0)
+                shard_result.first_bug_iteration += iterations_before
             if shard_result.first_bug_seconds is not None:
                 shard_result.first_bug_seconds += epoch_offset_seconds
+            for report in shard_result.reports:
+                report.iteration += iterations_before
+                report.wall_clock_seconds += epoch_offset_seconds
             shard_iterations_done[shard_index] = (
                 shard_iterations_done.get(shard_index, 0) + shard_result.iterations_run
             )
@@ -341,16 +366,29 @@ class ParallelCampaignEngine:
         return epoch_gains
 
     def _redistribute(
-        self, epoch_gains: Dict[int, int], result: EngineResult
+        self,
+        epoch_gains: Dict[int, int],
+        result: EngineResult,
+        next_budgets: Optional[List[int]] = None,
     ) -> Dict[int, Optional[Dict[str, object]]]:
-        """Assign top corpus seeds to the shards that gained the least."""
+        """Assign top corpus seeds to the shards that gained the least.
+
+        ``next_budgets`` filters out shards with no iterations left in the
+        next epoch — assigning them a donor would silently drop the seed while
+        withholding it from shards that could still run it.
+        """
         configuration = self.configuration
         assignments: Dict[int, Optional[Dict[str, object]]] = {
             index: None for index in range(configuration.shards)
         }
         if not epoch_gains or len(self.corpus) == 0:
             return assignments
-        lagging = sorted(epoch_gains, key=lambda index: (epoch_gains[index], index))
+        eligible = [
+            index
+            for index in epoch_gains
+            if next_budgets is None or next_budgets[index] > 0
+        ]
+        lagging = sorted(eligible, key=lambda index: (epoch_gains[index], index))
         assigned_ids: set = set()
         for shard_index in lagging[: configuration.redistribute_top]:
             # Each lagging shard gets a *distinct* donor seed, otherwise every

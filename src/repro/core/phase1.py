@@ -49,13 +49,13 @@ class Phase1Result:
     def to_dict(self) -> Dict[str, object]:
         """The cheap wire form: statistics only, no schedule/spec/run payloads.
 
-        Shard processes report Phase-1 outcomes to the engine through this
-        form; the heavyweight simulation artefacts never cross the process
-        boundary.
+        The heavyweight simulation artefacts are dropped, so the payload is
+        safe to send across a process boundary.  A result rebuilt with
+        ``from_dict`` is statistics-only and cannot be fed back into Phase 2
+        (which needs the live spec/schedule).
         """
         return {
             "seed": self.seed.to_dict(),
-            "window_type": self.seed.window_type.value,
             "triggered": self.triggered,
             "simulations_used": self.simulations_used,
             "training_overhead": self.training_overhead,

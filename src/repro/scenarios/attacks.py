@@ -61,11 +61,15 @@ ATTACK_SCENARIOS: Dict[str, AttackScenario] = {
 
 
 def _seed_for(scenario: AttackScenario, secret: int) -> Seed:
+    # The scenario entropy doubles as the seed id so attack schedules are
+    # reproducible regardless of how many seeds were created beforehand
+    # (Seed.fresh would otherwise draw from the module-level id counter).
     return Seed.fresh(
         entropy=scenario.entropy,
         window_type=scenario.window_type,
         encode_strategies=scenario.encode_strategies,
         secret_value=secret,
+        seed_id=scenario.entropy,
     )
 
 
@@ -89,7 +93,12 @@ def build_attack_schedule(
     for attempt in range(max_attempts):
         seed = _seed_for(scenario, secret)
         if attempt:
-            seed = seed.mutated(entropy=scenario.entropy + 1000 * attempt)
+            # Explicit seed_id for the same reason as _seed_for: mutated()
+            # would otherwise draw from the module-level id counter.
+            seed = seed.mutated(
+                entropy=scenario.entropy + 1000 * attempt,
+                seed_id=scenario.entropy + 1000 * attempt,
+            )
         result = phase1.run(seed)
         if not result.triggered:
             last_error = f"attempt {attempt}: window did not trigger"

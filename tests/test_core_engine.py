@@ -111,6 +111,23 @@ class TestWireFormats:
         # window_type must survive the wire form even though spec does not.
         assert rebuilt.window_type == original.seed.window_type
 
+    def test_statistics_only_phase1_result_rejected_by_phase2(self):
+        from repro.core.phase2 import TransientExecutionExploration
+
+        seed = make_seed()
+        rebuilt = Phase1Result.from_dict(
+            Phase1Result(
+                seed=seed,
+                spec=None,
+                schedule=None,
+                triggered=True,
+                simulations_used=1,
+            ).to_dict()
+        )
+        phase2 = TransientExecutionExploration(BOOM)
+        with pytest.raises(ValueError, match="statistics-only"):
+            phase2.complete_window(rebuilt, seed)
+
 
 class TestSharedCorpus:
     def test_ranked_by_gain_with_deterministic_ties(self):
@@ -279,6 +296,18 @@ class TestParallelCampaignEngine:
         assert assignments[0]["seed_id"] != assignments[1]["seed_id"]
         assert result.redistributed_seeds == 2
 
+        # A shard with no iterations left next epoch must not receive (and
+        # silently drop) a donor seed; the redistribution slot moves to the
+        # next-lagging shard instead (shard 2 donated both corpus seeds, so it
+        # is excluded from receiving them back).
+        result.redistributed_seeds = 0
+        assignments = engine._redistribute(
+            {0: 0, 1: 1, 2: 10}, result, next_budgets=[0, 1, 1]
+        )
+        assert assignments[0] is None
+        assert assignments[1] is not None
+        assert result.redistributed_seeds == 1
+
     def test_first_bug_iteration_is_rebased_across_epochs(self):
         result = run_parallel_campaign(
             BOOM, shards=2, iterations=16, sync_epochs=2, entropy=7, executor="inline"
@@ -287,6 +316,13 @@ class TestParallelCampaignEngine:
             # Rebased to shard-cumulative iterations: can never exceed the
             # per-shard total budget.
             assert 0 <= result.campaign.first_bug_iteration < 16
+            # Merged reports sit on the same rebased timeline, so the earliest
+            # report agrees with the aggregate first-bug metric.
+            assert result.campaign.reports
+            assert (
+                min(report.iteration for report in result.campaign.reports)
+                == result.campaign.first_bug_iteration
+            )
 
     def test_shard_seed_ids_never_collide(self):
         bases = {
@@ -301,6 +337,10 @@ class TestParallelCampaignEngine:
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=0)
         with pytest.raises(ValueError):
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), executor="threads")
+        with pytest.raises(ValueError):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), iterations=0)
+        with pytest.raises(ValueError):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), max_workers=0)
 
 
 class TestFeedbackKnobPlumbing:
