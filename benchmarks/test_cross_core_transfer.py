@@ -1,0 +1,123 @@
+"""Cross-core transfer study — heterogeneous BOOM+XiangShan engine campaigns.
+
+Runs one iteration budget across a mixed shard set (half SmallBOOM, half
+XiangShan-Minimal) and answers the seed-portability question the paper's
+two-core evaluation raises: does a seed that is productive on one core, once
+its portable genotype is re-realized for the other core (window-type groups
+transfer; encodings are core-specific), pay off there?  Attribution is
+epoch-granular: a transfer counts as productive when the shard-epoch it
+opens (the transferred seed plus its mutated descendants) contributes
+globally-new coverage on the target core.
+
+The benchmark asserts
+
+* **strict per-core coverage** — BOOM and XiangShan points are merged into
+  separate matrices; every shard's points land only in its own core's matrix,
+* **reproducibility** — two mixed campaigns from the same integer root
+  entropy produce byte-identical merged ``CampaignResult`` wire forms
+  (timing fields zeroed; everything else, including the per-core breakdown
+  and every bug report, must match exactly),
+* **productive transfer** — at least one cross-core transfer contributes
+  globally-new coverage on its target core,
+
+and archives the donor-core x target-core transfer matrix under
+``benchmarks/results/``.
+"""
+
+import json
+
+from bench_utils import format_table, save_results
+
+from repro.analysis import cross_core_transfer_table
+from repro.core import run_parallel_campaign
+
+TOTAL_ITERATIONS = 48
+SHARDS = 4
+SYNC_EPOCHS = 3
+ENTROPY = 2025
+CORES = ["boom", "xiangshan", "boom", "xiangshan"]
+
+
+def run_mixed():
+    return run_parallel_campaign(
+        cores=CORES,
+        shards=SHARDS,
+        iterations=TOTAL_ITERATIONS,
+        sync_epochs=SYNC_EPOCHS,
+        entropy=ENTROPY,
+        executor="inline",  # deterministic on any host, CI runners included
+    )
+
+
+def test_cross_core_transfer(benchmark):
+    first = benchmark.pedantic(run_mixed, rounds=1, iterations=1)
+    second = run_mixed()
+
+    # Budget parity across the mixed shard set.
+    assert first.campaign.iterations_run == TOTAL_ITERATIONS
+
+    # Reproducibility: the merged campaign wire form is byte-identical from
+    # one root entropy (timing zeroed; reports, breakdowns, curves exact).
+    first_wire = json.dumps(first.campaign.to_dict(include_timing=False), sort_keys=True)
+    second_wire = json.dumps(second.campaign.to_dict(include_timing=False), sort_keys=True)
+    assert first_wire == second_wire, "mixed campaign is not reproducible"
+
+    # Coverage is merged strictly per core: both cores have their own matrix,
+    # each shard's points are a subset of its own core's matrix, and each
+    # matrix holds exactly the union of its own shards' points — no BOOM
+    # point ever lands in the XiangShan matrix or vice versa.
+    assert set(first.core_coverage) == {"small-boom", "xiangshan-minimal"}
+    for core_name, matrix in first.core_coverage.items():
+        own_shards = [
+            index for index, name in first.shard_cores.items() if name == core_name
+        ]
+        own_points = set()
+        for index in own_shards:
+            assert first.shard_points[index] <= matrix.points, (
+                f"shard {index} lost points in the {core_name} merge"
+            )
+            own_points |= first.shard_points[index]
+        assert matrix.points == own_points, (
+            f"{core_name} matrix contains points from another core"
+        )
+
+    # The transfer study: seeds moved across cores and at least one opened a
+    # shard-epoch that contributed globally-new coverage on the other core.
+    assert first.transferred_seeds > 0, "no cross-core transfers happened"
+    productive = first.productive_transfers()
+    assert productive, "no transfer opened a productive epoch on the other core"
+
+    table = cross_core_transfer_table(first.transfers)
+    rows = [
+        [
+            row["donor_core"],
+            row["target_core"],
+            row["transfers"],
+            row["productive"],
+            row["new_points"],
+            row["with_reports"],
+        ]
+        for row in table
+    ]
+    text = format_table(
+        ["Donor core", "Target core", "Transferred", "Productive", "New points", "With reports"],
+        rows,
+    )
+    text += (
+        "\n\noutcome attribution is epoch-granular: a transfer is productive when"
+        "\nthe shard-epoch it opened (the transferred seed plus its mutated"
+        "\ndescendants) found globally-new coverage on the target core"
+    )
+    text += "\n\nper-core coverage: " + ", ".join(
+        f"{core}={len(matrix)}" for core, matrix in sorted(first.core_coverage.items())
+    )
+    text += (
+        f"\nshards: {SHARDS} ({', '.join(CORES)}); sync epochs: {SYNC_EPOCHS}; "
+        f"iterations: {TOTAL_ITERATIONS}; root entropy: {ENTROPY}"
+    )
+    text += (
+        f"\nredistributed seeds: {first.redistributed_seeds} "
+        f"(cross-core: {first.transferred_seeds}, productive: {len(productive)})"
+    )
+    text += f"\nreproducible from root entropy: {first_wire == second_wire}"
+    save_results("cross_core_transfer", text)

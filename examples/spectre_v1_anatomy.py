@@ -38,7 +38,10 @@ def main() -> int:
     phase2 = TransientExecutionExploration(core)
     phase3 = TransientLeakageAnalysis(core)
 
+    # Explicit seed ids keep the walkthrough reproducible no matter how many
+    # seeds were created earlier in the process (ids feed the per-seed rng).
     seed = Seed.fresh(
+        seed_id=101,
         entropy=101,
         window_type=TransientWindowType.BRANCH_MISPREDICTION,
         encode_strategies=(EncodeStrategy.DCACHE_INDEX,),
@@ -46,7 +49,7 @@ def main() -> int:
     result = phase1.run(seed)
     attempts = 1
     while not result.triggered:
-        seed = seed.mutated(entropy=seed.entropy + 1000)
+        seed = seed.mutated(seed_id=seed.seed_id + 1000, entropy=seed.entropy + 1000)
         result = phase1.run(seed)
         attempts += 1
 

@@ -8,6 +8,8 @@ from repro.analysis.results import (
     coverage_curve_statistics,
     coverage_improvement,
     iterations_to_reach,
+    per_core_breakdown,
+    cross_core_transfer_table,
 )
 
 __all__ = [
@@ -18,4 +20,6 @@ __all__ = [
     "coverage_curve_statistics",
     "coverage_improvement",
     "iterations_to_reach",
+    "per_core_breakdown",
+    "cross_core_transfer_table",
 ]

@@ -116,3 +116,66 @@ def coverage_improvement(
     if not dejavuzz_curve or not baseline_curve or baseline_curve[-1] == 0:
         return None
     return dejavuzz_curve[-1] / baseline_curve[-1]
+
+
+# -- heterogeneous (cross-core) campaigns ----------------------------------------------------
+
+
+def per_core_breakdown(campaign: CampaignResult) -> List[Dict[str, object]]:
+    """One row per core of a merged heterogeneous campaign.
+
+    Pulls the engine-maintained subtotals (iterations, reports, triggered
+    windows) out of ``core_breakdown``.  A serial campaign never populates
+    the breakdown, so its single row falls back to the campaign totals and
+    the per-core count of the merged report list.
+    """
+    rows: List[Dict[str, object]] = []
+    reports_by_core: Dict[str, int] = {}
+    for report in campaign.reports:
+        reports_by_core[report.core] = reports_by_core.get(report.core, 0) + 1
+    breakdown = campaign.core_breakdown or {campaign.core: {}}
+    for core in sorted(breakdown):
+        entry = breakdown[core]
+        rows.append(
+            {
+                "core": core,
+                "iterations": entry.get("iterations", campaign.iterations_run),
+                "reports": entry.get("reports", reports_by_core.get(core, 0)),
+                "triggered_windows": entry.get("triggered_windows", 0),
+            }
+        )
+    return rows
+
+
+def cross_core_transfer_table(
+    transfers: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate the engine's transfer log into a donor-core x target-core table.
+
+    Each row counts the seeds transferred along one (donor core, target core)
+    edge, how many of those started shard-epochs that contributed globally-new
+    coverage on the target core, the summed new points, and how many of those
+    epochs produced bug reports there.  Attribution is epoch-granular — the
+    transferred seed opens the receiving epoch and its mutated descendants
+    count towards its outcome — so the table reads as "did seeding the other
+    core with this donor pay off", not as per-stimulus leakage portability.
+    """
+    edges: Dict[Tuple[str, str], Dict[str, int]] = {}
+    for row in transfers:
+        key = (str(row["donor_core"]), str(row["target_core"]))
+        edge = edges.setdefault(
+            key,
+            {"transfers": 0, "productive": 0, "new_points": 0, "with_reports": 0},
+        )
+        edge["transfers"] += 1
+        new_points = row.get("new_global_points")
+        if new_points is not None and new_points > 0:
+            edge["productive"] += 1
+            edge["new_points"] += int(new_points)
+        reports = row.get("reports")
+        if reports is not None and reports > 0:
+            edge["with_reports"] += 1
+    return [
+        {"donor_core": donor, "target_core": target, **counts}
+        for (donor, target), counts in sorted(edges.items())
+    ]

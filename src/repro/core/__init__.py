@@ -31,10 +31,14 @@ from repro.core.corpus import CorpusEntry, SharedCorpus
 # ``__main__``), which would trip runpy's double-import warning.
 _ENGINE_EXPORTS = frozenset(
     {
+        "CORES",
+        "CORE_ALIASES",
+        "CORE_FACTORIES",
         "EngineConfiguration",
         "EngineResult",
         "ParallelCampaignEngine",
         "ShardTask",
+        "resolve_core",
         "run_parallel_campaign",
         "run_shard_task",
     }
@@ -68,5 +72,6 @@ __all__ = [
     "EngineConfiguration",
     "EngineResult",
     "ParallelCampaignEngine",
+    "resolve_core",
     "run_parallel_campaign",
 ]

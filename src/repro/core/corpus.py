@@ -22,12 +22,22 @@ from repro.generation.seeds import Seed
 
 @dataclass
 class CorpusEntry:
-    """One corpus inhabitant: a seed plus its provenance and productivity."""
+    """One corpus inhabitant: a seed plus its provenance and productivity.
+
+    ``core`` is the origin core the seed was realized (and productive) on;
+    the empty string marks a legacy / unbound seed that any core may run.
+    Redistribution uses the tag to pick compatible donors for a shard's core,
+    or to transfer a foreign donor via :meth:`repro.generation.seeds.Seed.transfer`.
+    """
 
     seed: Seed
     gain: int
     shard_index: int
     epoch: int
+    core: str = ""
+
+    def compatible_with(self, core_name: str) -> bool:
+        return not self.core or self.core == core_name
 
     def to_dict(self) -> Dict[str, object]:
         return {
@@ -35,15 +45,20 @@ class CorpusEntry:
             "gain": self.gain,
             "shard_index": self.shard_index,
             "epoch": self.epoch,
+            "core": self.core,
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "CorpusEntry":
+        seed = Seed.from_dict(payload["seed"])
         return CorpusEntry(
-            seed=Seed.from_dict(payload["seed"]),
+            seed=seed,
             gain=int(payload["gain"]),
             shard_index=int(payload["shard_index"]),
             epoch=int(payload["epoch"]),
+            # Older checkpoints predate the tag; fall back to the seed's own
+            # core binding so a reloaded corpus keeps its transfer semantics.
+            core=str(payload.get("core", seed.core)),
         )
 
 
@@ -59,17 +74,31 @@ class SharedCorpus:
     def __len__(self) -> int:
         return len(self._entries)
 
-    def add(self, seed: Seed, gain: int, shard_index: int, epoch: int) -> CorpusEntry:
+    def add(
+        self,
+        seed: Seed,
+        gain: int,
+        shard_index: int,
+        epoch: int,
+        core: Optional[str] = None,
+    ) -> CorpusEntry:
         """Insert or update one seed; the highest observed gain wins.
 
         Seed ids are globally unique (shards allocate from disjoint id bases),
         so the id is a stable identity across epochs: a seed re-reported with
         a higher cumulative gain moves up in the ranking instead of
-        duplicating.
+        duplicating.  ``core`` tags the entry's origin core; it defaults to
+        the seed's own realization core.
         """
         entry = self._entries.get(seed.seed_id)
         if entry is None or gain > entry.gain:
-            entry = CorpusEntry(seed=seed, gain=gain, shard_index=shard_index, epoch=epoch)
+            entry = CorpusEntry(
+                seed=seed,
+                gain=gain,
+                shard_index=shard_index,
+                epoch=epoch,
+                core=seed.core if core is None else core,
+            )
             self._entries[seed.seed_id] = entry
         self._trim()
         # A full corpus may evict the entry straight away; the caller still
@@ -78,22 +107,32 @@ class SharedCorpus:
 
     def extend(self, entries: Iterable[CorpusEntry]) -> None:
         for entry in entries:
-            self.add(entry.seed, entry.gain, entry.shard_index, entry.epoch)
+            self.add(entry.seed, entry.gain, entry.shard_index, entry.epoch, core=entry.core)
 
     def best(
-        self, count: int, exclude_shard: Optional[int] = None
+        self,
+        count: int,
+        exclude_shard: Optional[int] = None,
+        core: Optional[str] = None,
     ) -> List[CorpusEntry]:
         """The top-gain entries, optionally excluding one shard's own seeds.
 
         ``exclude_shard`` keeps redistribution useful: handing a shard back a
         seed it bred itself adds nothing to its exploration frontier.
+        ``core`` restricts the ranking to entries compatible with that core
+        (same origin core, or untagged); without it all entries rank.
         """
         candidates = [
             entry
             for entry in self._entries.values()
-            if exclude_shard is None or entry.shard_index != exclude_shard
+            if (exclude_shard is None or entry.shard_index != exclude_shard)
+            and (core is None or entry.compatible_with(core))
         ]
         return sorted(candidates, key=self._rank)[:count]
+
+    def cores(self) -> List[str]:
+        """The distinct origin-core tags currently in the corpus, sorted."""
+        return sorted({entry.core for entry in self._entries.values()})
 
     def seeds(self) -> List[Seed]:
         return [entry.seed for entry in sorted(self._entries.values(), key=self._rank)]

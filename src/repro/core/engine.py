@@ -11,22 +11,37 @@ The campaign is divided into **sync epochs**.  Within an epoch the shards run
 independently; at the epoch boundary the engine
 
 1. merges every shard's :class:`~repro.core.coverage.TaintCoverageMatrix`
-   into the global matrix (``merge``/``add_points`` report how many points
-   each shard contributed that were globally new),
+   into the global matrix *of that shard's core* (coverage points are
+   microarchitecture-specific, so BOOM and XiangShan points never share a
+   matrix; ``add_points`` reports how many points each shard contributed that
+   were globally new on its core),
 2. folds the shard :class:`~repro.core.report.CampaignResult` objects into the
-   aggregate report,
-3. collects each shard's top-gain seeds into a :class:`SharedCorpus`, and
+   aggregate report (with a per-core breakdown),
+3. collects each shard's top-gain seeds into a :class:`SharedCorpus`, tagged
+   with their origin core, and
 4. redistributes the best corpus seeds to the *lagging* shards (lowest global
-   coverage contribution this epoch) for the next epoch, while every shard
-   restarts from the merged global coverage baseline so no shard spends
+   coverage contribution this epoch) for the next epoch.  A lagging shard
+   prefers a donor realized for its own core; when only foreign-core donors
+   remain, the donor's portable genotype is *transferred* — re-realized for
+   the target core via :meth:`~repro.generation.seeds.Seed.transfer`
+   (window-type groups transfer; encodings are core-specific).  Every shard
+   restarts from its core's merged coverage baseline so no shard spends
    iterations rediscovering another shard's points.
+
+Shards may run different cores (``cores=["boom", "boom", "xiangshan",
+"xiangshan"]``), turning the shared corpus into a cross-core transfer study:
+:attr:`EngineResult.transfers` records each transfer together with the
+receiving shard-epoch's outcome — the globally-new coverage and bug reports
+found on the target core in the epoch the transferred seed started.  The
+attribution is epoch-granular: the seed opens that epoch and its mutated
+descendants count towards its outcome.
 
 Only cheap wire forms (``to_dict`` payloads and plain dataclasses of
 primitives) cross the process boundary — simulator state never gets pickled.
 
 Run it directly::
 
-    python -m repro.core.engine --core boom --shards 4 --iterations 100
+    python -m repro.core.engine --cores boom,xiangshan --iterations 100
 """
 
 from __future__ import annotations
@@ -36,7 +51,7 @@ import json
 import time
 from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.core.corpus import SharedCorpus
 from repro.core.coverage import CoveragePoint, TaintCoverageMatrix
@@ -44,16 +59,38 @@ from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
 from repro.core.report import CampaignResult
 from repro.generation.seeds import Seed
 from repro.uarch.boom import small_boom_config
+from repro.uarch.config import CoreConfig
 from repro.uarch.xiangshan import xiangshan_minimal_config
 from repro.utils.rng import DeterministicRng
 
-# Cores the CLI can name; the programmatic API accepts any CoreConfig.
-CORE_FACTORIES = {
+# Canonical cores the CLI can name; the programmatic API accepts any
+# CoreConfig.  Aliases map onto the canonical names so the registry (and its
+# help text) lists each core exactly once.
+CORES: Dict[str, Callable[[], CoreConfig]] = {
     "boom": small_boom_config,
-    "small-boom": small_boom_config,
     "xiangshan": xiangshan_minimal_config,
-    "xiangshan-minimal": xiangshan_minimal_config,
 }
+CORE_ALIASES: Dict[str, str] = {
+    "small-boom": "boom",
+    "xiangshan-minimal": "xiangshan",
+}
+# Flat name -> factory view kept for backward compatibility.
+CORE_FACTORIES: Dict[str, Callable[[], CoreConfig]] = {
+    **CORES,
+    **{alias: CORES[target] for alias, target in CORE_ALIASES.items()},
+}
+
+
+def resolve_core(name: str) -> CoreConfig:
+    """Build the :class:`CoreConfig` for a registry name or alias."""
+    canonical = CORE_ALIASES.get(name, name)
+    try:
+        factory = CORES[canonical]
+    except KeyError:
+        known = ", ".join(sorted(CORES) + sorted(CORE_ALIASES))
+        raise ValueError(f"unknown core {name!r} (known: {known})") from None
+    return factory()
+
 
 # Seed-id namespacing: shard i / epoch e allocates ids from
 # (i + 1) * SHARD_ID_STRIDE + e * EPOCH_ID_STRIDE upward.  A shard would need
@@ -62,6 +99,10 @@ CORE_FACTORIES = {
 # seed id as a global identity.
 SHARD_ID_STRIDE = 10_000_000
 EPOCH_ID_STRIDE = 100_000
+# Cross-core transfers re-realize a donor seed under a new identity; they get
+# their own namespace far above any shard/epoch base (shard bases stay below
+# this for fewer than ~100 shards).
+TRANSFER_SEED_ID_BASE = 1_000_000_000
 
 
 @dataclass
@@ -77,6 +118,10 @@ class EngineConfiguration:
     report_top_seeds: int = 4            # seeds each shard reports per epoch
     max_workers: Optional[int] = None    # defaults to `shards`
     executor: str = "process"            # "process" | "inline"
+    # Per-shard core assignment for heterogeneous campaigns: one entry per
+    # shard, each a registry name ("boom"), a CoreConfig, or a full
+    # FuzzerConfiguration.  None runs every shard on the prototype's core.
+    cores: Optional[Sequence[object]] = None
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
@@ -85,10 +130,60 @@ class EngineConfiguration:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
         if self.sync_epochs <= 0:
             raise ValueError(f"sync_epochs must be positive, got {self.sync_epochs}")
+        if self.corpus_capacity <= 0:
+            raise ValueError(
+                f"corpus_capacity must be positive, got {self.corpus_capacity}"
+            )
+        if self.redistribute_top < 0:
+            raise ValueError(
+                f"redistribute_top must be non-negative, got {self.redistribute_top}"
+            )
+        if self.report_top_seeds < 0:
+            raise ValueError(
+                f"report_top_seeds must be non-negative, got {self.report_top_seeds}"
+            )
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
+        # Seed ids are the corpus's global identity: the highest shard-epoch
+        # base must stay below the transfer namespace or ids would collide.
+        highest_base = ParallelCampaignEngine.shard_seed_id_base(
+            self.shards - 1, self.sync_epochs - 1
+        )
+        if highest_base + EPOCH_ID_STRIDE > TRANSFER_SEED_ID_BASE:
+            raise ValueError(
+                f"shards={self.shards} x sync_epochs={self.sync_epochs} exhausts "
+                f"the seed-id namespace below TRANSFER_SEED_ID_BASE "
+                f"({TRANSFER_SEED_ID_BASE}); reduce the shard or epoch count"
+            )
         if self.executor not in ("process", "inline"):
             raise ValueError(f"unknown executor {self.executor!r}")
+        # Resolve eagerly so a bad core name fails at configuration time, not
+        # in the middle of a campaign.
+        self.shard_fuzzers()
+
+    def shard_fuzzers(self) -> List[FuzzerConfiguration]:
+        """One prototype configuration per shard (entropy re-derived later)."""
+        if self.cores is None:
+            return [self.fuzzer] * self.shards
+        if len(self.cores) != self.shards:
+            raise ValueError(
+                f"cores must assign one core per shard: got {len(self.cores)} "
+                f"entries for {self.shards} shards"
+            )
+        prototypes: List[FuzzerConfiguration] = []
+        for spec in self.cores:
+            if isinstance(spec, FuzzerConfiguration):
+                prototypes.append(spec)
+            elif isinstance(spec, CoreConfig):
+                prototypes.append(replace(self.fuzzer, core=spec))
+            elif isinstance(spec, str):
+                prototypes.append(replace(self.fuzzer, core=resolve_core(spec)))
+            else:
+                raise ValueError(
+                    f"cannot interpret core assignment {spec!r} "
+                    "(expected name, CoreConfig or FuzzerConfiguration)"
+                )
+        return prototypes
 
 
 @dataclass
@@ -115,8 +210,9 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
     fuzzer = DejaVuzzFuzzer(task.configuration)
     baseline = set()
     if task.baseline_points:
-        # Start from the merged global coverage so feedback only rewards
-        # globally-new points and mutation steers away from covered modules.
+        # Start from the merged global coverage of this shard's core so
+        # feedback only rewards globally-new points and mutation steers away
+        # from covered modules.
         fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
         baseline = fuzzer.coverage.points
     initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
@@ -128,6 +224,7 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
     return {
         "shard_index": task.shard_index,
         "epoch": task.epoch,
+        "core": task.configuration.core.name,
         "result": result.to_dict(),
         "points": [point.to_dict() for point in observed],
         "top_seeds": [
@@ -140,16 +237,55 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
 
 @dataclass
 class EngineResult:
-    """The outcome of one sharded campaign."""
+    """The outcome of one sharded campaign.
+
+    Coverage is kept strictly per core: ``core_coverage`` maps each core name
+    to its own merged matrix, and points observed on one core are never folded
+    into another core's matrix.  For homogeneous campaigns the legacy
+    :attr:`coverage` property exposes the single matrix directly.
+    """
 
     campaign: CampaignResult
-    coverage: TaintCoverageMatrix
+    core_coverage: Dict[str, TaintCoverageMatrix]
     shards: int
     epochs: int
+    shard_cores: Dict[int, str] = field(default_factory=dict)
     shard_points: Dict[int, Set[CoveragePoint]] = field(default_factory=dict)
     shard_summaries: List[Dict[str, object]] = field(default_factory=list)
+    # One row per cross-core transfer: donor identity/core/gain, target
+    # shard/core, the re-realized seed id, the epoch it ran in, and — once
+    # that epoch merged — the globally-new points and reports of the
+    # receiving shard-epoch.
+    transfers: List[Dict[str, object]] = field(default_factory=list)
     redistributed_seeds: int = 0
+    transferred_seeds: int = 0
     wall_clock_seconds: float = 0.0
+
+    @property
+    def coverage(self) -> TaintCoverageMatrix:
+        """The merged matrix of a single-core campaign.
+
+        Heterogeneous campaigns have no single merged matrix (cross-core
+        point merging is exactly what the engine refuses to do); use
+        :attr:`core_coverage` instead.
+        """
+        if len(self.core_coverage) == 1:
+            return next(iter(self.core_coverage.values()))
+        raise ValueError(
+            "heterogeneous campaign has one coverage matrix per core; "
+            "use core_coverage[name]"
+        )
+
+    def total_coverage(self) -> int:
+        return sum(len(matrix) for matrix in self.core_coverage.values())
+
+    def productive_transfers(self) -> List[Dict[str, object]]:
+        """Transfers whose receiving shard-epoch found globally-new coverage."""
+        return [
+            row
+            for row in self.transfers
+            if row["new_global_points"] is not None and row["new_global_points"] > 0
+        ]
 
     def summary(self) -> Dict[str, object]:
         summary = self.campaign.summary()
@@ -157,8 +293,14 @@ class EngineResult:
             {
                 "shards": self.shards,
                 "sync_epochs": self.epochs,
-                "coverage": len(self.coverage),
+                "coverage": self.total_coverage(),
+                "per_core_coverage": {
+                    core: len(matrix)
+                    for core, matrix in sorted(self.core_coverage.items())
+                },
                 "redistributed_seeds": self.redistributed_seeds,
+                "cross_core_transfers": self.transferred_seeds,
+                "productive_transfers": len(self.productive_transfers()),
                 "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             }
         )
@@ -171,9 +313,13 @@ class ParallelCampaignEngine:
     def __init__(self, configuration: EngineConfiguration) -> None:
         self.configuration = configuration
         self.corpus = SharedCorpus(capacity=configuration.corpus_capacity)
-        # Wire form of the merged coverage, handed to shards as their starting
-        # baseline; refreshed at every epoch merge.
-        self._baseline_points: List[Dict[str, object]] = []
+        self._shard_fuzzers = configuration.shard_fuzzers()
+        # Wire form of each core's merged coverage, handed to that core's
+        # shards as their starting baseline; refreshed at every epoch merge.
+        self._baseline_points: Dict[str, List[Dict[str, object]]] = {}
+        # Deterministic id allocation and outcome bookkeeping for transfers.
+        self._transfer_count = 0
+        self._pending_transfers: Dict[Tuple[int, int], Dict[str, object]] = {}
 
     # -- deterministic derivations ---------------------------------------------------------
 
@@ -187,6 +333,9 @@ class ParallelCampaignEngine:
     @staticmethod
     def shard_seed_id_base(shard_index: int, epoch: int) -> int:
         return (shard_index + 1) * SHARD_ID_STRIDE + epoch * EPOCH_ID_STRIDE
+
+    def shard_core(self, shard_index: int) -> CoreConfig:
+        return self._shard_fuzzers[shard_index].core
 
     def epoch_budgets(self) -> List[List[int]]:
         """Split the total iteration budget across epochs, then across shards.
@@ -220,16 +369,24 @@ class ParallelCampaignEngine:
         """Run the full sharded campaign and return the merged outcome."""
         configuration = self.configuration
         started = time.perf_counter()
-        coverage = TaintCoverageMatrix()
+        shard_cores = {
+            index: prototype.core.name
+            for index, prototype in enumerate(self._shard_fuzzers)
+        }
+        # One matrix per distinct core, in shard order.
+        core_coverage = {
+            name: TaintCoverageMatrix() for name in dict.fromkeys(shard_cores.values())
+        }
         aggregate = CampaignResult(
             fuzzer_name=configuration.fuzzer.variant_name(),
-            core=configuration.fuzzer.core.name,
+            core="+".join(dict.fromkeys(shard_cores.values())),
         )
         result = EngineResult(
             campaign=aggregate,
-            coverage=coverage,
+            core_coverage=core_coverage,
             shards=configuration.shards,
             epochs=configuration.sync_epochs,
+            shard_cores=shard_cores,
             shard_points={index: set() for index in range(configuration.shards)},
         )
 
@@ -255,7 +412,7 @@ class ParallelCampaignEngine:
                 )
                 if epoch < configuration.sync_epochs - 1:
                     assignments = self._redistribute(
-                        epoch_gains, result, all_budgets[epoch + 1]
+                        epoch_gains, result, all_budgets[epoch + 1], epoch + 1
                     )
                 if progress_callback is not None:
                     progress_callback(epoch, result)
@@ -263,7 +420,6 @@ class ParallelCampaignEngine:
             if pool is not None:
                 pool.shutdown()
 
-        aggregate.coverage_history = list(coverage.history)
         aggregate.finish()
         result.wall_clock_seconds = time.perf_counter() - started
         return result
@@ -277,8 +433,9 @@ class ParallelCampaignEngine:
         iterations: int,
         assignments: Dict[int, Optional[Dict[str, object]]],
     ) -> ShardTask:
+        prototype = self._shard_fuzzers[shard_index]
         shard_configuration = replace(
-            self.configuration.fuzzer,
+            prototype,
             entropy=self.shard_entropy(shard_index, epoch),
             seed_id_base=self.shard_seed_id_base(shard_index, epoch),
         )
@@ -288,7 +445,7 @@ class ParallelCampaignEngine:
             iterations=iterations,
             configuration=shard_configuration,
             initial_seed=assignments.get(shard_index),
-            baseline_points=self._baseline_points,
+            baseline_points=self._baseline_points.get(prototype.core.name, []),
             report_top_seeds=self.configuration.report_top_seeds,
         )
 
@@ -320,14 +477,19 @@ class ParallelCampaignEngine:
         epoch_offset_seconds: float,
         shard_iterations_done: Dict[int, int],
     ) -> Dict[int, int]:
-        """Fold one epoch's shard payloads into the global state."""
+        """Fold one epoch's shard payloads into the global per-core state."""
         epoch_gains: Dict[int, int] = {}
         for payload in payloads:
             shard_index = payload["shard_index"]
+            core_name = payload["core"]
+            matrix = result.core_coverage[core_name]
             points = {CoveragePoint.from_dict(entry) for entry in payload["points"]}
-            newly_added = result.coverage.add_points(points)
+            newly_added = matrix.add_points(points)
             epoch_gains[shard_index] = newly_added
             result.shard_points[shard_index] |= points
+            # The aggregate curve counts points across cores (per-core curves
+            # live in each matrix's own history).
+            result.campaign.coverage_history.append(result.total_coverage())
             shard_result = CampaignResult.from_dict(payload["result"])
             # Shard bug metrics are epoch-local; rebase them to the engine's
             # origin (campaign start, shard-cumulative iterations) so
@@ -351,18 +513,28 @@ class ParallelCampaignEngine:
                     gain=int(entry["gain"]),
                     shard_index=shard_index,
                     epoch=payload["epoch"],
+                    core=core_name,
                 )
+            pending = self._pending_transfers.pop(
+                (shard_index, payload["epoch"]), None
+            )
+            if pending is not None:
+                pending["new_global_points"] = newly_added
+                pending["reports"] = len(shard_result.reports)
             result.shard_summaries.append(
                 {
                     "shard": shard_index,
                     "epoch": payload["epoch"],
+                    "core": core_name,
                     "iterations": shard_result.iterations_run,
                     "new_global_points": newly_added,
                     "reports": len(shard_result.reports),
                     "wall_seconds": round(payload["wall_seconds"], 3),
                 }
             )
-        self._baseline_points = result.coverage.to_dicts()
+        self._baseline_points = {
+            core: matrix.to_dicts() for core, matrix in result.core_coverage.items()
+        }
         return epoch_gains
 
     def _redistribute(
@@ -370,9 +542,16 @@ class ParallelCampaignEngine:
         epoch_gains: Dict[int, int],
         result: EngineResult,
         next_budgets: Optional[List[int]] = None,
+        next_epoch: int = 0,
     ) -> Dict[int, Optional[Dict[str, object]]]:
         """Assign top corpus seeds to the shards that gained the least.
 
+        Donors are considered in global gain order: a compatible donor (same
+        core as the receiving shard, or untagged) is handed over as-is, while
+        a higher-ranked foreign-core donor is *transferred* — its portable
+        genotype re-realized for the shard's core.  The shared corpus is thus
+        one cross-core pool: if the most productive seed campaign-wide lives
+        on the other core, the lagging shard still benefits from it.
         ``next_budgets`` filters out shards with no iterations left in the
         next epoch — assigning them a donor would silently drop the seed while
         withholding it from shards that could still run it.
@@ -391,30 +570,77 @@ class ParallelCampaignEngine:
         lagging = sorted(eligible, key=lambda index: (epoch_gains[index], index))
         assigned_ids: set = set()
         for shard_index in lagging[: configuration.redistribute_top]:
+            target_core = self.shard_core(shard_index)
+            supported = target_core.supported_window_types()
             # Each lagging shard gets a *distinct* donor seed, otherwise every
             # redistribution slot would restart from the same global best.
-            donors = self.corpus.best(
-                configuration.redistribute_top + 1, exclude_shard=shard_index
-            )
-            for donor in donors:
-                if donor.seed.seed_id not in assigned_ids:
+            for donor in self.corpus.best(len(self.corpus), exclude_shard=shard_index):
+                if donor.seed.seed_id in assigned_ids:
+                    continue
+                if donor.compatible_with(target_core.name):
                     assignments[shard_index] = donor.seed.to_dict()
                     assigned_ids.add(donor.seed.seed_id)
                     result.redistributed_seeds += 1
                     break
+                if not donor.seed.transferable_to(supported):
+                    continue
+                transferred = donor.seed.transfer(
+                    target_core.name,
+                    seed_id=TRANSFER_SEED_ID_BASE + self._transfer_count,
+                    supported=supported,
+                )
+                self._transfer_count += 1
+                assignments[shard_index] = transferred.to_dict()
+                assigned_ids.add(donor.seed.seed_id)
+                result.redistributed_seeds += 1
+                result.transferred_seeds += 1
+                row: Dict[str, object] = {
+                    "donor_seed_id": donor.seed.seed_id,
+                    "donor_core": donor.core or donor.seed.core,
+                    "donor_shard": donor.shard_index,
+                    "donor_gain": donor.gain,
+                    "target_core": target_core.name,
+                    "target_shard": shard_index,
+                    "transferred_seed_id": transferred.seed_id,
+                    "epoch": next_epoch,
+                    "new_global_points": None,
+                    "reports": None,
+                }
+                result.transfers.append(row)
+                self._pending_transfers[(shard_index, next_epoch)] = row
+                break
         return assignments
 
 
 def run_parallel_campaign(
-    core,
-    shards: int = 4,
+    core=None,
+    shards: Optional[int] = None,
     iterations: int = 100,
     sync_epochs: int = 2,
     entropy: int = 2025,
     executor: str = "process",
+    cores: Optional[Sequence[object]] = None,
     **fuzzer_overrides,
 ) -> EngineResult:
-    """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`."""
+    """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`.
+
+    ``core`` is the prototype core for homogeneous campaigns; ``cores`` gives
+    a per-shard assignment for heterogeneous ones (``core`` then defaults to
+    the first entry and only seeds the prototype configuration).  ``shards``
+    defaults to one per ``cores`` entry, matching the CLI, or to 4.
+    """
+    if shards is None:
+        shards = len(cores) if cores else 4
+    if core is None:
+        if not cores:
+            raise ValueError("either core or cores must be given")
+        first = cores[0]
+        if isinstance(first, FuzzerConfiguration):
+            core = first.core
+        elif isinstance(first, CoreConfig):
+            core = first
+        else:
+            core = resolve_core(str(first))
     fuzzer_configuration = FuzzerConfiguration(core=core, entropy=entropy, **fuzzer_overrides)
     configuration = EngineConfiguration(
         fuzzer=fuzzer_configuration,
@@ -422,11 +648,25 @@ def run_parallel_campaign(
         iterations=iterations,
         sync_epochs=sync_epochs,
         executor=executor,
+        cores=cores,
     )
     return ParallelCampaignEngine(configuration).run()
 
 
 # -- CLI -------------------------------------------------------------------------------------
+
+
+def core_registry_lines() -> List[str]:
+    """One line per canonical core, with its aliases folded in."""
+    aliases_of: Dict[str, List[str]] = {name: [] for name in CORES}
+    for alias, target in CORE_ALIASES.items():
+        aliases_of[target].append(alias)
+    lines = []
+    for name in sorted(CORES):
+        config = CORES[name]()
+        alias_text = f" (aliases: {', '.join(sorted(aliases_of[name]))})" if aliases_of[name] else ""
+        lines.append(f"{name:12s} -> {config.name}{alias_text}")
+    return lines
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -438,9 +678,23 @@ def build_parser() -> argparse.ArgumentParser:
         "--core",
         choices=sorted(CORE_FACTORIES),
         default="boom",
-        help="which simulated core to fuzz (default: boom)",
+        help="simulated core for every shard (default: boom; see --list-cores)",
     )
-    parser.add_argument("--shards", type=int, default=4, help="parallel shard count")
+    parser.add_argument(
+        "--cores",
+        metavar="A,B,...",
+        help="comma-separated per-shard core assignment for a heterogeneous "
+        "campaign, e.g. boom,boom,xiangshan,xiangshan (overrides --core)",
+    )
+    parser.add_argument(
+        "--list-cores",
+        action="store_true",
+        help="list the core registry (canonical names and aliases) and exit",
+    )
+    parser.add_argument(
+        "--shards", type=int, default=None,
+        help="parallel shard count (default: 4, or the length of --cores)",
+    )
     parser.add_argument(
         "--iterations", type=int, default=100, help="total iteration budget across all shards"
     )
@@ -480,22 +734,35 @@ def main(argv: Optional[List[str]] = None) -> int:
     from repro.generation.training import TrainingMode
 
     args = build_parser().parse_args(argv)
-    core = CORE_FACTORIES[args.core]()
-    fuzzer_configuration = FuzzerConfiguration(
-        core=core,
-        entropy=args.entropy,
-        training_mode=TrainingMode.RANDOM if args.random_training else TrainingMode.DERIVED,
-        coverage_feedback=not args.no_coverage_feedback,
-        low_gain_limit=args.low_gain_limit,
-    )
+    if args.list_cores:
+        print("known cores:")
+        for line in core_registry_lines():
+            print(f"  {line}")
+        return 0
+
+    core_names = [name.strip() for name in args.cores.split(",") if name.strip()] if args.cores else None
+    if core_names is not None and not core_names:
+        print("error: --cores must name at least one core")
+        return 2
+    shards = args.shards if args.shards is not None else (len(core_names) if core_names else 4)
+
     try:
+        core = resolve_core(core_names[0] if core_names else args.core)
+        fuzzer_configuration = FuzzerConfiguration(
+            core=core,
+            entropy=args.entropy,
+            training_mode=TrainingMode.RANDOM if args.random_training else TrainingMode.DERIVED,
+            coverage_feedback=not args.no_coverage_feedback,
+            low_gain_limit=args.low_gain_limit,
+        )
         configuration = EngineConfiguration(
             fuzzer=fuzzer_configuration,
-            shards=args.shards,
+            shards=shards,
             iterations=args.iterations,
             sync_epochs=args.epochs,
             max_workers=args.workers,
             executor="inline" if args.inline else "process",
+            cores=core_names,
         )
     except ValueError as error:
         print(f"error: {error}")
@@ -504,31 +771,49 @@ def main(argv: Optional[List[str]] = None) -> int:
     def report_epoch(epoch: int, result: EngineResult) -> None:
         print(
             f"[epoch {epoch + 1}/{configuration.sync_epochs}] "
-            f"coverage={len(result.coverage)} reports={len(result.campaign.reports)} "
-            f"redistributed={result.redistributed_seeds}"
+            f"coverage={result.total_coverage()} reports={len(result.campaign.reports)} "
+            f"redistributed={result.redistributed_seeds} "
+            f"transferred={result.transferred_seeds}"
         )
 
     engine = ParallelCampaignEngine(configuration)
     result = engine.run(progress_callback=report_epoch)
 
-    print(f"\n{result.campaign.fuzzer_name} on {core.name}: "
+    print(f"\n{result.campaign.fuzzer_name} on {result.campaign.core}: "
           f"{configuration.shards} shards x {configuration.sync_epochs} epochs")
     for key, value in result.summary().items():
         print(f"  {key:22s} {value}")
     print("\nper shard-epoch:")
     for row in result.shard_summaries:
         print(
-            f"  shard {row['shard']} epoch {row['epoch']}: "
+            f"  shard {row['shard']} ({row['core']}) epoch {row['epoch']}: "
             f"{row['iterations']:4d} iters, +{row['new_global_points']} global points, "
             f"{row['reports']} reports, {row['wall_seconds']}s"
         )
+    if result.transfers:
+        print("\ncross-core transfers:")
+        for row in result.transfers:
+            outcome = (
+                f"+{row['new_global_points']} points, {row['reports']} reports"
+                if row["new_global_points"] is not None
+                else "not yet run"
+            )
+            print(
+                f"  seed {row['donor_seed_id']} [{row['donor_core']}] -> "
+                f"shard {row['target_shard']} [{row['target_core']}] "
+                f"epoch {row['epoch']}: {outcome}"
+            )
 
     if args.json:
         payload = {
             "summary": result.summary(),
             "campaign": result.campaign.to_dict(),
-            "coverage_points": result.coverage.to_dicts(),
+            "coverage_points": {
+                core: matrix.to_dicts()
+                for core, matrix in sorted(result.core_coverage.items())
+            },
             "shard_summaries": result.shard_summaries,
+            "transfers": result.transfers,
         }
         with open(args.json, "w", encoding="utf-8") as handle:
             json.dump(payload, handle, indent=2)

@@ -112,8 +112,19 @@ class DejaVuzzFuzzer:
         ``initial_seed`` lets a caller start the campaign from an existing seed
         instead of a freshly generated one — the parallel engine uses this to
         redistribute high-gain seeds from the shared corpus to lagging shards.
+        A seed realized for a *different* core is rejected: encodings are
+        core-specific, so the caller must :meth:`~repro.generation.seeds.Seed.transfer`
+        it first.
         """
         configuration = self.configuration
+        if initial_seed is not None and not initial_seed.compatible_with(
+            configuration.core.name
+        ):
+            raise ValueError(
+                f"seed {initial_seed.seed_id} is realized for core "
+                f"{initial_seed.core!r}; transfer it before running on "
+                f"{configuration.core.name!r}"
+            )
         result = CampaignResult(
             fuzzer_name=configuration.variant_name(), core=configuration.core.name
         )
@@ -184,6 +195,7 @@ class DejaVuzzFuzzer:
             window_type=self.rng.choice(list(TransientWindowType)),
             encode_strategies=self.mutator.pick_strategies(),
             mask_high_bits=self.rng.bernoulli(0.2),
+            core=self.configuration.core.name,
         )
 
     def _record_gain(self, seed: Seed, new_points: int) -> None:

@@ -171,19 +171,32 @@ class CampaignResult:
     elapsed_seconds: float = 0.0
     first_bug_seconds: Optional[float] = None
     first_bug_iteration: Optional[int] = None
+    # Per-core subtotals, filled by merge_shard when shards from more than one
+    # core fold into the same aggregate (heterogeneous engine campaigns).
+    core_breakdown: Dict[str, Dict[str, int]] = field(default_factory=dict)
 
     def finish(self) -> "CampaignResult":
         self.elapsed_seconds = time.perf_counter() - self.start_time
         return self
 
-    def to_dict(self) -> Dict[str, object]:
-        """A JSON-safe wire form carrying everything but the live clock."""
+    def to_dict(self, include_timing: bool = True) -> Dict[str, object]:
+        """A JSON-safe wire form carrying everything but the live clock.
+
+        ``include_timing=False`` zeroes the wall-clock fields (campaign and
+        per-report), leaving only the deterministic content: two campaigns run
+        from the same root entropy then serialize byte-identically, which is
+        what the reproducibility benchmarks assert.
+        """
+        reports = [report.to_dict() for report in self.reports]
+        if not include_timing:
+            for entry in reports:
+                entry["wall_clock_seconds"] = 0.0
         return {
             "fuzzer_name": self.fuzzer_name,
             "core": self.core,
             "iterations_run": self.iterations_run,
             "coverage_history": list(self.coverage_history),
-            "reports": [report.to_dict() for report in self.reports],
+            "reports": reports,
             "triggered_windows": dict(self.triggered_windows),
             "training_overhead": {
                 group: list(samples) for group, samples in self.training_overhead.items()
@@ -192,9 +205,12 @@ class CampaignResult:
                 group: list(samples)
                 for group, samples in self.effective_training_overhead.items()
             },
-            "elapsed_seconds": self.elapsed_seconds,
-            "first_bug_seconds": self.first_bug_seconds,
+            "elapsed_seconds": self.elapsed_seconds if include_timing else 0.0,
+            "first_bug_seconds": self.first_bug_seconds if include_timing else None,
             "first_bug_iteration": self.first_bug_iteration,
+            "core_breakdown": {
+                core: dict(entry) for core, entry in self.core_breakdown.items()
+            },
         }
 
     @staticmethod
@@ -216,6 +232,10 @@ class CampaignResult:
         result.elapsed_seconds = float(payload["elapsed_seconds"])
         result.first_bug_seconds = payload["first_bug_seconds"]
         result.first_bug_iteration = payload["first_bug_iteration"]
+        result.core_breakdown = {
+            core: dict(entry)
+            for core, entry in payload.get("core_breakdown", {}).items()
+        }
         return result
 
     def merge_shard(self, shard: "CampaignResult") -> "CampaignResult":
@@ -229,6 +249,12 @@ class CampaignResult:
         """
         self.iterations_run += shard.iterations_run
         self.reports.extend(shard.reports)
+        breakdown = self.core_breakdown.setdefault(
+            shard.core, {"iterations": 0, "reports": 0, "triggered_windows": 0}
+        )
+        breakdown["iterations"] += shard.iterations_run
+        breakdown["reports"] += len(shard.reports)
+        breakdown["triggered_windows"] += sum(shard.triggered_windows.values())
         for group, count in shard.triggered_windows.items():
             self.triggered_windows[group] = self.triggered_windows.get(group, 0) + count
         for group, samples in shard.training_overhead.items():
@@ -292,7 +318,7 @@ class CampaignResult:
         return rows
 
     def summary(self) -> Dict[str, object]:
-        return {
+        summary = {
             "fuzzer": self.fuzzer_name,
             "core": self.core,
             "iterations": self.iterations_run,
@@ -303,3 +329,8 @@ class CampaignResult:
             "first_bug_iteration": self.first_bug_iteration,
             "elapsed_seconds": round(self.elapsed_seconds, 2),
         }
+        if len(self.core_breakdown) > 1:
+            summary["per_core"] = {
+                core: dict(entry) for core, entry in sorted(self.core_breakdown.items())
+            }
+        return summary

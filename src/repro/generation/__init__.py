@@ -11,9 +11,10 @@ mutation operators used when coverage feedback asks for a new window.
 from repro.generation.window_types import (
     TransientWindowType,
     WINDOW_TYPE_GROUPS,
+    supported_window_types,
     window_types_for_table3,
 )
-from repro.generation.seeds import Seed, SeedCorpus, EncodeStrategy
+from repro.generation.seeds import Seed, SeedCorpus, SeedGenotype, EncodeStrategy
 from repro.generation.random_inst import RandomInstructionGenerator
 from repro.generation.trigger import TriggerGenerator, TriggerSpec
 from repro.generation.training import TrainingDeriver, TrainingMode
@@ -23,9 +24,11 @@ from repro.generation.mutation import Mutator
 __all__ = [
     "TransientWindowType",
     "WINDOW_TYPE_GROUPS",
+    "supported_window_types",
     "window_types_for_table3",
     "Seed",
     "SeedCorpus",
+    "SeedGenotype",
     "EncodeStrategy",
     "RandomInstructionGenerator",
     "TriggerGenerator",

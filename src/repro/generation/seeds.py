@@ -1,4 +1,4 @@
-"""Seeds and the seed corpus.
+"""Seeds, portable seed genotypes, and the seed corpus.
 
 A seed captures everything needed to regenerate a stimulus deterministically:
 the entropy for the random instruction generator, the targeted transient
@@ -6,6 +6,14 @@ window type, the secret-encoding strategies to use in the window section, and
 bookkeeping about how productive the seed has been (used by the coverage
 feedback loop of §4.2.2 to decide between re-mutating the window and going
 back to Phase 1).
+
+A seed is *realized* for one core (the ``core`` tag): its concrete window
+type and encoding realization are microarchitecture-specific.  The portable
+part — what survives a move to a different core — is the
+:class:`SeedGenotype`: the entropy, the transient-window *group*, the
+encoding intent, the secret value and the lineage.  :meth:`Seed.transfer`
+re-realizes a genotype for another core, which is how the heterogeneous
+parallel engine moves high-gain seeds between BOOM and XiangShan shards.
 """
 
 from __future__ import annotations
@@ -13,9 +21,13 @@ from __future__ import annotations
 import enum
 import itertools
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional
 
-from repro.generation.window_types import TransientWindowType
+from repro.generation.window_types import (
+    WINDOW_TYPE_GROUPS,
+    TransientWindowType,
+    group_of,
+)
 from repro.utils.rng import DeterministicRng
 
 
@@ -35,8 +47,98 @@ _seed_counter = itertools.count()
 
 
 @dataclass(frozen=True)
+class SeedGenotype:
+    """The core-portable part of a seed.
+
+    Everything here is meaningful on any simulated core: the window *group*
+    (Table 3 column) rather than a concrete window type, the encoding intent
+    rather than a concrete encoding, plus entropy, secret and lineage.  The
+    concrete window type and the instruction-level encoding realization are
+    core-specific and get re-derived by :meth:`realize`.
+    """
+
+    entropy: int
+    window_group: str
+    encode_strategies: tuple = (EncodeStrategy.DCACHE_INDEX,)
+    encode_block_length: int = 3
+    mask_high_bits: bool = False
+    secret_value: int = 0x5A5A_A5A5_0F0F_F0F0
+    generation: int = 0
+    parent_id: Optional[int] = None
+
+    def window_types(
+        self, supported: Optional[Iterable[TransientWindowType]] = None
+    ) -> List[TransientWindowType]:
+        """The concrete window types this genotype can realize on a core."""
+        pool = WINDOW_TYPE_GROUPS[self.window_group]
+        if supported is None:
+            return list(pool)
+        allowed = set(supported)
+        return [window_type for window_type in pool if window_type in allowed]
+
+    def realize(
+        self,
+        seed_id: int,
+        core: str,
+        window_type: TransientWindowType,
+        encode_strategies: Optional[tuple] = None,
+        entropy: Optional[int] = None,
+    ) -> "Seed":
+        """Bind the genotype to one core as a concrete, runnable seed."""
+        if group_of(window_type) != self.window_group:
+            raise ValueError(
+                f"window type {window_type.value!r} is not in group {self.window_group!r}"
+            )
+        return Seed(
+            seed_id=seed_id,
+            entropy=self.entropy if entropy is None else entropy,
+            window_type=window_type,
+            encode_strategies=self.encode_strategies
+            if encode_strategies is None
+            else encode_strategies,
+            encode_block_length=self.encode_block_length,
+            mask_high_bits=self.mask_high_bits,
+            secret_value=self.secret_value,
+            generation=self.generation,
+            parent_id=self.parent_id,
+            core=core,
+        )
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "entropy": self.entropy,
+            "window_group": self.window_group,
+            "encode_strategies": [strategy.value for strategy in self.encode_strategies],
+            "encode_block_length": self.encode_block_length,
+            "mask_high_bits": self.mask_high_bits,
+            "secret_value": self.secret_value,
+            "generation": self.generation,
+            "parent_id": self.parent_id,
+        }
+
+    @staticmethod
+    def from_dict(payload: Dict[str, object]) -> "SeedGenotype":
+        return SeedGenotype(
+            entropy=int(payload["entropy"]),
+            window_group=str(payload["window_group"]),
+            encode_strategies=tuple(
+                EncodeStrategy(value) for value in payload["encode_strategies"]
+            ),
+            encode_block_length=int(payload["encode_block_length"]),
+            mask_high_bits=bool(payload["mask_high_bits"]),
+            secret_value=int(payload["secret_value"]),
+            generation=int(payload["generation"]),
+            parent_id=payload["parent_id"] if payload["parent_id"] is None else int(payload["parent_id"]),
+        )
+
+
+@dataclass(frozen=True)
 class Seed:
-    """One fuzzing seed."""
+    """One fuzzing seed: a genotype realized for one core.
+
+    ``core`` names the core this realization targets; the empty string marks
+    an unbound (legacy / ad-hoc) seed that any core may run.
+    """
 
     seed_id: int
     entropy: int
@@ -47,9 +149,75 @@ class Seed:
     secret_value: int = 0x5A5A_A5A5_0F0F_F0F0
     generation: int = 0
     parent_id: Optional[int] = None
+    core: str = ""
 
     def rng(self, label: str = "seed") -> DeterministicRng:
         return DeterministicRng(self.entropy, f"{label}/{self.seed_id}")
+
+    # -- portability -------------------------------------------------------------------------
+
+    def genotype(self) -> SeedGenotype:
+        """The core-portable part of this seed (drops id and core binding)."""
+        return SeedGenotype(
+            entropy=self.entropy,
+            window_group=group_of(self.window_type),
+            encode_strategies=self.encode_strategies,
+            encode_block_length=self.encode_block_length,
+            mask_high_bits=self.mask_high_bits,
+            secret_value=self.secret_value,
+            generation=self.generation,
+            parent_id=self.parent_id,
+        )
+
+    def compatible_with(self, core_name: str) -> bool:
+        """Whether this realization may run on ``core_name`` without transfer."""
+        return not self.core or self.core == core_name
+
+    def transferable_to(
+        self, supported: Optional[Iterable[TransientWindowType]] = None
+    ) -> bool:
+        """Whether the genotype can be realized on a core supporting ``supported``."""
+        return bool(self.genotype().window_types(supported))
+
+    def transfer(
+        self,
+        target_core: str,
+        seed_id: int,
+        supported: Optional[Iterable[TransientWindowType]] = None,
+    ) -> "Seed":
+        """Re-realize this seed for a different core.
+
+        Window-type *groups* transfer; the concrete window type and the
+        encoding are core-specific, so both are re-derived from a
+        deterministic per-transfer rng stream (donor entropy x donor id x
+        target core).  The child keeps the donor's secret, masking and block
+        length, and records the donor in its lineage.
+        """
+        genotype = self.genotype()
+        pool = genotype.window_types(supported)
+        if not pool:
+            raise ValueError(
+                f"seed {self.seed_id} ({genotype.window_group}) has no window type "
+                f"supported by core {target_core!r}"
+            )
+        rng = DeterministicRng(
+            self.entropy, f"transfer/{self.seed_id}/{target_core}"
+        )
+        window_type = rng.choice(pool)
+        strategies = tuple(
+            rng.sample(
+                list(EncodeStrategy),
+                max(1, min(len(self.encode_strategies), len(EncodeStrategy))),
+            )
+        )
+        child = genotype.realize(
+            seed_id=seed_id,
+            core=target_core,
+            window_type=window_type,
+            encode_strategies=strategies,
+            entropy=rng.randint(0, 2**31 - 1),
+        )
+        return replace(child, generation=self.generation + 1, parent_id=self.seed_id)
 
     def mutated(self, seed_id: Optional[int] = None, **changes) -> "Seed":
         """Return a child seed with updated fields and lineage bookkeeping.
@@ -96,12 +264,14 @@ class Seed:
             "secret_value": self.secret_value,
             "generation": self.generation,
             "parent_id": self.parent_id,
+            "core": self.core,
         }
 
     @staticmethod
     def from_dict(payload: Dict[str, object]) -> "Seed":
         """Rebuild a seed from :meth:`to_dict` without touching the id counter."""
         return Seed(
+            core=str(payload.get("core", "")),
             seed_id=int(payload["seed_id"]),
             entropy=int(payload["entropy"]),
             window_type=TransientWindowType(payload["window_type"]),
@@ -152,14 +322,22 @@ class SeedCorpus:
         window_types: Optional[List[TransientWindowType]] = None,
         per_type: int = 1,
     ) -> "SeedCorpus":
-        """Build the initial corpus with one (or more) seed per window type."""
+        """Build the initial corpus with one (or more) seed per window type.
+
+        Seed ids are allocated positionally, not from the module-global
+        counter: two ``initial`` calls with the same arguments produce
+        identical seeds (ids feed the per-seed rng streams) no matter how many
+        ad-hoc seeds were created beforehand in the process.
+        """
         corpus = SeedCorpus()
         rng = DeterministicRng(entropy, "corpus")
         types = window_types or list(TransientWindowType)
+        next_id = itertools.count()
         for window_type in types:
             for index in range(per_type):
                 corpus.add(
                     Seed.fresh(
+                        seed_id=next(next_id),
                         entropy=rng.randint(0, 2**31 - 1) + index,
                         window_type=window_type,
                     )

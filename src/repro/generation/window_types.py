@@ -87,3 +87,18 @@ def group_of(window_type: TransientWindowType) -> str:
         if window_type in members:
             return group
     raise KeyError(window_type)
+
+
+def supported_window_types(core) -> List[TransientWindowType]:
+    """The window types a given core can actually open.
+
+    Duck-typed on :class:`~repro.uarch.config.CoreConfig` so the generation
+    layer stays import-free of the uarch layer.  The one behavioural split the
+    simulated cores expose is the illegal-instruction window: BOOM's frontend
+    stalls on an illegal instruction (no window, the ``/`` cell of Table 3)
+    while XiangShan resolves it at commit (window opens).
+    """
+    types = list(TransientWindowType)
+    if not getattr(core, "illegal_instruction_opens_window", True):
+        types.remove(TransientWindowType.ILLEGAL_INSTRUCTION)
+    return types

@@ -106,6 +106,17 @@ class CoreConfig:
     def has_bug(self, name: str) -> bool:
         return name in self.bugs
 
+    def supported_window_types(self):
+        """The transient window types this core can actually open.
+
+        Thin forwarding to the generation-layer taxonomy (imported lazily so
+        the uarch layer keeps no hard dependency on it); heterogeneous
+        campaigns use this to decide whether a seed genotype transfers.
+        """
+        from repro.generation.window_types import supported_window_types
+
+        return supported_window_types(self)
+
     def describe(self) -> str:
         lines = [
             f"core {self.name} ({self.isa})",

@@ -108,14 +108,26 @@ class LoadStoreUnit:
 
     def forward_for_load(self, sequence: int, address: int, nbytes: int) -> Optional[StoreQueueEntry]:
         """Return the youngest older store whose resolved address overlaps the load."""
-        best: Optional[StoreQueueEntry] = None
-        for entry in self.store_queue:
-            if entry.sequence >= sequence or entry.address is None:
-                continue
-            if _ranges_overlap(entry.address, entry.nbytes, address, nbytes):
-                if best is None or entry.sequence > best.sequence:
-                    best = entry
-        return best
+        sources = self.forwarding_sources(sequence, address, nbytes)
+        return sources[-1] if sources else None
+
+    def forwarding_sources(
+        self, sequence: int, address: int, nbytes: int
+    ) -> List[StoreQueueEntry]:
+        """All older stores overlapping the load, oldest first.
+
+        A load's data may come from several in-flight stores of different
+        widths (plus memory for uncovered bytes); the caller overlays the
+        entries in this order so the youngest store wins each byte.
+        """
+        sources = [
+            entry
+            for entry in self.store_queue
+            if entry.sequence < sequence
+            and entry.address is not None
+            and _ranges_overlap(entry.address, entry.nbytes, address, nbytes)
+        ]
+        return sorted(sources, key=lambda entry: entry.sequence)
 
     def has_unresolved_older_store(self, sequence: int) -> bool:
         return any(

@@ -581,12 +581,32 @@ class Processor:
         else:
             latency += self.config.dcache.hit_latency
 
-        forwarded = self.lsu.forward_for_load(entry.sequence, address, nbytes)
-        if forwarded is not None and exception is None:
-            value = forwarded.value
-            value_tainted = forwarded.tainted
+        sources = self.lsu.forwarding_sources(entry.sequence, address, nbytes)
+        if sources and exception is None:
+            # Compose the load's bytes: memory underneath (stores only reach
+            # memory at commit), then every in-flight older store overlaid
+            # oldest-to-youngest so the youngest store wins each byte.  This
+            # handles stores wider than the load (extract the right bytes),
+            # narrower than the load, and stacks of partially overlapping
+            # stores alike.  Taint follows the same per-byte resolution: only
+            # the source that actually supplies a byte contributes its taint,
+            # so an untainted store shadowing tainted memory (or a tainted
+            # older store) does not over-taint the load.
+            memory_value = self.memory.read(access_address, nbytes) if data_available else 0
+            value = 0
+            value_tainted = False
+            for byte_index in range(nbytes):
+                byte_address = address + byte_index
+                byte_value = (memory_value >> (byte_index * 8)) & 0xFF
+                byte_tainted = data_tainted
+                for store in sources:
+                    if store.address <= byte_address < store.address + store.nbytes:
+                        byte_value = (store.value >> ((byte_address - store.address) * 8)) & 0xFF
+                        byte_tainted = store.tainted
+                value |= byte_value << (byte_index * 8)
+                value_tainted = value_tainted or byte_tainted
             entry.result_tainted = value_tainted
-            forwarded_from = forwarded.sequence
+            forwarded_from = sources[-1].sequence
         else:
             value = self.memory.read(access_address, nbytes) if data_available else 0
             value_tainted = data_tainted

@@ -14,14 +14,22 @@ from repro.core import (
     SharedCorpus,
     run_parallel_campaign,
 )
-from repro.core.engine import ShardTask, run_shard_task
+from repro.core.engine import (
+    TRANSFER_SEED_ID_BASE,
+    ShardTask,
+    core_registry_lines,
+    main as engine_main,
+    resolve_core,
+    run_shard_task,
+)
 from repro.core.phase1 import Phase1Result
 from repro.core.report import BugReport
 from repro.generation.seeds import EncodeStrategy, Seed
-from repro.generation.window_types import TransientWindowType
-from repro.uarch import small_boom_config
+from repro.generation.window_types import TransientWindowType, group_of
+from repro.uarch import small_boom_config, xiangshan_minimal_config
 
 BOOM = small_boom_config()
+XIANGSHAN = xiangshan_minimal_config()
 
 
 def make_seed(seed_id=7, entropy=123, **kwargs):
@@ -177,6 +185,46 @@ class TestSharedCorpus:
         rebuilt = SharedCorpus.from_dicts(corpus.to_dicts())
         assert rebuilt.best(1)[0].seed == corpus.best(1)[0].seed
 
+    def test_wire_roundtrip_preserves_the_core_tag(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=3, shard_index=0, epoch=1, core="small-boom")
+        corpus.add(make_seed(seed_id=2), gain=5, shard_index=1, epoch=1, core="xiangshan-minimal")
+        rebuilt = SharedCorpus.from_dicts(corpus.to_dicts())
+        assert [entry.core for entry in rebuilt.best(2)] == [
+            "xiangshan-minimal",
+            "small-boom",
+        ]
+        assert rebuilt.cores() == ["small-boom", "xiangshan-minimal"]
+
+    def test_core_tag_defaults_to_the_seed_realization(self):
+        corpus = SharedCorpus()
+        seed = Seed.from_dict({**make_seed(seed_id=4).to_dict(), "core": "small-boom"})
+        entry = corpus.add(seed, gain=1, shard_index=0, epoch=0)
+        assert entry.core == "small-boom"
+
+    def test_best_filters_by_compatible_core(self):
+        corpus = SharedCorpus()
+        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0, core="small-boom")
+        corpus.add(make_seed(seed_id=2), gain=5, shard_index=1, epoch=0, core="xiangshan-minimal")
+        corpus.add(make_seed(seed_id=3), gain=1, shard_index=2, epoch=0, core="")
+        picked = corpus.best(3, core="xiangshan-minimal")
+        # The foreign (boom) entry is filtered out; the untagged one ranks.
+        assert [entry.seed.seed_id for entry in picked] == [2, 3]
+
+    def test_eviction_drops_the_lowest_gain_first(self):
+        corpus = SharedCorpus(capacity=3)
+        for seed_id, gain in ((1, 4), (2, 8), (3, 6), (4, 7), (5, 5)):
+            corpus.add(make_seed(seed_id=seed_id), gain=gain, shard_index=0, epoch=0)
+        # Capacity 3: gains 4 then 5 were evicted, in that order.
+        assert [entry.seed.seed_id for entry in corpus.best(3)] == [2, 4, 3]
+
+    def test_eviction_ties_break_on_seed_id(self):
+        corpus = SharedCorpus(capacity=2)
+        for seed_id in (30, 10, 20):
+            corpus.add(make_seed(seed_id=seed_id), gain=5, shard_index=0, epoch=0)
+        # All gains equal: the lowest seed ids survive, insertion order moot.
+        assert [entry.seed.seed_id for entry in corpus.best(2)] == [10, 20]
+
     def test_rejects_nonpositive_capacity(self):
         with pytest.raises(ValueError):
             SharedCorpus(capacity=0)
@@ -286,7 +334,7 @@ class TestParallelCampaignEngine:
 
         result = EngineResult(
             campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
-            coverage=TaintCoverageMatrix(),
+            core_coverage={BOOM.name: TaintCoverageMatrix()},
             shards=3,
             epochs=1,
         )
@@ -341,6 +389,174 @@ class TestParallelCampaignEngine:
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), iterations=0)
         with pytest.raises(ValueError):
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), max_workers=0)
+        with pytest.raises(ValueError, match="corpus_capacity"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), corpus_capacity=0)
+        with pytest.raises(ValueError, match="redistribute_top"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), redistribute_top=-1)
+        with pytest.raises(ValueError, match="report_top_seeds"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), report_top_seeds=-1)
+        # Shard-epoch seed-id bases must never reach the transfer namespace
+        # (shard 99 epoch 0 would land exactly on TRANSFER_SEED_ID_BASE).
+        with pytest.raises(ValueError, match="seed-id namespace"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=100)
+        EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=98)
+
+    def test_rejects_bad_core_assignments(self):
+        fuzzer = FuzzerConfiguration(core=BOOM)
+        with pytest.raises(ValueError, match="one core per shard"):
+            EngineConfiguration(fuzzer=fuzzer, shards=3, cores=["boom", "xiangshan"])
+        with pytest.raises(ValueError, match="unknown core"):
+            EngineConfiguration(fuzzer=fuzzer, shards=1, cores=["rocket"])
+        with pytest.raises(ValueError, match="cannot interpret"):
+            EngineConfiguration(fuzzer=fuzzer, shards=1, cores=[42])
+
+    def test_core_assignments_accept_names_configs_and_fuzzers(self):
+        fuzzer = FuzzerConfiguration(core=BOOM, entropy=3)
+        configuration = EngineConfiguration(
+            fuzzer=fuzzer,
+            shards=3,
+            cores=["xiangshan", XIANGSHAN, FuzzerConfiguration(core=BOOM, entropy=99)],
+        )
+        prototypes = configuration.shard_fuzzers()
+        assert [prototype.core.name for prototype in prototypes] == [
+            "xiangshan-minimal",
+            "xiangshan-minimal",
+            "small-boom",
+        ]
+        # Name/config entries inherit the prototype's knobs; a full
+        # FuzzerConfiguration is taken as-is.
+        assert prototypes[0].entropy == 3
+        assert prototypes[2].entropy == 99
+
+
+class TestHeterogeneousEngine:
+    def run_mixed(self, entropy=11, iterations=16, epochs=2):
+        return run_parallel_campaign(
+            cores=["boom", "xiangshan"],
+            shards=2,
+            iterations=iterations,
+            sync_epochs=epochs,
+            entropy=entropy,
+            executor="inline",
+        )
+
+    def test_coverage_is_merged_strictly_per_core(self):
+        result = self.run_mixed()
+        assert set(result.core_coverage) == {"small-boom", "xiangshan-minimal"}
+        for shard_index, points in result.shard_points.items():
+            core_name = result.shard_cores[shard_index]
+            assert points <= result.core_coverage[core_name].points
+        # Each matrix holds exactly its own shards' points: nothing leaked
+        # across the core boundary during the merge.
+        for core_name, matrix in result.core_coverage.items():
+            own = set()
+            for index, name in result.shard_cores.items():
+                if name == core_name:
+                    own |= result.shard_points[index]
+            assert matrix.points == own
+
+    def test_single_coverage_property_is_refused_for_mixed_campaigns(self):
+        result = self.run_mixed()
+        with pytest.raises(ValueError, match="per core"):
+            result.coverage
+        homogeneous = run_parallel_campaign(
+            BOOM, shards=2, iterations=6, sync_epochs=1, entropy=1, executor="inline"
+        )
+        assert homogeneous.coverage is homogeneous.core_coverage[BOOM.name]
+
+    def test_mixed_campaign_is_reproducible_from_root_entropy(self):
+        first = self.run_mixed(entropy=2025, iterations=24, epochs=3)
+        second = self.run_mixed(entropy=2025, iterations=24, epochs=3)
+        assert first.campaign.to_dict(include_timing=False) == second.campaign.to_dict(
+            include_timing=False
+        )
+        assert first.transfers == second.transfers
+        for core_name in first.core_coverage:
+            assert (
+                first.core_coverage[core_name].points
+                == second.core_coverage[core_name].points
+            )
+
+    def test_transfers_re_realize_for_the_target_core(self):
+        result = self.run_mixed(entropy=2025, iterations=24, epochs=3)
+        assert result.transferred_seeds > 0
+        for row in result.transfers:
+            assert row["donor_core"] != row["target_core"]
+            assert row["transferred_seed_id"] >= TRANSFER_SEED_ID_BASE
+            # Every transfer ran in a later epoch, so its outcome is known.
+            assert row["new_global_points"] is not None
+
+    def test_aggregate_report_carries_the_per_core_breakdown(self):
+        result = self.run_mixed()
+        breakdown = result.campaign.core_breakdown
+        assert set(breakdown) == {"small-boom", "xiangshan-minimal"}
+        assert (
+            sum(entry["iterations"] for entry in breakdown.values())
+            == result.campaign.iterations_run
+        )
+        summary = result.summary()
+        assert set(summary["per_core_coverage"]) == set(result.core_coverage)
+        assert summary["coverage"] == result.total_coverage()
+
+    def test_fuzzer_rejects_a_foreign_core_seed(self):
+        fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=1))
+        foreign = Seed.from_dict(
+            {**make_seed(seed_id=5).to_dict(), "core": "xiangshan-minimal"}
+        )
+        with pytest.raises(ValueError, match="transfer"):
+            fuzzer.run_campaign(2, initial_seed=foreign)
+        # The transferred realization of the same seed is accepted.
+        moved = foreign.transfer("small-boom", seed_id=6)
+        assert group_of(moved.window_type) == group_of(foreign.window_type)
+        fuzzer.run_campaign(2, initial_seed=moved)
+
+
+class TestEngineCli:
+    def test_list_cores_exits_cleanly(self, capsys):
+        assert engine_main(["--list-cores"]) == 0
+        output = capsys.readouterr().out
+        assert "boom" in output and "xiangshan" in output
+
+    def test_core_registry_lists_each_core_once_with_aliases(self):
+        lines = core_registry_lines()
+        assert len(lines) == 2
+        boom_line = next(line for line in lines if line.startswith("boom"))
+        assert "small-boom" in boom_line  # alias folded into the canonical row
+
+    def test_resolve_core_accepts_aliases(self):
+        assert resolve_core("boom").name == resolve_core("small-boom").name
+        assert resolve_core("xiangshan").name == resolve_core("xiangshan-minimal").name
+        with pytest.raises(ValueError, match="unknown core"):
+            resolve_core("rocket")
+
+    def test_cores_flag_drives_a_heterogeneous_campaign(self, capsys):
+        code = engine_main(
+            ["--cores", "boom,xiangshan", "--iterations", "8", "--epochs", "1", "--inline"]
+        )
+        output = capsys.readouterr().out
+        assert code == 0
+        assert "small-boom+xiangshan-minimal" in output
+        assert "per_core_coverage" in output
+
+    def test_bad_cores_flag_is_reported(self, capsys):
+        assert engine_main(["--cores", "rocket", "--inline"]) == 2
+        assert "unknown core" in capsys.readouterr().out
+
+
+class TestSeedIdReproducibility:
+    def test_identical_campaigns_allocate_identical_seed_ids(self):
+        def run_once():
+            fuzzer = DejaVuzzFuzzer(FuzzerConfiguration(core=BOOM, entropy=21))
+            fuzzer.run_campaign(5)
+            return [seed.seed_id for seed, _ in fuzzer.top_seeds(10)]
+
+        first = run_once()
+        # Churn the module-global counter between the two campaigns: library
+        # code paths must not depend on it.
+        for _ in range(7):
+            Seed.fresh(entropy=1, window_type=TransientWindowType.LOAD_MISALIGN)
+        second = run_once()
+        assert first == second
 
 
 class TestFeedbackKnobPlumbing:

@@ -8,6 +8,7 @@ from repro.generation import (
     RandomInstructionGenerator,
     Seed,
     SeedCorpus,
+    SeedGenotype,
     TrainingDeriver,
     TrainingMode,
     TransientWindowType,
@@ -16,7 +17,12 @@ from repro.generation import (
 )
 from repro.generation.random_inst import SCRATCH_REGISTERS, SafeRegion
 from repro.generation.training import training_statistics
-from repro.generation.window_types import WINDOW_TYPE_GROUPS, group_of, window_types_for_table3
+from repro.generation.window_types import (
+    WINDOW_TYPE_GROUPS,
+    group_of,
+    supported_window_types,
+    window_types_for_table3,
+)
 from repro.swapmem import DEFAULT_LAYOUT, PacketKind
 from repro.utils.rng import DeterministicRng
 
@@ -59,6 +65,16 @@ class TestSeeds:
         corpus = SeedCorpus.initial(entropy=1, per_type=1)
         assert len(corpus) == len(TransientWindowType)
 
+    def test_corpus_initialisation_is_order_independent(self):
+        # Regression for the module-global _seed_counter footgun: seed ids
+        # feed the per-seed rng streams, so two identical initial corpora
+        # must come out identical no matter how many ad-hoc seeds were
+        # created in the process beforehand.
+        first = SeedCorpus.initial(entropy=3, per_type=2)
+        Seed.fresh(entropy=9, window_type=TransientWindowType.LOAD_MISALIGN)
+        second = SeedCorpus.initial(entropy=3, per_type=2)
+        assert first.seeds == second.seeds
+
     def test_corpus_ranking_and_discard(self):
         corpus = SeedCorpus.initial(entropy=1, per_type=1)
         best_seed = corpus.seeds[3]
@@ -66,6 +82,115 @@ class TestSeeds:
         assert corpus.best_seeds(1)[0].seed_id == best_seed.seed_id
         corpus.discard(best_seed)
         assert best_seed.seed_id not in [seed.seed_id for seed in corpus.seeds]
+
+
+class _FakeCore:
+    """Duck-typed CoreConfig stand-in (keeps the generation layer uarch-free)."""
+
+    def __init__(self, illegal_opens_window: bool):
+        self.illegal_instruction_opens_window = illegal_opens_window
+
+
+class TestSeedGenotype:
+    def make_seed(self, **kwargs):
+        defaults = dict(
+            seed_id=7,
+            entropy=123,
+            window_type=TransientWindowType.LOAD_PAGE_FAULT,
+            encode_strategies=(EncodeStrategy.DCACHE_INDEX, EncodeStrategy.TLB_INDEX),
+            secret_value=0xDEAD,
+            core="small-boom",
+        )
+        defaults.update(kwargs)
+        return Seed.fresh(**defaults)
+
+    def test_supported_window_types_gates_illegal_instruction(self):
+        full = supported_window_types(_FakeCore(illegal_opens_window=True))
+        gated = supported_window_types(_FakeCore(illegal_opens_window=False))
+        assert set(full) == set(TransientWindowType)
+        assert set(full) - set(gated) == {TransientWindowType.ILLEGAL_INSTRUCTION}
+
+    def test_core_config_exposes_supported_window_types(self):
+        from repro.uarch import small_boom_config, xiangshan_minimal_config
+
+        boom = small_boom_config().supported_window_types()
+        xiangshan = xiangshan_minimal_config().supported_window_types()
+        assert TransientWindowType.ILLEGAL_INSTRUCTION not in boom
+        assert TransientWindowType.ILLEGAL_INSTRUCTION in xiangshan
+
+    def test_genotype_is_the_portable_part(self):
+        seed = self.make_seed()
+        genotype = seed.genotype()
+        assert genotype.window_group == group_of(seed.window_type)
+        assert genotype.entropy == seed.entropy
+        assert genotype.secret_value == seed.secret_value
+        assert genotype.encode_strategies == seed.encode_strategies
+        # No core binding and no id: both are realization-specific.
+        assert not hasattr(genotype, "core")
+        assert not hasattr(genotype, "seed_id")
+
+    def test_genotype_wire_roundtrip(self):
+        genotype = self.make_seed().genotype()
+        assert SeedGenotype.from_dict(genotype.to_dict()) == genotype
+
+    def test_realize_rejects_foreign_window_type(self):
+        genotype = self.make_seed().genotype()  # Load/Store Page Fault group
+        with pytest.raises(ValueError, match="not in group"):
+            genotype.realize(
+                seed_id=1,
+                core="xiangshan-minimal",
+                window_type=TransientWindowType.BRANCH_MISPREDICTION,
+            )
+
+    def test_transfer_keeps_group_and_secret_and_lineage(self):
+        seed = self.make_seed()
+        moved = seed.transfer("xiangshan-minimal", seed_id=99)
+        assert moved.core == "xiangshan-minimal"
+        assert moved.seed_id == 99
+        assert group_of(moved.window_type) == group_of(seed.window_type)
+        assert moved.secret_value == seed.secret_value
+        assert moved.parent_id == seed.seed_id
+        assert moved.generation == seed.generation + 1
+
+    def test_transfer_is_deterministic(self):
+        seed = self.make_seed()
+        first = seed.transfer("xiangshan-minimal", seed_id=99)
+        second = seed.transfer("xiangshan-minimal", seed_id=99)
+        assert first == second
+        # A different target core re-realizes differently (encodings are
+        # core-specific): the per-transfer rng stream includes the target.
+        other = seed.transfer("some-other-core", seed_id=99)
+        assert (other.entropy, other.encode_strategies) != (
+            first.entropy,
+            first.encode_strategies,
+        )
+
+    def test_transfer_respects_supported_window_types(self):
+        seed = self.make_seed(
+            window_type=TransientWindowType.ILLEGAL_INSTRUCTION,
+            core="xiangshan-minimal",
+        )
+        boom_like = supported_window_types(_FakeCore(illegal_opens_window=False))
+        assert not seed.transferable_to(boom_like)
+        with pytest.raises(ValueError, match="no window type"):
+            seed.transfer("small-boom", seed_id=1, supported=boom_like)
+        # The same seed transfers fine to a core that opens the window.
+        assert seed.transferable_to(supported_window_types(_FakeCore(True)))
+
+    def test_compatibility(self):
+        seed = self.make_seed()
+        assert seed.compatible_with("small-boom")
+        assert not seed.compatible_with("xiangshan-minimal")
+        unbound = self.make_seed(core="")
+        assert unbound.compatible_with("small-boom")
+        assert unbound.compatible_with("xiangshan-minimal")
+
+    def test_seed_wire_form_carries_the_core_tag(self):
+        seed = self.make_seed()
+        assert Seed.from_dict(seed.to_dict()) == seed
+        # Pre-tag payloads (older checkpoints) rebuild as unbound seeds.
+        legacy = {k: v for k, v in seed.to_dict().items() if k != "core"}
+        assert Seed.from_dict(legacy).core == ""
 
 
 class TestRandomInstructionGenerator:

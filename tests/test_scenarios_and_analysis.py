@@ -6,8 +6,10 @@ from repro.analysis import (
     TaintCurve,
     coverage_curve_statistics,
     coverage_improvement,
+    cross_core_transfer_table,
     extract_taint_curve,
     iterations_to_reach,
+    per_core_breakdown,
     summarize_training_overhead,
     training_overhead_table,
 )
@@ -133,3 +135,42 @@ class TestAnalysisHelpers:
         assert coverage_improvement([], [1]) is None
         assert iterations_to_reach([0, 2, 5, 9], 5) == 2
         assert iterations_to_reach([0, 1], 10) is None
+
+    def test_per_core_breakdown_rows(self):
+        campaign = CampaignResult(fuzzer_name="dejavuzz", core="small-boom+xiangshan-minimal")
+        campaign.core_breakdown = {
+            "xiangshan-minimal": {"iterations": 8, "reports": 2, "triggered_windows": 3},
+            "small-boom": {"iterations": 10, "reports": 1, "triggered_windows": 4},
+        }
+        rows = per_core_breakdown(campaign)
+        assert [row["core"] for row in rows] == ["small-boom", "xiangshan-minimal"]
+        assert rows[0]["iterations"] == 10 and rows[1]["reports"] == 2
+
+    def test_per_core_breakdown_falls_back_for_serial_campaigns(self):
+        campaign = CampaignResult(fuzzer_name="dejavuzz", core="small-boom")
+        campaign.iterations_run = 6
+        rows = per_core_breakdown(campaign)
+        assert rows == [
+            {"core": "small-boom", "iterations": 6, "reports": 0, "triggered_windows": 0}
+        ]
+
+    def test_cross_core_transfer_table_aggregates_edges(self):
+        transfers = [
+            {"donor_core": "small-boom", "target_core": "xiangshan-minimal",
+             "new_global_points": 4, "reports": 1},
+            {"donor_core": "small-boom", "target_core": "xiangshan-minimal",
+             "new_global_points": 0, "reports": 0},
+            {"donor_core": "xiangshan-minimal", "target_core": "small-boom",
+             "new_global_points": None, "reports": None},
+        ]
+        rows = cross_core_transfer_table(transfers)
+        assert len(rows) == 2
+        boom_to_xs = rows[0]
+        assert boom_to_xs["donor_core"] == "small-boom"
+        assert boom_to_xs["transfers"] == 2
+        assert boom_to_xs["productive"] == 1
+        assert boom_to_xs["new_points"] == 4
+        assert boom_to_xs["with_reports"] == 1
+        # A transfer that never ran (no next epoch) counts as not productive.
+        assert rows[1]["transfers"] == 1 and rows[1]["productive"] == 0
+        assert cross_core_transfer_table([]) == []

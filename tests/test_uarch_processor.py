@@ -55,6 +55,55 @@ class TestArchitecturalCorrectness:
             assert processor.read_register(register) == reference.read_register(register)
         assert outcome.halted_on == "trap:ecall"
 
+    def test_store_to_load_forwarding_with_mixed_sizes(self):
+        # Regression (found by the cosim property test): forwarding used to
+        # hand the load the store's *full* value, so a narrow load reading a
+        # wide in-flight store (or a load spanning several partial stores)
+        # diverged from the golden model.  Bytes must compose per-byte:
+        # memory underneath, older stores overlaid oldest-to-youngest.
+        source = """
+          li a0, 0xA000
+          li a1, 0x3f1
+          sw a1, 32(a0)
+          lbu a2, 32(a0)
+          lb a3, 33(a0)
+          li a4, 0xAB
+          sb a4, 34(a0)
+          lw a5, 32(a0)
+          ecall
+        """
+        memory = make_memory((0x1000, 0x2000), (0xA000, 0x1000))
+        processor, program = build_processor(source, memory=memory)
+        processor.run(max_cycles=600)
+        reference = IsaSimulator(
+            program, memory=make_memory((0x1000, 0x2000), (0xA000, 0x1000))
+        )
+        reference.run()
+        for register in (12, 13, 15):
+            assert processor.read_register(register) == reference.read_register(register)
+        assert processor.read_register(12) == 0xF1          # low byte of the word
+        assert processor.read_register(15) == 0x00AB_03F1   # sb overlaid on sw
+
+    def test_forwarded_untainted_store_shadows_tainted_memory(self):
+        # Taint is resolved per byte like the data: an in-flight untainted
+        # store fully covering the load hides the tainted memory underneath,
+        # so the load result must come back clean.
+        source = """
+          li a0, 0xA000
+          li a1, 17
+          sd a1, 0(a0)
+          ld a2, 0(a0)
+          ecall
+        """
+        memory = make_memory((0x1000, 0x2000), (0xA000, 0x1000))
+        processor, _ = build_processor(
+            source, memory=memory, taint_mode=TaintTrackingMode.CELLIFT
+        )
+        processor.mark_secret(0xA000, 8)
+        processor.run(max_cycles=400)
+        assert processor.read_register(12) == 17
+        assert not processor.taint.register_is_tainted(12)
+
     def test_loop_commits_expected_count(self):
         source = """
           li a0, 0
