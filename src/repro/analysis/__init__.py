@@ -10,6 +10,8 @@ from repro.analysis.results import (
     iterations_to_reach,
     per_core_breakdown,
     cross_core_transfer_table,
+    sync_round_table,
+    checkpoint_summary,
 )
 
 __all__ = [
@@ -22,4 +24,6 @@ __all__ = [
     "iterations_to_reach",
     "per_core_breakdown",
     "cross_core_transfer_table",
+    "sync_round_table",
+    "checkpoint_summary",
 ]

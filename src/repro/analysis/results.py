@@ -147,6 +147,72 @@ def per_core_breakdown(campaign: CampaignResult) -> List[Dict[str, object]]:
     return rows
 
 
+def sync_round_table(
+    shard_summaries: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate the engine's per-shard-epoch log into one row per sync round.
+
+    Each row sums one epoch across its shards: iterations executed,
+    globally-new coverage points, bug reports, and the slowest shard's wall
+    time (the epoch's critical path — what an interleaving backend shortens).
+    Useful for eyeballing where an adaptive (stall-triggered) sync policy
+    found the new-point rate flatlining.
+    """
+    rounds: Dict[int, Dict[str, object]] = {}
+    for entry in shard_summaries:
+        epoch = int(entry["epoch"])
+        row = rounds.setdefault(
+            epoch,
+            {
+                "epoch": epoch,
+                "shards": 0,
+                "iterations": 0,
+                "new_global_points": 0,
+                "reports": 0,
+                "critical_path_seconds": 0.0,
+            },
+        )
+        row["shards"] += 1
+        row["iterations"] += int(entry["iterations"])
+        row["new_global_points"] += int(entry["new_global_points"])
+        row["reports"] += int(entry["reports"])
+        row["critical_path_seconds"] = round(
+            max(row["critical_path_seconds"], float(entry["wall_seconds"])), 3
+        )
+    return [rounds[epoch] for epoch in sorted(rounds)]
+
+
+def checkpoint_summary(payload: Dict[str, object]) -> Dict[str, object]:
+    """Describe an engine checkpoint file (the dict loaded from its JSON).
+
+    Pulls out the facts an operator wants before resuming a long campaign:
+    how far it got, what is left, and the size of the carried state.
+    """
+    fingerprint = payload.get("fingerprint", {})
+    campaign = payload.get("campaign", {})
+    coverage = {
+        core: len(entry.get("points", []))
+        for core, entry in sorted(payload.get("core_coverage", {}).items())
+    }
+    return {
+        "format": payload.get("format"),
+        "next_epoch": payload.get("next_epoch"),
+        "iterations_done": campaign.get("iterations_run", 0),
+        "iterations_total": fingerprint.get("iterations"),
+        "shards": fingerprint.get("shards"),
+        "cores": fingerprint.get("cores", []),
+        "per_core_coverage": coverage,
+        "corpus_seeds": len(payload.get("corpus", [])),
+        "reports": len(campaign.get("reports", [])),
+        "pending_transfers": sum(
+            1
+            for row in payload.get("transfers", [])
+            if row.get("new_global_points") is None
+        ),
+        "wall_clock_seconds": round(float(payload.get("wall_clock_seconds", 0.0)), 2),
+    }
+
+
 def cross_core_transfer_table(
     transfers: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:

@@ -23,8 +23,18 @@ from repro.core.phase1 import Phase1Result, TransientWindowTriggering
 from repro.core.phase2 import Phase2Result, TransientExecutionExploration
 from repro.core.phase3 import LeakageVerdict, Phase3Result, TransientLeakageAnalysis
 from repro.core.report import BugReport, CampaignResult
-from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
 from repro.core.corpus import CorpusEntry, SharedCorpus
+from repro.core.backends import (
+    AsyncBackend,
+    ExecutionBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ShardTask,
+    create_backend,
+    iterate_shard_task,
+    run_shard_task,
+)
 
 # The engine is exported lazily (PEP 562) so that ``python -m repro.core.engine``
 # does not import the module twice (once via this package init, once as
@@ -37,10 +47,9 @@ _ENGINE_EXPORTS = frozenset(
         "EngineConfiguration",
         "EngineResult",
         "ParallelCampaignEngine",
-        "ShardTask",
+        "SyncPolicy",
         "resolve_core",
         "run_parallel_campaign",
-        "run_shard_task",
     }
 )
 
@@ -65,13 +74,23 @@ __all__ = [
     "TransientLeakageAnalysis",
     "BugReport",
     "CampaignResult",
+    "CampaignStep",
     "DejaVuzzFuzzer",
     "FuzzerConfiguration",
     "CorpusEntry",
     "SharedCorpus",
+    "AsyncBackend",
+    "ExecutionBackend",
+    "InlineBackend",
+    "ProcessPoolBackend",
+    "ShardTask",
+    "create_backend",
+    "iterate_shard_task",
+    "run_shard_task",
     "EngineConfiguration",
     "EngineResult",
     "ParallelCampaignEngine",
+    "SyncPolicy",
     "resolve_core",
     "run_parallel_campaign",
 ]

@@ -1,0 +1,251 @@
+"""Pluggable execution backends for the sharded campaign engine.
+
+The :class:`~repro.core.engine.ParallelCampaignEngine` owns *what* runs — the
+shard-epoch schedule, coverage merging and corpus redistribution — but not
+*how* it runs.  Each sync epoch it hands a list of :class:`ShardTask` payloads
+to an :class:`ExecutionBackend` and gets one JSON-safe result payload dict per
+task back.  Three backends implement the protocol:
+
+* :class:`InlineBackend` — runs every task serially in the calling process.
+  Deterministic on any host; the debugging and CI default.
+* :class:`ProcessPoolBackend` — one task per worker process on a shared
+  :class:`~concurrent.futures.ProcessPoolExecutor`; the pool is spawned
+  lazily on the first multi-task epoch and reused across epochs (worker spawn
+  plus interpreter boot is expensive relative to an epoch's work).
+* :class:`AsyncBackend` — a single asyncio event loop that interleaves many
+  shard campaigns on one worker.  Each shard runs as
+  :meth:`~repro.core.fuzzer.DejaVuzzFuzzer.campaign_steps`, a generator that
+  suspends at every simulator boundary; whenever one shard is waiting on its
+  (slow, possibly external RTL) simulator the loop advances another shard, so
+  a latency-dominated campaign no longer pins a whole worker per shard.
+
+Latency model: ``ShardTask.step_latency`` injects a fixed wait per simulator
+invocation, standing in for an external RTL simulator that responds after a
+delay behind the same wire protocol.  The serial drivers pay it with
+``time.sleep`` at each step; the async driver awaits ``asyncio.sleep``, so
+the waits of concurrent shards overlap.  Latency never feeds back into the
+campaign itself — all backends produce byte-identical results for the same
+configuration, which the engine's tests and the
+``benchmarks/test_async_interleaving.py`` benchmark assert.
+
+Only cheap wire forms (``to_dict`` payloads and dataclasses of primitives)
+cross the backend boundary — simulator state never gets pickled — which is
+what keeps the protocol open for distributed (socket/queue) backends later.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+from concurrent.futures import ProcessPoolExecutor
+from dataclasses import dataclass, field
+from typing import Dict, Generator, List, Optional
+
+from repro.core.coverage import TaintCoverageMatrix
+from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
+from repro.generation.seeds import Seed
+
+
+@dataclass
+class ShardTask:
+    """One shard-epoch work unit; everything in it is cheaply picklable."""
+
+    shard_index: int
+    epoch: int
+    iterations: int
+    configuration: FuzzerConfiguration
+    initial_seed: Optional[Dict[str, object]] = None
+    baseline_points: List[Dict[str, object]] = field(default_factory=list)
+    report_top_seeds: int = 4
+    # Injected wait per simulator invocation (seconds): models a slow external
+    # (RTL) simulator behind the same protocol.  Zero means full speed.
+    step_latency: float = 0.0
+
+
+def iterate_shard_task(
+    task: ShardTask,
+) -> Generator[CampaignStep, None, Dict[str, object]]:
+    """Run one shard-epoch stepwise, yielding at every simulator boundary.
+
+    Pure function of the task payload: no module-global state is read or
+    mutated, which is what makes every backend produce identical results.
+    The generator's return value is the shard's result payload dict — the
+    engine-side wire form of :func:`run_shard_task`.
+    """
+    started = time.perf_counter()
+    fuzzer = DejaVuzzFuzzer(task.configuration)
+    baseline = set()
+    if task.baseline_points:
+        # Start from the merged global coverage of this shard's core so
+        # feedback only rewards globally-new points and mutation steers away
+        # from covered modules.
+        fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
+        baseline = fuzzer.coverage.points
+    initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
+    steps = fuzzer.campaign_steps(task.iterations, initial_seed=initial_seed)
+    while True:
+        try:
+            step = next(steps)
+        except StopIteration as stop:
+            result = stop.value
+            break
+        yield step
+    observed = sorted(
+        fuzzer.coverage.points - baseline,
+        key=lambda point: (point.module, point.tainted_count),
+    )
+    return {
+        "shard_index": task.shard_index,
+        "epoch": task.epoch,
+        "core": task.configuration.core.name,
+        "result": result.to_dict(),
+        "points": [point.to_dict() for point in observed],
+        "top_seeds": [
+            {"seed": seed.to_dict(), "gain": gain}
+            for seed, gain in fuzzer.top_seeds(task.report_top_seeds)
+        ],
+        "wall_seconds": time.perf_counter() - started,
+    }
+
+
+def run_shard_task(task: ShardTask) -> Dict[str, object]:
+    """Execute one shard-epoch to completion in the current process.
+
+    The serial driver of :func:`iterate_shard_task`: used directly by the
+    inline backend and as the worker function of the process pool.  Injected
+    simulator latency is paid with a blocking sleep at every step, exactly
+    like a synchronous RTL-simulator call would block the worker.
+    """
+    runner = iterate_shard_task(task)
+    while True:
+        try:
+            step = next(runner)
+        except StopIteration as stop:
+            return stop.value
+        if task.step_latency > 0:
+            time.sleep(task.step_latency * step.simulations)
+
+
+async def run_shard_task_async(task: ShardTask) -> Dict[str, object]:
+    """Asyncio driver of :func:`iterate_shard_task`.
+
+    Suspends at every simulator boundary — injected latency becomes an
+    ``asyncio.sleep`` during which the event loop runs other shards, and even
+    a zero-latency step yields control once so no single shard starves the
+    loop.  Returns the same payload as :func:`run_shard_task`.
+    """
+    runner = iterate_shard_task(task)
+    while True:
+        try:
+            step = next(runner)
+        except StopIteration as stop:
+            return stop.value
+        await asyncio.sleep(
+            task.step_latency * step.simulations if task.step_latency > 0 else 0
+        )
+
+
+class ExecutionBackend:
+    """How one sync epoch's shard tasks get executed.
+
+    Implementations submit :class:`ShardTask` payloads and collect the result
+    payload dicts of :func:`run_shard_task`, in task order.  A backend may
+    hold resources across epochs (the process pool does); the engine calls
+    :meth:`close` exactly once when the campaign ends.
+    """
+
+    name: str = "abstract"
+
+    def run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        """Release any held resources; idempotent."""
+
+
+class InlineBackend(ExecutionBackend):
+    """Serial in-process execution — the reference backend."""
+
+    name = "inline"
+
+    def run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        return [run_shard_task(task) for task in tasks]
+
+
+class ProcessPoolBackend(ExecutionBackend):
+    """One worker process per shard task, on a pool reused across epochs."""
+
+    name = "process"
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is not None and max_workers <= 0:
+            raise ValueError(f"max_workers must be positive, got {max_workers}")
+        self.max_workers = max_workers
+        self._pool: Optional[ProcessPoolExecutor] = None
+
+    def run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        if len(tasks) == 1:
+            # Not worth a round trip through a worker process.
+            return [run_shard_task(tasks[0])]
+        if self._pool is None:
+            workers = self.max_workers or len(tasks)
+            self._pool = ProcessPoolExecutor(max_workers=workers)
+        return list(self._pool.map(run_shard_task, tasks))
+
+    def close(self) -> None:
+        if self._pool is not None:
+            self._pool.shutdown()
+            self._pool = None
+
+
+class AsyncBackend(ExecutionBackend):
+    """One asyncio event loop interleaving up to ``concurrency`` shards.
+
+    All shard compute still happens on the calling thread — what overlaps is
+    the *waiting*: injected or real simulator latency suspends one shard's
+    generator while another advances.  With latency-dominated shards the
+    epoch finishes in roughly ``total_wait / concurrency`` instead of
+    ``total_wait``, on a single worker.
+    """
+
+    name = "async"
+
+    def __init__(self, concurrency: int = 4) -> None:
+        if concurrency <= 0:
+            raise ValueError(f"concurrency must be positive, got {concurrency}")
+        self.concurrency = concurrency
+
+    def run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        return asyncio.run(self._run_epoch(tasks))
+
+    async def _run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        semaphore = asyncio.Semaphore(self.concurrency)
+
+        async def bounded(task: ShardTask) -> Dict[str, object]:
+            async with semaphore:
+                return await run_shard_task_async(task)
+
+        return list(await asyncio.gather(*(bounded(task) for task in tasks)))
+
+
+BACKEND_NAMES = ("inline", "process", "async")
+
+
+def create_backend(
+    name: str,
+    max_workers: Optional[int] = None,
+    concurrency: Optional[int] = None,
+) -> ExecutionBackend:
+    """Build a backend from its registry name.
+
+    ``max_workers`` sizes the process pool (default: one per task);
+    ``concurrency`` bounds the async backend's in-flight shards (default 4).
+    """
+    if name == "inline":
+        return InlineBackend()
+    if name == "process":
+        return ProcessPoolBackend(max_workers=max_workers)
+    if name == "async":
+        return AsyncBackend(concurrency=concurrency if concurrency is not None else 4)
+    known = ", ".join(BACKEND_NAMES)
+    raise ValueError(f"unknown execution backend {name!r} (known: {known})")

@@ -36,8 +36,23 @@ found on the target core in the epoch the transferred seed started.  The
 attribution is epoch-granular: the seed opens that epoch and its mutated
 descendants count towards its outcome.
 
-Only cheap wire forms (``to_dict`` payloads and plain dataclasses of
-primitives) cross the process boundary — simulator state never gets pickled.
+How the epochs *execute* is delegated to a pluggable
+:class:`~repro.core.backends.ExecutionBackend` (``executor="inline" |
+"process" | "async"``): serial in-process, a reused worker-process pool, or a
+single asyncio event loop that interleaves many latency-bound shard
+simulations on one worker.  Only cheap wire forms (``to_dict`` payloads and
+plain dataclasses of primitives) cross the backend boundary — simulator state
+never gets pickled.
+
+Sync epochs follow a :class:`SyncPolicy`: the classic fixed count
+(``sync_epochs`` equal slices of the budget, redistribution at every
+boundary) or a stall-triggered policy that runs fixed-size rounds and only
+pays for corpus redistribution when the global new-point rate flatlines.
+
+Long campaigns survive restarts: ``checkpoint_path`` makes the engine write a
+JSON checkpoint after every merged epoch, and :meth:`ParallelCampaignEngine.resume_from`
+rebuilds the engine mid-campaign from it — the resumed campaign is
+byte-identical (timing aside) to an uninterrupted one.
 
 Run it directly::
 
@@ -48,20 +63,44 @@ from __future__ import annotations
 
 import argparse
 import json
+import os
 import time
-from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field, replace
-from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple
+from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
+from repro.core.backends import (
+    BACKEND_NAMES,
+    ExecutionBackend,
+    ShardTask,
+    create_backend,
+    iterate_shard_task,
+    run_shard_task,
+)
 from repro.core.corpus import SharedCorpus
 from repro.core.coverage import CoveragePoint, TaintCoverageMatrix
-from repro.core.fuzzer import DejaVuzzFuzzer, FuzzerConfiguration
+from repro.core.fuzzer import FuzzerConfiguration
 from repro.core.report import CampaignResult
 from repro.generation.seeds import Seed
+from repro.generation.window_types import group_of
 from repro.uarch.boom import small_boom_config
 from repro.uarch.config import CoreConfig
 from repro.uarch.xiangshan import xiangshan_minimal_config
 from repro.utils.rng import DeterministicRng
+
+__all__ = [
+    "CORES",
+    "CORE_ALIASES",
+    "CORE_FACTORIES",
+    "EngineConfiguration",
+    "EngineResult",
+    "ParallelCampaignEngine",
+    "ShardTask",
+    "SyncPolicy",
+    "iterate_shard_task",
+    "resolve_core",
+    "run_parallel_campaign",
+    "run_shard_task",
+]
 
 # Canonical cores the CLI can name; the programmatic API accepts any
 # CoreConfig.  Aliases map onto the canonical names so the registry (and its
@@ -105,6 +144,45 @@ EPOCH_ID_STRIDE = 100_000
 TRANSFER_SEED_ID_BASE = 1_000_000_000
 
 
+@dataclass(frozen=True)
+class SyncPolicy:
+    """When the engine synchronises its shards.
+
+    ``fixed`` — the classic schedule: ``EngineConfiguration.sync_epochs``
+    equal slices of the budget, with corpus redistribution at every epoch
+    boundary.
+
+    ``stall`` — adaptive: the budget is sliced into rounds of
+    ``epoch_iterations`` total iterations each (the last round takes the
+    remainder).  Coverage is merged after every round (the cheap, mandatory
+    accounting step), but the expensive cross-shard intervention — corpus
+    redistribution and seed transfer — only triggers when the global
+    new-point rate flatlines: a round contributing at most ``stall_gain``
+    globally-new points marks a stall.  The decision uses only merged
+    per-round data, so it is deterministic and backend-independent.
+    """
+
+    kind: str = "fixed"        # "fixed" | "stall"
+    epoch_iterations: int = 0  # stall: global iterations per round (0 = iterations/8)
+    stall_gain: int = 0        # stall: round gain <= this triggers redistribution
+
+    def __post_init__(self) -> None:
+        if self.kind not in ("fixed", "stall"):
+            raise ValueError(f"unknown sync policy {self.kind!r} (known: fixed, stall)")
+        if self.epoch_iterations < 0:
+            raise ValueError(
+                f"epoch_iterations must be non-negative, got {self.epoch_iterations}"
+            )
+        if self.stall_gain < 0:
+            raise ValueError(f"stall_gain must be non-negative, got {self.stall_gain}")
+
+    @staticmethod
+    def normalize(policy: Union[str, "SyncPolicy"]) -> "SyncPolicy":
+        if isinstance(policy, SyncPolicy):
+            return policy
+        return SyncPolicy(kind=str(policy))
+
+
 @dataclass
 class EngineConfiguration:
     """Knobs of a sharded campaign."""
@@ -116,8 +194,18 @@ class EngineConfiguration:
     corpus_capacity: int = 64
     redistribute_top: int = 2            # lagging shards reseeded per epoch
     report_top_seeds: int = 4            # seeds each shard reports per epoch
-    max_workers: Optional[int] = None    # defaults to `shards`
-    executor: str = "process"            # "process" | "inline"
+    max_workers: Optional[int] = None    # process backend pool size; defaults to `shards`
+    executor: str = "process"            # execution backend: "process" | "inline" | "async"
+    async_concurrency: Optional[int] = None  # async backend: in-flight shards (default 4)
+    # Injected wait per simulator invocation (seconds), modelling a slow
+    # external (RTL) simulator; see repro.core.backends.  Zero = full speed.
+    step_latency: float = 0.0
+    # Fixed-count or stall-triggered synchronisation; accepts "fixed"/"stall"
+    # shorthand or a full SyncPolicy.
+    sync_policy: Union[str, SyncPolicy] = "fixed"
+    # Write a JSON checkpoint here after every merged epoch; resume with
+    # ParallelCampaignEngine.resume_from(path, configuration).
+    checkpoint_path: Optional[str] = None
     # Per-shard core assignment for heterogeneous campaigns: one entry per
     # shard, each a registry name ("boom"), a CoreConfig, or a full
     # FuzzerConfiguration.  None runs every shard on the prototype's core.
@@ -128,8 +216,10 @@ class EngineConfiguration:
             raise ValueError(f"shards must be positive, got {self.shards}")
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
-        if self.sync_epochs <= 0:
-            raise ValueError(f"sync_epochs must be positive, got {self.sync_epochs}")
+        if self.sync_epochs < 1:
+            raise ValueError(
+                f"sync_epochs must be at least 1, got {self.sync_epochs}"
+            )
         if self.corpus_capacity <= 0:
             raise ValueError(
                 f"corpus_capacity must be positive, got {self.corpus_capacity}"
@@ -144,22 +234,66 @@ class EngineConfiguration:
             )
         if self.max_workers is not None and self.max_workers <= 0:
             raise ValueError(f"max_workers must be positive, got {self.max_workers}")
-        # Seed ids are the corpus's global identity: the highest shard-epoch
-        # base must stay below the transfer namespace or ids would collide.
+        if self.async_concurrency is not None and self.async_concurrency <= 0:
+            raise ValueError(
+                f"async_concurrency must be positive, got {self.async_concurrency}"
+            )
+        if self.step_latency < 0:
+            raise ValueError(
+                f"step_latency must be non-negative, got {self.step_latency}"
+            )
+        self.sync_policy = SyncPolicy.normalize(self.sync_policy)
+        planned = self.planned_epochs()
+        # Seed ids are the corpus's global identity: epoch bases must stay
+        # inside one shard's stride, and the highest shard-epoch base must
+        # stay below the transfer namespace, or ids would collide.
+        if planned * EPOCH_ID_STRIDE > SHARD_ID_STRIDE:
+            raise ValueError(
+                f"{planned} sync epochs exhaust one shard's seed-id stride "
+                f"({SHARD_ID_STRIDE // EPOCH_ID_STRIDE} epochs max); use larger "
+                f"epochs"
+            )
         highest_base = ParallelCampaignEngine.shard_seed_id_base(
-            self.shards - 1, self.sync_epochs - 1
+            self.shards - 1, planned - 1
         )
         if highest_base + EPOCH_ID_STRIDE > TRANSFER_SEED_ID_BASE:
             raise ValueError(
-                f"shards={self.shards} x sync_epochs={self.sync_epochs} exhausts "
+                f"shards={self.shards} x sync_epochs={planned} exhausts "
                 f"the seed-id namespace below TRANSFER_SEED_ID_BASE "
                 f"({TRANSFER_SEED_ID_BASE}); reduce the shard or epoch count"
             )
-        if self.executor not in ("process", "inline"):
-            raise ValueError(f"unknown executor {self.executor!r}")
+        if self.executor not in BACKEND_NAMES:
+            raise ValueError(
+                f"unknown executor {self.executor!r} (known: {', '.join(BACKEND_NAMES)})"
+            )
         # Resolve eagerly so a bad core name fails at configuration time, not
         # in the middle of a campaign.
         self.shard_fuzzers()
+
+    def planned_epochs(self) -> int:
+        """How many sync epochs/rounds the campaign will run."""
+        policy = SyncPolicy.normalize(self.sync_policy)
+        if policy.kind == "fixed":
+            return self.sync_epochs
+        per_round = policy.epoch_iterations or max(1, self.iterations // 8)
+        return -(-self.iterations // per_round)  # ceil division
+
+    def round_iterations(self) -> List[int]:
+        """Total iterations of each sync epoch/round, summing to the budget."""
+        policy = SyncPolicy.normalize(self.sync_policy)
+        if policy.kind == "fixed":
+            total, epochs = self.iterations, self.sync_epochs
+            return [
+                total // epochs + (1 if index < total % epochs else 0)
+                for index in range(epochs)
+            ]
+        per_round = policy.epoch_iterations or max(1, self.iterations // 8)
+        rounds = []
+        remaining = self.iterations
+        while remaining > 0:
+            rounds.append(min(per_round, remaining))
+            remaining -= rounds[-1]
+        return rounds
 
     def shard_fuzzers(self) -> List[FuzzerConfiguration]:
         """One prototype configuration per shard (entropy re-derived later)."""
@@ -187,55 +321,6 @@ class EngineConfiguration:
 
 
 @dataclass
-class ShardTask:
-    """One shard-epoch work unit; everything in it is cheaply picklable."""
-
-    shard_index: int
-    epoch: int
-    iterations: int
-    configuration: FuzzerConfiguration
-    initial_seed: Optional[Dict[str, object]] = None
-    baseline_points: List[Dict[str, object]] = field(default_factory=list)
-    report_top_seeds: int = 4
-
-
-def run_shard_task(task: ShardTask) -> Dict[str, object]:
-    """Execute one shard-epoch in the current process (the pool worker).
-
-    Pure function of the task payload: no module-global state is read or
-    mutated, which is what makes ``inline`` and ``process`` execution produce
-    identical results.
-    """
-    started = time.perf_counter()
-    fuzzer = DejaVuzzFuzzer(task.configuration)
-    baseline = set()
-    if task.baseline_points:
-        # Start from the merged global coverage of this shard's core so
-        # feedback only rewards globally-new points and mutation steers away
-        # from covered modules.
-        fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
-        baseline = fuzzer.coverage.points
-    initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
-    result = fuzzer.run_campaign(task.iterations, initial_seed=initial_seed)
-    observed = sorted(
-        fuzzer.coverage.points - baseline,
-        key=lambda point: (point.module, point.tainted_count),
-    )
-    return {
-        "shard_index": task.shard_index,
-        "epoch": task.epoch,
-        "core": task.configuration.core.name,
-        "result": result.to_dict(),
-        "points": [point.to_dict() for point in observed],
-        "top_seeds": [
-            {"seed": seed.to_dict(), "gain": gain}
-            for seed, gain in fuzzer.top_seeds(task.report_top_seeds)
-        ],
-        "wall_seconds": time.perf_counter() - started,
-    }
-
-
-@dataclass
 class EngineResult:
     """The outcome of one sharded campaign.
 
@@ -260,20 +345,27 @@ class EngineResult:
     redistributed_seeds: int = 0
     transferred_seeds: int = 0
     wall_clock_seconds: float = 0.0
+    # False when run(max_epochs=...) halted mid-campaign; the checkpoint holds
+    # the state needed to resume.
+    complete: bool = True
 
     @property
     def coverage(self) -> TaintCoverageMatrix:
         """The merged matrix of a single-core campaign.
 
-        Heterogeneous campaigns have no single merged matrix (cross-core
-        point merging is exactly what the engine refuses to do); use
+        Heterogeneous campaigns have one matrix *per core* and no single
+        merged one — cross-core point merging is exactly what the engine
+        refuses to do, because coverage points are microarchitecture-specific
+        and an implicit union would silently over-count.  Use
         :attr:`core_coverage` instead.
         """
         if len(self.core_coverage) == 1:
             return next(iter(self.core_coverage.values()))
+        cores = ", ".join(sorted(self.core_coverage)) or "none"
         raise ValueError(
-            "heterogeneous campaign has one coverage matrix per core; "
-            "use core_coverage[name]"
+            f"this campaign has one coverage matrix per core ({cores}); "
+            f"an implicit cross-core merge would over-count, so pick one "
+            f"explicitly via core_coverage[name]"
         )
 
     def total_coverage(self) -> int:
@@ -307,6 +399,10 @@ class EngineResult:
         return summary
 
 
+# Version tag of the engine checkpoint wire format.
+CHECKPOINT_FORMAT = 1
+
+
 class ParallelCampaignEngine:
     """Runs N DejaVuzz shards with periodic coverage/corpus synchronisation."""
 
@@ -320,6 +416,20 @@ class ParallelCampaignEngine:
         # Deterministic id allocation and outcome bookkeeping for transfers.
         self._transfer_count = 0
         self._pending_transfers: Dict[Tuple[int, int], Dict[str, object]] = {}
+        # Run-loop state, kept on the instance so a campaign can be
+        # checkpointed after any epoch and resumed later (possibly in a new
+        # process via :meth:`resume_from`).
+        self._result: Optional[EngineResult] = None
+        self._next_epoch = 0
+        self._assignments: Dict[int, Optional[Dict[str, object]]] = {
+            index: None for index in range(configuration.shards)
+        }
+        self._shard_iterations_done: Dict[int, int] = {}
+        # Window-type groups each core has triggered so far; feeds the
+        # transfer-aware redistribution bias.
+        self._core_triggered: Dict[str, Set[str]] = {}
+        self._elapsed_before = 0.0  # wall seconds accumulated by earlier run() calls
+        self._run_started: Optional[float] = None
 
     # -- deterministic derivations ---------------------------------------------------------
 
@@ -338,26 +448,20 @@ class ParallelCampaignEngine:
         return self._shard_fuzzers[shard_index].core
 
     def epoch_budgets(self) -> List[List[int]]:
-        """Split the total iteration budget across epochs, then across shards.
+        """Split the iteration budget across sync epochs, then across shards.
 
-        Remainders go to the lowest indices, so the grand total is exactly
-        ``configuration.iterations`` for any shard/epoch combination.
+        Epoch sizes come from the sync policy (equal slices under ``fixed``,
+        ``epoch_iterations``-sized rounds under ``stall``); remainders go to
+        the lowest indices, so the grand total is exactly
+        ``configuration.iterations`` for any shard/policy combination.
         """
-        configuration = self.configuration
-        total, epochs, shards = (
-            configuration.iterations,
-            configuration.sync_epochs,
-            configuration.shards,
-        )
-        per_epoch = [
-            total // epochs + (1 if index < total % epochs else 0) for index in range(epochs)
-        ]
+        shards = self.configuration.shards
         return [
             [
                 budget // shards + (1 if index < budget % shards else 0)
                 for index in range(shards)
             ]
-            for budget in per_epoch
+            for budget in self.configuration.round_iterations()
         ]
 
     # -- campaign --------------------------------------------------------------------------
@@ -365,10 +469,258 @@ class ParallelCampaignEngine:
     def run(
         self,
         progress_callback: Optional[Callable[[int, "EngineResult"], None]] = None,
+        max_epochs: Optional[int] = None,
     ) -> EngineResult:
-        """Run the full sharded campaign and return the merged outcome."""
+        """Run the sharded campaign and return the merged outcome.
+
+        ``max_epochs`` bounds how many sync epochs this *call* executes —
+        with ``checkpoint_path`` set this is a deterministic stand-in for a
+        mid-campaign kill: the returned result has ``complete=False`` and the
+        campaign continues from the checkpoint via :meth:`resume_from`.
+        A resumed engine picks up exactly where the checkpoint left off.
+        """
         configuration = self.configuration
-        started = time.perf_counter()
+        self._run_started = time.perf_counter()
+        if self._result is None:
+            self._initialise_run()
+        result = self._result
+        all_budgets = self.epoch_budgets()
+        backend = self._create_backend()
+        epochs_this_call = 0
+        try:
+            while self._next_epoch < len(all_budgets):
+                if max_epochs is not None and epochs_this_call >= max_epochs:
+                    break
+                epoch = self._next_epoch
+                budgets = all_budgets[epoch]
+                tasks = [
+                    self._build_task(shard_index, epoch, budgets[shard_index])
+                    for shard_index in range(configuration.shards)
+                    if budgets[shard_index] > 0
+                ]
+                if tasks:
+                    epoch_offset_seconds = self._elapsed_before + (
+                        time.perf_counter() - self._run_started
+                    )
+                    payloads = self._execute(tasks, backend)
+                    epoch_gains = self._merge_epoch(
+                        payloads, result, epoch_offset_seconds, self._shard_iterations_done
+                    )
+                    self._assignments = {
+                        index: None for index in range(configuration.shards)
+                    }
+                    if epoch < len(all_budgets) - 1 and self._should_redistribute(
+                        epoch_gains
+                    ):
+                        self._assignments = self._redistribute(
+                            epoch_gains, result, all_budgets[epoch + 1], epoch + 1
+                        )
+                self._next_epoch = epoch + 1
+                epochs_this_call += 1
+                if configuration.checkpoint_path:
+                    self.save_checkpoint(configuration.checkpoint_path)
+                if tasks and progress_callback is not None:
+                    progress_callback(epoch, result)
+        finally:
+            backend.close()
+
+        result.complete = self._next_epoch >= len(all_budgets)
+        if result.complete:
+            result.campaign.finish()
+        self._elapsed_before += time.perf_counter() - self._run_started
+        self._run_started = None
+        result.wall_clock_seconds = self._elapsed_before
+        return result
+
+    # -- checkpoint / resume ----------------------------------------------------------------
+
+    def configuration_fingerprint(self) -> Dict[str, object]:
+        """The configuration facts a checkpoint must match to be resumable.
+
+        Everything that feeds the deterministic derivations is included; the
+        execution backend and its sizing knobs deliberately are *not* — a
+        campaign checkpointed under the process pool may resume inline or
+        async and still produce identical results.
+        """
+        configuration = self.configuration
+        policy = SyncPolicy.normalize(configuration.sync_policy)
+        return {
+            "shards": configuration.shards,
+            "iterations": configuration.iterations,
+            "sync_epochs": configuration.sync_epochs,
+            "sync_policy": {
+                "kind": policy.kind,
+                "epoch_iterations": policy.epoch_iterations,
+                "stall_gain": policy.stall_gain,
+            },
+            "entropy": configuration.fuzzer.entropy,
+            "variant": configuration.fuzzer.variant_name(),
+            "low_gain_limit": configuration.fuzzer.low_gain_limit,
+            "cores": [prototype.core.name for prototype in self._shard_fuzzers],
+            "corpus_capacity": configuration.corpus_capacity,
+            "redistribute_top": configuration.redistribute_top,
+            "report_top_seeds": configuration.report_top_seeds,
+        }
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        """The engine's full mid-campaign state as a JSON-safe dict."""
+        if self._result is None:
+            raise ValueError(
+                "no campaign state to checkpoint: run() has not started"
+            )
+        result = self._result
+        elapsed = self._elapsed_before
+        if self._run_started is not None:
+            elapsed += time.perf_counter() - self._run_started
+        return {
+            "format": CHECKPOINT_FORMAT,
+            "fingerprint": self.configuration_fingerprint(),
+            "next_epoch": self._next_epoch,
+            "assignments": {
+                str(index): seed for index, seed in self._assignments.items()
+            },
+            "shard_iterations_done": {
+                str(index): count
+                for index, count in self._shard_iterations_done.items()
+            },
+            "transfer_count": self._transfer_count,
+            "core_triggered": {
+                core: sorted(groups)
+                for core, groups in self._core_triggered.items()
+            },
+            "corpus": self.corpus.to_dicts(),
+            "core_coverage": {
+                core: {"points": matrix.to_dicts(), "history": list(matrix.history)}
+                for core, matrix in result.core_coverage.items()
+            },
+            "campaign": result.campaign.to_dict(),
+            "shard_points": {
+                str(index): [
+                    point.to_dict()
+                    for point in sorted(
+                        points, key=lambda p: (p.module, p.tainted_count)
+                    )
+                ]
+                for index, points in result.shard_points.items()
+            },
+            "shard_summaries": list(result.shard_summaries),
+            "transfers": list(result.transfers),
+            "redistributed_seeds": result.redistributed_seeds,
+            "transferred_seeds": result.transferred_seeds,
+            "wall_clock_seconds": elapsed,
+        }
+
+    def save_checkpoint(self, path: str) -> str:
+        """Write the current campaign state to ``path`` (atomically)."""
+        payload = self.checkpoint_state()
+        directory = os.path.dirname(os.path.abspath(path))
+        os.makedirs(directory, exist_ok=True)
+        staging = f"{path}.tmp"
+        with open(staging, "w", encoding="utf-8") as handle:
+            json.dump(payload, handle, indent=2)
+        os.replace(staging, path)  # a killed writer never corrupts the checkpoint
+        return path
+
+    @classmethod
+    def resume_from(
+        cls, path: str, configuration: EngineConfiguration
+    ) -> "ParallelCampaignEngine":
+        """Rebuild a mid-campaign engine from a checkpoint file.
+
+        ``configuration`` must describe the same campaign (checked against
+        the checkpoint's fingerprint); the execution backend may differ.
+        Calling :meth:`run` on the returned engine continues from the first
+        unexecuted epoch.
+        """
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        engine = cls(configuration)
+        engine._restore(payload)
+        return engine
+
+    def _restore(self, payload: Dict[str, object]) -> None:
+        if payload.get("format") != CHECKPOINT_FORMAT:
+            raise ValueError(
+                f"unsupported checkpoint format {payload.get('format')!r} "
+                f"(expected {CHECKPOINT_FORMAT})"
+            )
+        expected = self.configuration_fingerprint()
+        found = payload.get("fingerprint")
+        if found != expected:
+            differing = sorted(
+                key
+                for key in set(expected) | set(found or {})
+                if (found or {}).get(key) != expected.get(key)
+            )
+            raise ValueError(
+                "checkpoint does not match this configuration "
+                f"(differing fields: {', '.join(differing)})"
+            )
+        configuration = self.configuration
+        shard_cores = {
+            index: prototype.core.name
+            for index, prototype in enumerate(self._shard_fuzzers)
+        }
+        core_coverage: Dict[str, TaintCoverageMatrix] = {}
+        stored_coverage = payload["core_coverage"]
+        for name in dict.fromkeys(shard_cores.values()):
+            entry = stored_coverage.get(name, {"points": [], "history": []})
+            matrix = TaintCoverageMatrix.from_dicts(entry["points"])
+            matrix.history = [int(total) for total in entry["history"]]
+            core_coverage[name] = matrix
+        self._result = EngineResult(
+            campaign=CampaignResult.from_dict(payload["campaign"]),
+            core_coverage=core_coverage,
+            shards=configuration.shards,
+            epochs=len(self.epoch_budgets()),
+            shard_cores=shard_cores,
+            shard_points={
+                index: {
+                    CoveragePoint.from_dict(point)
+                    for point in payload["shard_points"].get(str(index), [])
+                }
+                for index in range(configuration.shards)
+            },
+            shard_summaries=list(payload["shard_summaries"]),
+            transfers=[dict(row) for row in payload["transfers"]],
+            redistributed_seeds=int(payload["redistributed_seeds"]),
+            transferred_seeds=int(payload["transferred_seeds"]),
+            complete=False,
+        )
+        self._next_epoch = int(payload["next_epoch"])
+        self._assignments = {
+            index: None for index in range(configuration.shards)
+        }
+        for key, seed in payload["assignments"].items():
+            self._assignments[int(key)] = seed
+        self._shard_iterations_done = {
+            int(key): int(count)
+            for key, count in payload["shard_iterations_done"].items()
+        }
+        self._transfer_count = int(payload["transfer_count"])
+        self._core_triggered = {
+            core: set(groups)
+            for core, groups in payload.get("core_triggered", {}).items()
+        }
+        self.corpus = SharedCorpus.from_dicts(
+            payload["corpus"], capacity=configuration.corpus_capacity
+        )
+        self._baseline_points = {
+            core: matrix.to_dicts() for core, matrix in core_coverage.items()
+        }
+        # Transfers whose receiving epoch has not merged yet get their outcome
+        # filled in after resume; relink them by (target shard, epoch).
+        self._pending_transfers = {}
+        for row in self._result.transfers:
+            if row.get("new_global_points") is None:
+                key = (int(row["target_shard"]), int(row["epoch"]))
+                self._pending_transfers[key] = row
+        self._elapsed_before = float(payload.get("wall_clock_seconds", 0.0))
+
+    # -- epoch plumbing ---------------------------------------------------------------------
+
+    def _initialise_run(self) -> None:
+        configuration = self.configuration
         shard_cores = {
             index: prototype.core.name
             for index, prototype in enumerate(self._shard_fuzzers)
@@ -381,57 +733,38 @@ class ParallelCampaignEngine:
             fuzzer_name=configuration.fuzzer.variant_name(),
             core="+".join(dict.fromkeys(shard_cores.values())),
         )
-        result = EngineResult(
+        self._result = EngineResult(
             campaign=aggregate,
             core_coverage=core_coverage,
             shards=configuration.shards,
-            epochs=configuration.sync_epochs,
+            epochs=len(self.epoch_budgets()),
             shard_cores=shard_cores,
             shard_points={index: set() for index in range(configuration.shards)},
         )
 
-        assignments: Dict[int, Optional[Dict[str, object]]] = {
-            index: None for index in range(configuration.shards)
-        }
-        shard_iterations_done: Dict[int, int] = {}
-        pool: Optional[ProcessPoolExecutor] = None
-        all_budgets = self.epoch_budgets()
-        try:
-            for epoch, budgets in enumerate(all_budgets):
-                tasks = [
-                    self._build_task(shard_index, epoch, budgets[shard_index], assignments)
-                    for shard_index in range(configuration.shards)
-                    if budgets[shard_index] > 0
-                ]
-                if not tasks:
-                    continue
-                epoch_offset_seconds = time.perf_counter() - started
-                payloads, pool = self._execute(tasks, pool)
-                epoch_gains = self._merge_epoch(
-                    payloads, result, epoch_offset_seconds, shard_iterations_done
-                )
-                if epoch < configuration.sync_epochs - 1:
-                    assignments = self._redistribute(
-                        epoch_gains, result, all_budgets[epoch + 1], epoch + 1
-                    )
-                if progress_callback is not None:
-                    progress_callback(epoch, result)
-        finally:
-            if pool is not None:
-                pool.shutdown()
+    def _create_backend(self) -> ExecutionBackend:
+        configuration = self.configuration
+        return create_backend(
+            configuration.executor,
+            max_workers=min(
+                configuration.shards,
+                configuration.max_workers or configuration.shards,
+            ),
+            concurrency=configuration.async_concurrency,
+        )
 
-        aggregate.finish()
-        result.wall_clock_seconds = time.perf_counter() - started
-        return result
-
-    # -- epoch plumbing ---------------------------------------------------------------------
+    def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
+        """Fixed policy syncs every boundary; stall policy only on a flatline."""
+        policy = SyncPolicy.normalize(self.configuration.sync_policy)
+        if policy.kind == "fixed":
+            return True
+        return sum(epoch_gains.values()) <= policy.stall_gain
 
     def _build_task(
         self,
         shard_index: int,
         epoch: int,
         iterations: int,
-        assignments: Dict[int, Optional[Dict[str, object]]],
     ) -> ShardTask:
         prototype = self._shard_fuzzers[shard_index]
         shard_configuration = replace(
@@ -444,31 +777,20 @@ class ParallelCampaignEngine:
             epoch=epoch,
             iterations=iterations,
             configuration=shard_configuration,
-            initial_seed=assignments.get(shard_index),
+            initial_seed=self._assignments.get(shard_index),
             baseline_points=self._baseline_points.get(prototype.core.name, []),
             report_top_seeds=self.configuration.report_top_seeds,
+            step_latency=self.configuration.step_latency,
         )
 
     def _execute(
-        self, tasks: List[ShardTask], pool: Optional[ProcessPoolExecutor] = None
-    ) -> Tuple[List[Dict[str, object]], Optional[ProcessPoolExecutor]]:
-        configuration = self.configuration
-        if configuration.executor == "inline" or len(tasks) == 1:
-            payloads = [run_shard_task(task) for task in tasks]
-        else:
-            if pool is None:
-                # One pool for the whole campaign: worker spawn + interpreter
-                # boot is expensive relative to an epoch's work, so the caller
-                # keeps the returned pool alive across sync epochs.
-                workers = min(
-                    configuration.shards, configuration.max_workers or configuration.shards
-                )
-                pool = ProcessPoolExecutor(max_workers=workers)
-            payloads = list(pool.map(run_shard_task, tasks))
+        self, tasks: List[ShardTask], backend: ExecutionBackend
+    ) -> List[Dict[str, object]]:
+        payloads = backend.run_epoch(tasks)
         # Merge in shard order regardless of completion order: set-union makes
         # the merged points order-independent, but history snapshots and corpus
         # tiebreaks stay deterministic only under a fixed fold order.
-        return sorted(payloads, key=lambda payload: payload["shard_index"]), pool
+        return sorted(payloads, key=lambda payload: payload["shard_index"])
 
     def _merge_epoch(
         self,
@@ -505,6 +827,12 @@ class ParallelCampaignEngine:
                 report.wall_clock_seconds += epoch_offset_seconds
             shard_iterations_done[shard_index] = (
                 shard_iterations_done.get(shard_index, 0) + shard_result.iterations_run
+            )
+            # Which window-type groups this core has triggered so far; the
+            # redistribution walk biases donors towards cores where their
+            # group is still untriggered.
+            self._core_triggered.setdefault(core_name, set()).update(
+                shard_result.triggered_windows
             )
             result.campaign.merge_shard(shard_result)
             for entry in payload["top_seeds"]:
@@ -546,12 +874,16 @@ class ParallelCampaignEngine:
     ) -> Dict[int, Optional[Dict[str, object]]]:
         """Assign top corpus seeds to the shards that gained the least.
 
-        Donors are considered in global gain order: a compatible donor (same
-        core as the receiving shard, or untagged) is handed over as-is, while
-        a higher-ranked foreign-core donor is *transferred* — its portable
-        genotype re-realized for the shard's core.  The shared corpus is thus
-        one cross-core pool: if the most productive seed campaign-wide lives
-        on the other core, the lagging shard still benefits from it.
+        Donors are considered in global gain order, with a transfer-aware
+        bias: donors whose window-type *group* the receiving core has not
+        triggered yet rank first (stable within each tier, so gain order
+        still decides among them) — a seed is worth the most exactly where
+        its window group is still unexplored.  A compatible donor (same core
+        as the receiving shard, or untagged) is handed over as-is, while a
+        foreign-core donor is *transferred* — its portable genotype
+        re-realized for the shard's core.  The shared corpus is thus one
+        cross-core pool: if the most productive seed campaign-wide lives on
+        the other core, the lagging shard still benefits from it.
         ``next_budgets`` filters out shards with no iterations left in the
         next epoch — assigning them a donor would silently drop the seed while
         withholding it from shards that could still run it.
@@ -572,9 +904,15 @@ class ParallelCampaignEngine:
         for shard_index in lagging[: configuration.redistribute_top]:
             target_core = self.shard_core(shard_index)
             supported = target_core.supported_window_types()
+            triggered_groups = self._core_triggered.get(target_core.name, set())
+            donors = sorted(
+                self.corpus.best(len(self.corpus), exclude_shard=shard_index),
+                key=lambda donor: group_of(donor.seed.window_type)
+                in triggered_groups,
+            )
             # Each lagging shard gets a *distinct* donor seed, otherwise every
             # redistribution slot would restart from the same global best.
-            for donor in self.corpus.best(len(self.corpus), exclude_shard=shard_index):
+            for donor in donors:
                 if donor.seed.seed_id in assigned_ids:
                     continue
                 if donor.compatible_with(target_core.name):
@@ -620,6 +958,10 @@ def run_parallel_campaign(
     entropy: int = 2025,
     executor: str = "process",
     cores: Optional[Sequence[object]] = None,
+    async_concurrency: Optional[int] = None,
+    step_latency: float = 0.0,
+    sync_policy: Union[str, SyncPolicy] = "fixed",
+    checkpoint_path: Optional[str] = None,
     **fuzzer_overrides,
 ) -> EngineResult:
     """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`.
@@ -649,6 +991,10 @@ def run_parallel_campaign(
         sync_epochs=sync_epochs,
         executor=executor,
         cores=cores,
+        async_concurrency=async_concurrency,
+        step_latency=step_latency,
+        sync_policy=sync_policy,
+        checkpoint_path=checkpoint_path,
     )
     return ParallelCampaignEngine(configuration).run()
 
@@ -706,9 +1052,70 @@ def build_parser() -> argparse.ArgumentParser:
         "--workers", type=int, default=None, help="process pool size (default: one per shard)"
     )
     parser.add_argument(
+        "--backend",
+        choices=sorted(BACKEND_NAMES),
+        default=None,
+        help="execution backend: process pool, serial inline, or one asyncio "
+        "loop interleaving latency-bound shards (default: process)",
+    )
+    parser.add_argument(
         "--inline",
         action="store_true",
-        help="run shards sequentially in-process (debugging / single-CPU hosts)",
+        help="shorthand for --backend inline (debugging / single-CPU hosts)",
+    )
+    parser.add_argument(
+        "--concurrency",
+        type=int,
+        default=None,
+        help="async backend: max shards in flight on the event loop (default: 4)",
+    )
+    parser.add_argument(
+        "--step-latency",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="injected wait per simulator invocation, modelling a slow "
+        "external RTL simulator (default: 0)",
+    )
+    parser.add_argument(
+        "--sync-policy",
+        choices=["fixed", "stall"],
+        default="fixed",
+        help="fixed: redistribute at every epoch boundary; stall: run "
+        "--epoch-iterations-sized rounds and redistribute only when the "
+        "global new-point rate flatlines",
+    )
+    parser.add_argument(
+        "--epoch-iterations",
+        type=int,
+        default=0,
+        help="stall policy: total iterations per sync round (default: iterations/8)",
+    )
+    parser.add_argument(
+        "--stall-gain",
+        type=int,
+        default=0,
+        help="stall policy: a round gaining at most this many globally-new "
+        "points triggers redistribution (default: 0)",
+    )
+    parser.add_argument(
+        "--checkpoint",
+        metavar="PATH",
+        help="write a JSON checkpoint after every merged epoch",
+    )
+    parser.add_argument(
+        "--resume",
+        metavar="PATH",
+        help="resume a checkpointed campaign (same campaign flags required; "
+        "the backend may differ)",
+    )
+    parser.add_argument(
+        "--halt-after",
+        type=int,
+        default=None,
+        metavar="EPOCHS",
+        help="stop after this many sync epochs in this invocation "
+        "(deterministic kill stand-in; combine with --checkpoint/--resume)",
     )
     parser.add_argument(
         "--random-training",
@@ -745,6 +1152,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         print("error: --cores must name at least one core")
         return 2
     shards = args.shards if args.shards is not None else (len(core_names) if core_names else 4)
+    backend = args.backend or ("inline" if args.inline else "process")
 
     try:
         core = resolve_core(core_names[0] if core_names else args.core)
@@ -761,26 +1169,49 @@ def main(argv: Optional[List[str]] = None) -> int:
             iterations=args.iterations,
             sync_epochs=args.epochs,
             max_workers=args.workers,
-            executor="inline" if args.inline else "process",
+            executor=backend,
+            async_concurrency=args.concurrency,
+            step_latency=args.step_latency,
+            sync_policy=SyncPolicy(
+                kind=args.sync_policy,
+                epoch_iterations=args.epoch_iterations,
+                stall_gain=args.stall_gain,
+            ),
+            checkpoint_path=args.checkpoint,
             cores=core_names,
         )
-    except ValueError as error:
+        if args.resume:
+            engine = ParallelCampaignEngine.resume_from(args.resume, configuration)
+        else:
+            engine = ParallelCampaignEngine(configuration)
+    except (OSError, ValueError) as error:
         print(f"error: {error}")
         return 2
 
+    total_epochs = configuration.planned_epochs()
+
     def report_epoch(epoch: int, result: EngineResult) -> None:
         print(
-            f"[epoch {epoch + 1}/{configuration.sync_epochs}] "
+            f"[epoch {epoch + 1}/{total_epochs}] "
             f"coverage={result.total_coverage()} reports={len(result.campaign.reports)} "
             f"redistributed={result.redistributed_seeds} "
             f"transferred={result.transferred_seeds}"
         )
 
-    engine = ParallelCampaignEngine(configuration)
-    result = engine.run(progress_callback=report_epoch)
+    result = engine.run(progress_callback=report_epoch, max_epochs=args.halt_after)
+
+    if not result.complete:
+        where = configuration.checkpoint_path or "<no --checkpoint given>"
+        print(
+            f"\nhalted after epoch {engine._next_epoch}/{total_epochs}; "
+            f"checkpoint: {where}"
+        )
+        print("resume with the same campaign flags plus --resume PATH")
+        return 0
 
     print(f"\n{result.campaign.fuzzer_name} on {result.campaign.core}: "
-          f"{configuration.shards} shards x {configuration.sync_epochs} epochs")
+          f"{configuration.shards} shards x {result.epochs} epochs "
+          f"({backend} backend, {configuration.sync_policy.kind} sync)")
     for key, value in result.summary().items():
         print(f"  {key:22s} {value}")
     print("\nper shard-epoch:")
@@ -808,6 +1239,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         payload = {
             "summary": result.summary(),
             "campaign": result.campaign.to_dict(),
+            # Timing-free wire form: byte-identical across backends and
+            # across interrupted+resumed vs. uninterrupted campaigns.
+            "campaign_deterministic": result.campaign.to_dict(include_timing=False),
             "coverage_points": {
                 core: matrix.to_dicts()
                 for core, matrix in sorted(result.core_coverage.items())

@@ -16,7 +16,7 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional
+from typing import Callable, Dict, Generator, List, Optional
 
 from repro.core.coverage import TaintCoverageMatrix
 from repro.core.phase1 import Phase1Result, TransientWindowTriggering
@@ -58,6 +58,26 @@ class FuzzerConfiguration:
         if not self.coverage_feedback:
             return "dejavuzz-"
         return self.name
+
+
+@dataclass
+class CampaignStep:
+    """One simulator boundary of a stepwise campaign.
+
+    :meth:`DejaVuzzFuzzer.campaign_steps` yields one of these every time a
+    batch of simulator invocations completes — after a Phase-1 window
+    acquisition and after a Phase-2/3 exploration round.  ``simulations``
+    counts the simulator invocations of the batch, which is what an execution
+    backend charges latency against when it models a slow external (RTL)
+    simulator behind the same interface.  ``result`` is a live reference to
+    the campaign's accumulating :class:`~repro.core.report.CampaignResult`.
+    """
+
+    iteration: int
+    phase: str                  # "window" (Phase 1) | "explore" (Phase 2/3)
+    simulations: int
+    end_of_iteration: bool
+    result: CampaignResult
 
 
 class DejaVuzzFuzzer:
@@ -115,6 +135,37 @@ class DejaVuzzFuzzer:
         A seed realized for a *different* core is rejected: encodings are
         core-specific, so the caller must :meth:`~repro.generation.seeds.Seed.transfer`
         it first.
+
+        This is a thin driver over :meth:`campaign_steps`, which exposes the
+        same loop as a stepwise generator; execution backends that interleave
+        or rate-limit simulator access drive the generator directly.
+        """
+        steps = self.campaign_steps(iterations, initial_seed=initial_seed)
+        while True:
+            try:
+                step = next(steps)
+            except StopIteration as stop:
+                return stop.value
+            if progress_callback is not None and step.phase == "explore":
+                progress_callback(step.iteration, step.result)
+
+    def campaign_steps(
+        self,
+        iterations: int,
+        initial_seed: Optional[Seed] = None,
+    ) -> Generator[CampaignStep, None, CampaignResult]:
+        """The campaign loop as a resumable stepwise generator.
+
+        Yields a :class:`CampaignStep` at every simulator boundary — after
+        each Phase-1 window-acquisition batch and after each Phase-2/3
+        exploration round — and returns the finished
+        :class:`~repro.core.report.CampaignResult` as the generator's value.
+        Between yields no simulator work is in flight, so a driver is free to
+        pause here indefinitely: the serial driver just keeps iterating, while
+        :class:`~repro.core.backends.AsyncBackend` suspends the shard at each
+        yield and interleaves other shards' simulations on the same worker.
+        The yields consume no entropy, so stepping a campaign produces results
+        identical to :meth:`run_campaign`.
         """
         configuration = self.configuration
         if initial_seed is not None and not initial_seed.compatible_with(
@@ -138,13 +189,30 @@ class DejaVuzzFuzzer:
                 current_phase1 = self._acquire_window(current_seed, result)
                 window_mutations = 0
                 consecutive_low_gain = 0
-            if current_phase1 is None or not current_phase1.triggered:
-                # Could not trigger a window with this seed: move to a new one.
-                result.coverage_history.append(len(self.coverage))
-                result.iterations_run = iteration + 1
-                current_seed = self.mutator.mutate_trigger(current_seed)
-                current_phase1 = None
-                continue
+                phase1_simulations = (
+                    current_phase1.simulations_used if current_phase1 is not None else 0
+                )
+                if current_phase1 is None or not current_phase1.triggered:
+                    # Could not trigger a window with this seed: move to a new one.
+                    result.coverage_history.append(len(self.coverage))
+                    result.iterations_run = iteration + 1
+                    current_seed = self.mutator.mutate_trigger(current_seed)
+                    current_phase1 = None
+                    yield CampaignStep(
+                        iteration=iteration,
+                        phase="window",
+                        simulations=phase1_simulations,
+                        end_of_iteration=True,
+                        result=result,
+                    )
+                    continue
+                yield CampaignStep(
+                    iteration=iteration,
+                    phase="window",
+                    simulations=phase1_simulations,
+                    end_of_iteration=False,
+                    result=result,
+                )
 
             phase2_result = self.phase2.run(
                 current_phase1,
@@ -153,6 +221,7 @@ class DejaVuzzFuzzer:
                 average_gain=self._average_gain(),
                 consecutive_low_gain=consecutive_low_gain,
             )
+            explore_simulations = 1  # one differential (dual-DUT) simulation
             self._gain_history.append(phase2_result.new_coverage_points)
             self._record_gain(current_seed, phase2_result.new_coverage_points)
             result.coverage_history.append(len(self.coverage))
@@ -160,6 +229,7 @@ class DejaVuzzFuzzer:
 
             if phase2_result.secret_propagated:
                 phase3_result = self.phase3.run(phase2_result)
+                explore_simulations += 1  # leakage analysis re-simulates
                 if phase3_result.verdict.is_leak:
                     report = classify_report(
                         iteration=iteration,
@@ -182,8 +252,13 @@ class DejaVuzzFuzzer:
                     result,
                 )
             )
-            if progress_callback is not None:
-                progress_callback(iteration, result)
+            yield CampaignStep(
+                iteration=iteration,
+                phase="explore",
+                simulations=explore_simulations,
+                end_of_iteration=True,
+                result=result,
+            )
         return result.finish()
 
     # -- scheduling helpers --------------------------------------------------------------------

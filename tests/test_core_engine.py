@@ -12,6 +12,7 @@ from repro.core import (
     LeakageVerdict,
     ParallelCampaignEngine,
     SharedCorpus,
+    SyncPolicy,
     run_parallel_campaign,
 )
 from repro.core.engine import (
@@ -395,6 +396,16 @@ class TestParallelCampaignEngine:
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), redistribute_top=-1)
         with pytest.raises(ValueError, match="report_top_seeds"):
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), report_top_seeds=-1)
+        with pytest.raises(ValueError, match="sync_epochs"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), sync_epochs=0)
+        with pytest.raises(ValueError, match="sync_epochs"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), sync_epochs=-3)
+        with pytest.raises(ValueError, match="async_concurrency"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), async_concurrency=0)
+        with pytest.raises(ValueError, match="step_latency"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), step_latency=-0.1)
+        with pytest.raises(ValueError, match="sync policy"):
+            EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), sync_policy="eager")
         # Shard-epoch seed-id bases must never reach the transfer namespace
         # (shard 99 epoch 0 would land exactly on TRANSFER_SEED_ID_BASE).
         with pytest.raises(ValueError, match="seed-id namespace"):
@@ -557,6 +568,231 @@ class TestSeedIdReproducibility:
             Seed.fresh(entropy=1, window_type=TransientWindowType.LOAD_MISALIGN)
         second = run_once()
         assert first == second
+
+
+class TestSyncPolicy:
+    def cfg(self, **overrides):
+        defaults = dict(
+            fuzzer=FuzzerConfiguration(core=BOOM, entropy=5),
+            shards=2,
+            iterations=12,
+            executor="inline",
+        )
+        defaults.update(overrides)
+        return EngineConfiguration(**defaults)
+
+    def test_policy_shorthand_and_validation(self):
+        configuration = self.cfg(sync_policy="stall")
+        assert isinstance(configuration.sync_policy, SyncPolicy)
+        assert configuration.sync_policy.kind == "stall"
+        with pytest.raises(ValueError, match="epoch_iterations"):
+            SyncPolicy(kind="stall", epoch_iterations=-1)
+        with pytest.raises(ValueError, match="stall_gain"):
+            SyncPolicy(kind="stall", stall_gain=-1)
+
+    def test_stall_rounds_cover_the_exact_budget(self):
+        configuration = self.cfg(
+            sync_policy=SyncPolicy(kind="stall", epoch_iterations=5)
+        )
+        assert configuration.round_iterations() == [5, 5, 2]
+        assert configuration.planned_epochs() == 3
+        result = ParallelCampaignEngine(configuration).run()
+        assert result.campaign.iterations_run == 12
+        assert result.epochs == 3
+        assert result.complete
+
+    def test_stall_policy_is_deterministic(self):
+        def run_once():
+            return ParallelCampaignEngine(
+                self.cfg(sync_policy=SyncPolicy(kind="stall", epoch_iterations=4))
+            ).run()
+
+        first, second = run_once(), run_once()
+        assert first.campaign.to_dict(include_timing=False) == second.campaign.to_dict(
+            include_timing=False
+        )
+        assert first.redistributed_seeds == second.redistributed_seeds
+
+    def test_stall_redistributes_only_on_flatline(self):
+        engine = ParallelCampaignEngine(
+            self.cfg(sync_policy=SyncPolicy(kind="stall", epoch_iterations=4, stall_gain=1))
+        )
+        # A productive round (above the stall threshold) keeps shards on
+        # their own trajectory; a flatlined round triggers the corpus sync.
+        assert not engine._should_redistribute({0: 3, 1: 2})
+        assert engine._should_redistribute({0: 1, 1: 0})
+        assert engine._should_redistribute({0: 0, 1: 0})
+
+    def test_fixed_policy_always_redistributes(self):
+        engine = ParallelCampaignEngine(self.cfg())
+        assert engine._should_redistribute({0: 100, 1: 100})
+
+    def test_planned_epochs_guard_the_seed_id_namespace(self):
+        with pytest.raises(ValueError, match="seed-id"):
+            self.cfg(
+                iterations=10_000,
+                sync_policy=SyncPolicy(kind="stall", epoch_iterations=1),
+            )
+
+
+class TestCheckpointResume:
+    def cfg(self, tmp_path=None, cores=None, entropy=7, **overrides):
+        defaults = dict(
+            fuzzer=FuzzerConfiguration(core=BOOM, entropy=entropy),
+            shards=2,
+            iterations=12,
+            sync_epochs=3,
+            executor="inline",
+            cores=cores,
+        )
+        if tmp_path is not None:
+            defaults["checkpoint_path"] = str(tmp_path / "checkpoint.json")
+        defaults.update(overrides)
+        return EngineConfiguration(**defaults)
+
+    def assert_resumed_matches_uninterrupted(self, tmp_path, cores=None, entropy=7):
+        uninterrupted = ParallelCampaignEngine(
+            self.cfg(cores=cores, entropy=entropy)
+        ).run()
+        halted_engine = ParallelCampaignEngine(
+            self.cfg(tmp_path, cores=cores, entropy=entropy)
+        )
+        partial = halted_engine.run(max_epochs=1)
+        assert not partial.complete
+        resumed = ParallelCampaignEngine.resume_from(
+            str(tmp_path / "checkpoint.json"),
+            self.cfg(tmp_path, cores=cores, entropy=entropy),
+        ).run()
+        assert resumed.complete
+        assert resumed.campaign.to_dict(
+            include_timing=False
+        ) == uninterrupted.campaign.to_dict(include_timing=False)
+        for core_name, matrix in uninterrupted.core_coverage.items():
+            assert resumed.core_coverage[core_name].points == matrix.points
+            assert resumed.core_coverage[core_name].history == matrix.history
+        assert resumed.transfers == uninterrupted.transfers
+        assert resumed.redistributed_seeds == uninterrupted.redistributed_seeds
+        assert resumed.shard_points == uninterrupted.shard_points
+        return resumed
+
+    def test_homogeneous_round_trip_is_byte_identical(self, tmp_path):
+        self.assert_resumed_matches_uninterrupted(tmp_path)
+
+    def test_heterogeneous_round_trip_is_byte_identical(self, tmp_path):
+        resumed = self.assert_resumed_matches_uninterrupted(
+            tmp_path, cores=["boom", "xiangshan"], entropy=11
+        )
+        assert set(resumed.core_coverage) == {"small-boom", "xiangshan-minimal"}
+
+    def test_resume_on_a_different_backend_is_identical(self, tmp_path):
+        uninterrupted = ParallelCampaignEngine(self.cfg()).run()
+        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
+        resumed = ParallelCampaignEngine.resume_from(
+            str(tmp_path / "checkpoint.json"),
+            self.cfg(tmp_path, executor="async", async_concurrency=2),
+        ).run()
+        assert resumed.campaign.to_dict(
+            include_timing=False
+        ) == uninterrupted.campaign.to_dict(include_timing=False)
+
+    def test_checkpoint_rejects_a_different_campaign(self, tmp_path):
+        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
+        with pytest.raises(ValueError, match="entropy"):
+            ParallelCampaignEngine.resume_from(
+                str(tmp_path / "checkpoint.json"), self.cfg(tmp_path, entropy=8)
+            )
+        with pytest.raises(ValueError, match="iterations"):
+            ParallelCampaignEngine.resume_from(
+                str(tmp_path / "checkpoint.json"),
+                self.cfg(tmp_path, iterations=24),
+            )
+
+    def test_checkpoint_rejects_an_unknown_format(self, tmp_path):
+        import json
+
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"format": 99}))
+        with pytest.raises(ValueError, match="checkpoint format"):
+            ParallelCampaignEngine.resume_from(str(path), self.cfg())
+
+    def test_checkpoint_state_requires_a_started_run(self):
+        engine = ParallelCampaignEngine(self.cfg())
+        with pytest.raises(ValueError, match="run\\(\\) has not started"):
+            engine.checkpoint_state()
+
+    def test_checkpoint_file_is_json_and_atomic(self, tmp_path):
+        import json
+
+        engine = ParallelCampaignEngine(self.cfg(tmp_path))
+        engine.run(max_epochs=1)
+        path = tmp_path / "checkpoint.json"
+        payload = json.loads(path.read_text())
+        assert payload["format"] == 1
+        assert payload["next_epoch"] == 1
+        assert not (tmp_path / "checkpoint.json.tmp").exists()
+
+
+class TestTransferAwareRedistribution:
+    def test_untriggered_group_donor_is_preferred(self):
+        from repro.core.engine import EngineResult
+        from repro.core.coverage import TaintCoverageMatrix
+
+        engine = ParallelCampaignEngine(
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=1),
+                shards=2,
+                redistribute_top=1,
+            )
+        )
+        # Donor 100 has more gain but its window group is already triggered
+        # on the receiving core; donor 200's group is still untriggered.
+        high_gain = Seed.fresh(
+            seed_id=100, entropy=1, window_type=TransientWindowType.LOAD_PAGE_FAULT
+        )
+        fresh_group = Seed.fresh(
+            seed_id=200, entropy=2, window_type=TransientWindowType.BRANCH_MISPREDICTION
+        )
+        engine.corpus.add(high_gain, gain=9, shard_index=1, epoch=0)
+        engine.corpus.add(fresh_group, gain=5, shard_index=1, epoch=0)
+        engine._core_triggered = {BOOM.name: {group_of(high_gain.window_type)}}
+        result = EngineResult(
+            campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
+            core_coverage={BOOM.name: TaintCoverageMatrix()},
+            shards=2,
+            epochs=1,
+        )
+        assignments = engine._redistribute({0: 0, 1: 10}, result)
+        assert assignments[0]["seed_id"] == 200
+
+    def test_gain_order_decides_within_a_tier(self):
+        from repro.core.engine import EngineResult
+        from repro.core.coverage import TaintCoverageMatrix
+
+        engine = ParallelCampaignEngine(
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=1),
+                shards=2,
+                redistribute_top=1,
+            )
+        )
+        # No group triggered yet: both donors sit in the same (untriggered)
+        # tier, so plain gain order decides.
+        engine.corpus.add(
+            Seed.fresh(seed_id=100, entropy=1, window_type=TransientWindowType.LOAD_PAGE_FAULT),
+            gain=9, shard_index=1, epoch=0,
+        )
+        engine.corpus.add(
+            Seed.fresh(seed_id=200, entropy=2, window_type=TransientWindowType.BRANCH_MISPREDICTION),
+            gain=5, shard_index=1, epoch=0,
+        )
+        result = EngineResult(
+            campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
+            core_coverage={BOOM.name: TaintCoverageMatrix()},
+            shards=2,
+            epochs=1,
+        )
+        assignments = engine._redistribute({0: 0, 1: 10}, result)
+        assert assignments[0]["seed_id"] == 100
 
 
 class TestFeedbackKnobPlumbing:
