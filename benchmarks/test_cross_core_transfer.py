@@ -121,3 +121,39 @@ def test_cross_core_transfer(benchmark):
     )
     text += f"\nreproducible from root entropy: {first_wire == second_wire}"
     save_results("cross_core_transfer", text)
+
+
+def test_three_core_campaign_smoke():
+    """>2-core heterogeneous campaigns: the registry's third core
+    (``boom-large``, the scaled-up BOOM family member) joins SmallBOOM and
+    XiangShan in one campaign.  Coverage stays strictly per core across all
+    three matrices and the mixed run is reproducible from one root entropy."""
+
+    def run_three():
+        return run_parallel_campaign(
+            cores=["boom", "boom-large", "xiangshan"],
+            shards=3,
+            iterations=24,
+            sync_epochs=2,
+            entropy=ENTROPY,
+            executor="inline",
+        )
+
+    first, second = run_three(), run_three()
+    assert first.campaign.iterations_run == 24
+    assert set(first.core_coverage) == {
+        "small-boom",
+        "large-boom",
+        "xiangshan-minimal",
+    }
+    # Strict per-core merging generalises to three cores: each matrix holds
+    # exactly its own shards' points.
+    for core_name, matrix in first.core_coverage.items():
+        own_points = set()
+        for index, name in first.shard_cores.items():
+            if name == core_name:
+                own_points |= first.shard_points[index]
+        assert matrix.points == own_points
+    assert json.dumps(
+        first.campaign.to_dict(include_timing=False), sort_keys=True
+    ) == json.dumps(second.campaign.to_dict(include_timing=False), sort_keys=True)

@@ -12,6 +12,7 @@ from repro.analysis.results import (
     cross_core_transfer_table,
     sync_round_table,
     checkpoint_summary,
+    worker_utilization_table,
 )
 
 __all__ = [
@@ -26,4 +27,5 @@ __all__ = [
     "cross_core_transfer_table",
     "sync_round_table",
     "checkpoint_summary",
+    "worker_utilization_table",
 ]

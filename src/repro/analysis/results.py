@@ -213,6 +213,49 @@ def checkpoint_summary(payload: Dict[str, object]) -> Dict[str, object]:
     }
 
 
+def worker_utilization_table(
+    worker_log: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate a distributed run's task-delivery log into one row per worker.
+
+    ``worker_log`` is :attr:`repro.core.engine.EngineResult.worker_log` (or
+    ``DistributedBackend.utilization_log`` directly): one entry per delivered
+    task.  Each output row sums a worker's contribution — tasks delivered,
+    distinct epochs served, total shard wall seconds executed, and how many
+    of its deliveries were *reassignments* (tasks inherited from a worker
+    that died mid-epoch).  Workers that joined but never delivered a task do
+    not appear; the log is timing-adjacent diagnostics, never part of the
+    deterministic campaign wire forms.
+    """
+    rows: Dict[str, Dict[str, object]] = {}
+    for entry in worker_log:
+        worker = str(entry["worker"])
+        row = rows.setdefault(
+            worker,
+            {
+                "worker": worker,
+                "name": str(entry.get("name", "")),
+                "tasks": 0,
+                "epochs": set(),
+                "shard_seconds": 0.0,
+                "reassigned_tasks": 0,
+            },
+        )
+        row["tasks"] += 1
+        row["epochs"].add(entry.get("epoch"))
+        row["shard_seconds"] = round(
+            row["shard_seconds"] + float(entry.get("wall_seconds", 0.0)), 3
+        )
+        if entry.get("reassigned"):
+            row["reassigned_tasks"] += 1
+    finished = []
+    for worker in sorted(rows):
+        row = dict(rows[worker])
+        row["epochs"] = len(rows[worker]["epochs"])
+        finished.append(row)
+    return finished
+
+
 def cross_core_transfer_table(
     transfers: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:

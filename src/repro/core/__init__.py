@@ -38,18 +38,29 @@ from repro.core.backends import (
 
 # The engine is exported lazily (PEP 562) so that ``python -m repro.core.engine``
 # does not import the module twice (once via this package init, once as
-# ``__main__``), which would trip runpy's double-import warning.
+# ``__main__``), which would trip runpy's double-import warning.  The
+# distributed coordinator and worker daemon are lazy for the same reason
+# (both are runnable modules), which also keeps the socket machinery out of
+# single-host imports.
 _ENGINE_EXPORTS = frozenset(
     {
         "CORES",
         "CORE_ALIASES",
         "CORE_FACTORIES",
+        "CampaignScheduler",
         "EngineConfiguration",
         "EngineResult",
         "ParallelCampaignEngine",
         "SyncPolicy",
         "resolve_core",
         "run_parallel_campaign",
+    }
+)
+_DISTRIBUTED_EXPORTS = frozenset(
+    {
+        "DistributedBackend",
+        "shard_task_from_wire",
+        "shard_task_to_wire",
     }
 )
 
@@ -59,6 +70,14 @@ def __getattr__(name):
         from repro.core import engine
 
         return getattr(engine, name)
+    if name in _DISTRIBUTED_EXPORTS:
+        from repro.core import distributed
+
+        return getattr(distributed, name)
+    if name == "run_worker":
+        from repro.core import worker
+
+        return worker.run_worker
     raise AttributeError(f"module {__name__!r} has no attribute {name!r}")
 
 
@@ -87,10 +106,15 @@ __all__ = [
     "create_backend",
     "iterate_shard_task",
     "run_shard_task",
+    "CampaignScheduler",
+    "DistributedBackend",
     "EngineConfiguration",
     "EngineResult",
     "ParallelCampaignEngine",
     "SyncPolicy",
     "resolve_core",
     "run_parallel_campaign",
+    "run_worker",
+    "shard_task_from_wire",
+    "shard_task_to_wire",
 ]

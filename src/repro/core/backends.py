@@ -18,6 +18,11 @@ task back.  Three backends implement the protocol:
   suspends at every simulator boundary; whenever one shard is waiting on its
   (slow, possibly external RTL) simulator the loop advances another shard, so
   a latency-dominated campaign no longer pins a whole worker per shard.
+* :class:`~repro.core.distributed.DistributedBackend` (registry name
+  ``distributed``; imported lazily so the socket machinery stays out of
+  single-host runs) — a TCP coordinator farming tasks to remote
+  ``python -m repro.core.worker`` daemons, with heartbeat-based fault
+  detection and mid-epoch task reassignment.
 
 Latency model: ``ShardTask.step_latency`` injects a fixed wait per simulator
 invocation, standing in for an external RTL simulator that responds after a
@@ -228,18 +233,23 @@ class AsyncBackend(ExecutionBackend):
         return list(await asyncio.gather(*(bounded(task) for task in tasks)))
 
 
-BACKEND_NAMES = ("inline", "process", "async")
+BACKEND_NAMES = ("inline", "process", "async", "distributed")
 
 
 def create_backend(
     name: str,
     max_workers: Optional[int] = None,
     concurrency: Optional[int] = None,
+    listen: Optional[str] = None,
+    min_workers: Optional[int] = None,
 ) -> ExecutionBackend:
     """Build a backend from its registry name.
 
     ``max_workers`` sizes the process pool (default: one per task);
-    ``concurrency`` bounds the async backend's in-flight shards (default 4).
+    ``concurrency`` bounds the async backend's in-flight shards (default 4);
+    ``listen``/``min_workers`` give the distributed coordinator its
+    ``host:port`` (default: any free localhost port) and how many worker
+    daemons to wait for before dispatching the first epoch (default 1).
     """
     if name == "inline":
         return InlineBackend()
@@ -247,5 +257,12 @@ def create_backend(
         return ProcessPoolBackend(max_workers=max_workers)
     if name == "async":
         return AsyncBackend(concurrency=concurrency if concurrency is not None else 4)
+    if name == "distributed":
+        from repro.core.distributed import DistributedBackend
+
+        return DistributedBackend(
+            listen=listen or "127.0.0.1:0",
+            min_workers=min_workers if min_workers is not None else 1,
+        )
     known = ", ".join(BACKEND_NAMES)
     raise ValueError(f"unknown execution backend {name!r} (known: {known})")

@@ -1,0 +1,575 @@
+"""Multi-host distributed execution for the sharded campaign engine.
+
+This module turns the :class:`~repro.core.backends.ExecutionBackend` seam
+into a fleet: a :class:`DistributedBackend` coordinator farms one sync
+epoch's :class:`~repro.core.backends.ShardTask` payloads out to remote
+worker daemons (``python -m repro.core.worker``, :mod:`repro.core.worker`)
+over a line-oriented TCP protocol, and folds the result payloads back for
+the :class:`~repro.core.engine.CampaignScheduler`.
+
+Wire protocol — JSON lines, one frame per line, five frame types:
+
+==========  ======================  ==========================================
+frame       direction               fields
+==========  ======================  ==========================================
+HELLO       worker -> coordinator   ``version``, ``worker`` (host:pid),
+                                    ``capacity`` (max tasks per batch),
+                                    ``backend`` (the worker's local backend)
+TASK        coordinator -> worker   ``tasks``: list of ``{task_id, task}``
+                                    entries (at most ``capacity`` per frame)
+RESULT      worker -> coordinator   ``task_id``, ``payload`` (the shard's
+                                    :func:`~repro.core.backends.run_shard_task`
+                                    result dict)
+HEARTBEAT   worker -> coordinator   none — liveness only, sent from a side
+                                    thread even while a batch is running
+BYE         either direction        optional ``reason``; an orderly goodbye
+==========  ======================  ==========================================
+
+Fault tolerance: a worker that closes its socket, says BYE, or misses
+heartbeats for longer than ``heartbeat_timeout`` is declared dead and its
+unfinished tasks are *reassigned* to surviving workers (or to the next
+worker that joins — workers may connect at any time, including mid-epoch).
+A late RESULT from a worker that was wrongly declared dead is dropped as a
+duplicate.  Because a :class:`~repro.core.backends.ShardTask` is a pure
+function of its payload and the scheduler consumes only merged per-epoch
+data, a re-run task returns an identical payload — so worker count, join
+order, and mid-epoch worker loss can never change campaign results, which
+stay **byte-identical** to an inline run.  Losing the *entire* fleet mid-
+campaign is handled one layer up: the engine's checkpoint/resume restarts
+from the last merged epoch.
+
+The coordinator never pickles anything: :class:`ShardTask` crosses the wire
+as a JSON dict (:func:`shard_task_to_wire` / :func:`shard_task_from_wire`,
+including the full :class:`~repro.core.fuzzer.FuzzerConfiguration` and
+:class:`~repro.uarch.config.CoreConfig`), so coordinator and workers only
+need the same code, not the same process image.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import socket
+import threading
+import time
+from collections import deque
+from dataclasses import asdict
+from typing import Dict, List, Optional, Tuple
+
+from repro.core.backends import ExecutionBackend, ShardTask
+from repro.core.fuzzer import FuzzerConfiguration
+from repro.generation.training import TrainingMode
+from repro.swapmem.layout import MemoryLayout
+from repro.uarch.config import CacheConfig, CoreConfig, PredictorConfig, TaintTrackingMode
+
+__all__ = [
+    "PROTOCOL_VERSION",
+    "DistributedBackend",
+    "parse_address",
+    "recv_frame",
+    "send_frame",
+    "shard_task_from_wire",
+    "shard_task_to_wire",
+    "fuzzer_configuration_from_wire",
+    "fuzzer_configuration_to_wire",
+    "core_config_from_wire",
+    "core_config_to_wire",
+]
+
+PROTOCOL_VERSION = 1
+
+# Liveness defaults: workers beat every HEARTBEAT_INTERVAL seconds; the
+# coordinator declares a silent worker dead after DEFAULT_HEARTBEAT_TIMEOUT.
+HEARTBEAT_INTERVAL = 2.0
+DEFAULT_HEARTBEAT_TIMEOUT = 15.0
+# How long run_epoch tolerates having *zero* live workers (waiting for the
+# first one to join, or for a replacement after losing the whole fleet)
+# before giving up.
+DEFAULT_WORKER_WAIT_TIMEOUT = 120.0
+
+
+def parse_address(address: str) -> Tuple[str, int]:
+    """Split ``"host:port"`` (port may be 0 for bind-any-free-port).
+
+    IPv6 literals use the standard bracket syntax (``[::1]:7801``); the
+    brackets are stripped so the returned host feeds straight into the
+    socket layer.
+    """
+    host, separator, port_text = address.rpartition(":")
+    if not separator or not host:
+        raise ValueError(
+            f"expected HOST:PORT (e.g. 127.0.0.1:7801), got {address!r}"
+        )
+    if host.startswith("[") and host.endswith("]"):
+        host = host[1:-1]
+    elif ":" in host:
+        raise ValueError(
+            f"IPv6 literals need brackets, e.g. [::1]:7801, got {address!r}"
+        )
+    if not host:
+        raise ValueError(f"empty host in {address!r}")
+    try:
+        port = int(port_text)
+    except ValueError:
+        raise ValueError(f"invalid port in {address!r}") from None
+    if not 0 <= port <= 65535:
+        raise ValueError(f"port out of range in {address!r}")
+    return host, port
+
+
+# -- framing ---------------------------------------------------------------------------------
+
+
+def send_frame(
+    sock: socket.socket,
+    frame: Dict[str, object],
+    lock: Optional[threading.Lock] = None,
+) -> None:
+    """Write one JSON-lines frame; ``lock`` serialises concurrent writers.
+
+    A worker writes RESULT frames from its main loop and HEARTBEAT frames
+    from a side thread over the same socket — interleaving two partial lines
+    would corrupt the stream, so both go through one lock.
+    """
+    data = (json.dumps(frame, separators=(",", ":")) + "\n").encode("utf-8")
+    if lock is not None:
+        with lock:
+            sock.sendall(data)
+    else:
+        sock.sendall(data)
+
+
+def recv_frame(reader) -> Optional[Dict[str, object]]:
+    """Read one frame from a ``makefile("rb")`` reader; None on EOF."""
+    try:
+        line = reader.readline()
+    except (OSError, ValueError):
+        return None
+    if not line:
+        return None
+    frame = json.loads(line.decode("utf-8"))
+    if not isinstance(frame, dict) or "type" not in frame:
+        raise ValueError(f"malformed frame: {frame!r}")
+    return frame
+
+
+# -- wire forms ------------------------------------------------------------------------------
+#
+# Everything a ShardTask carries is JSON-safe except the FuzzerConfiguration
+# dataclass tree (CoreConfig with nested cache/predictor configs and a
+# frozenset of bug ids, the swapMem MemoryLayout, and two enums).  These
+# helpers flatten that tree losslessly; round-tripping reconstructs dataclass
+# trees that compare equal, which the engine's determinism guarantees rest on.
+
+
+def core_config_to_wire(core: CoreConfig) -> Dict[str, object]:
+    payload = asdict(core)
+    payload["bugs"] = sorted(core.bugs)
+    return payload
+
+
+def core_config_from_wire(payload: Dict[str, object]) -> CoreConfig:
+    data = dict(payload)
+    data["icache"] = CacheConfig(**data["icache"])
+    data["dcache"] = CacheConfig(**data["dcache"])
+    data["predictors"] = PredictorConfig(**data["predictors"])
+    data["bugs"] = frozenset(data["bugs"])
+    return CoreConfig(**data)
+
+
+def fuzzer_configuration_to_wire(
+    configuration: FuzzerConfiguration,
+) -> Dict[str, object]:
+    return {
+        "core": core_config_to_wire(configuration.core),
+        "entropy": configuration.entropy,
+        "layout": asdict(configuration.layout),
+        "taint_mode": configuration.taint_mode.value,
+        "training_mode": configuration.training_mode.value,
+        "coverage_feedback": configuration.coverage_feedback,
+        "use_liveness_annotations": configuration.use_liveness_annotations,
+        "training_candidates": configuration.training_candidates,
+        "max_cycles_per_packet": configuration.max_cycles_per_packet,
+        "window_mutations_per_trigger": configuration.window_mutations_per_trigger,
+        "low_gain_limit": configuration.low_gain_limit,
+        "seed_id_base": configuration.seed_id_base,
+        "name": configuration.name,
+    }
+
+
+def fuzzer_configuration_from_wire(
+    payload: Dict[str, object],
+) -> FuzzerConfiguration:
+    data = dict(payload)
+    data["core"] = core_config_from_wire(data["core"])
+    data["layout"] = MemoryLayout(**data["layout"])
+    data["taint_mode"] = TaintTrackingMode(data["taint_mode"])
+    data["training_mode"] = TrainingMode(data["training_mode"])
+    return FuzzerConfiguration(**data)
+
+
+def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
+    return {
+        "shard_index": task.shard_index,
+        "epoch": task.epoch,
+        "iterations": task.iterations,
+        "configuration": fuzzer_configuration_to_wire(task.configuration),
+        "initial_seed": task.initial_seed,
+        "baseline_points": task.baseline_points,
+        "report_top_seeds": task.report_top_seeds,
+        "step_latency": task.step_latency,
+    }
+
+
+def shard_task_from_wire(payload: Dict[str, object]) -> ShardTask:
+    return ShardTask(
+        shard_index=int(payload["shard_index"]),
+        epoch=int(payload["epoch"]),
+        iterations=int(payload["iterations"]),
+        configuration=fuzzer_configuration_from_wire(payload["configuration"]),
+        initial_seed=payload.get("initial_seed"),
+        baseline_points=list(payload.get("baseline_points") or []),
+        report_top_seeds=int(payload.get("report_top_seeds", 4)),
+        step_latency=float(payload.get("step_latency", 0.0)),
+    )
+
+
+# -- the coordinator -------------------------------------------------------------------------
+
+
+class _WorkerConnection:
+    """Coordinator-side state of one connected worker daemon."""
+
+    def __init__(
+        self,
+        worker_id: str,
+        sock: socket.socket,
+        name: str,
+        capacity: int,
+        backend: str,
+        pid: Optional[int],
+    ) -> None:
+        self.worker_id = worker_id
+        self.sock = sock
+        self.name = name
+        self.capacity = max(1, capacity)
+        self.backend = backend
+        self.pid = pid
+        self.write_lock = threading.Lock()
+        self.alive = True
+        self.last_heartbeat = time.monotonic()
+        # task_id -> assigned task wire entry, for reassignment on loss.
+        self.inflight: Dict[str, Dict[str, object]] = {}
+        self.tasks_completed = 0
+
+    def close(self) -> None:
+        try:
+            self.sock.close()
+        except OSError:
+            pass
+
+
+class DistributedBackend(ExecutionBackend):
+    """TCP coordinator: farms shard tasks to remote worker daemons.
+
+    The coordinator listens on ``listen`` (``host:port``; port 0 binds any
+    free port — read the actual one from :attr:`address`) and accepts worker
+    daemons at any time, before or during a campaign.  Each
+    :meth:`run_epoch` call dispatches TASK batches of at most ``capacity``
+    tasks to idle workers, reassigns the batches of workers that die
+    mid-epoch, and returns once every task has a RESULT.
+
+    The backend is intentionally dumb about campaign semantics: it neither
+    inspects nor reorders payload contents.  All scheduling decisions stay in
+    the transport-agnostic :class:`~repro.core.engine.CampaignScheduler`,
+    which is what makes distributed results byte-identical to inline ones.
+
+    ``utilization_log`` records one row per delivered task
+    (``{worker, name, epoch, shard, wall_seconds, reassigned}``); feed it to
+    :func:`repro.analysis.worker_utilization_table`.
+    """
+
+    name = "distributed"
+
+    def __init__(
+        self,
+        listen: str = "127.0.0.1:0",
+        min_workers: int = 1,
+        heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
+        worker_wait_timeout: float = DEFAULT_WORKER_WAIT_TIMEOUT,
+    ) -> None:
+        if min_workers <= 0:
+            raise ValueError(f"min_workers must be positive, got {min_workers}")
+        if heartbeat_timeout <= 0:
+            raise ValueError(
+                f"heartbeat_timeout must be positive, got {heartbeat_timeout}"
+            )
+        host, port = parse_address(listen)
+        self.min_workers = min_workers
+        self.heartbeat_timeout = heartbeat_timeout
+        self.worker_wait_timeout = worker_wait_timeout
+        self._condition = threading.Condition()
+        self._workers: Dict[str, _WorkerConnection] = {}
+        self._results: Dict[str, Dict[str, object]] = {}
+        self._task_attempts: Dict[str, int] = {}
+        self._next_worker_number = 0
+        self._started = False  # min_workers gates only the first epoch
+        self._closing = False
+        self.utilization_log: List[Dict[str, object]] = []
+        self.reassigned_tasks = 0
+        family = socket.AF_INET6 if ":" in host else socket.AF_INET
+        self._server = socket.create_server((host, port), family=family)
+        self.address: Tuple[str, int] = self._server.getsockname()[:2]
+        self._accept_thread = threading.Thread(
+            target=self._accept_loop, name="distributed-accept", daemon=True
+        )
+        self._accept_thread.start()
+
+    # -- worker lifecycle -------------------------------------------------------------------
+
+    def workers(self) -> List[Dict[str, object]]:
+        """A snapshot of the connected fleet (id, name, pid, liveness, load).
+
+        This is the supported observation surface for harnesses and fault
+        drills — e.g. "wait until the daemon with pid P holds an in-flight
+        task, then kill it" — so they need not reach into coordinator
+        internals.
+        """
+        with self._condition:
+            return [
+                {
+                    "worker": worker.worker_id,
+                    "name": worker.name,
+                    "pid": worker.pid,
+                    "capacity": worker.capacity,
+                    "backend": worker.backend,
+                    "alive": worker.alive,
+                    "inflight": len(worker.inflight),
+                    "tasks_completed": worker.tasks_completed,
+                }
+                for worker in self._ordered_workers()
+            ]
+
+    def _ordered_workers(self) -> List[_WorkerConnection]:
+        # Join order == numeric id order; a deterministic dispatch order keeps
+        # the fleet's behaviour easy to reason about (results are order-proof
+        # either way — the scheduler re-sorts payloads by shard).
+        return [self._workers[key] for key in sorted(self._workers)]
+
+    def _accept_loop(self) -> None:
+        while not self._closing:
+            try:
+                conn, _ = self._server.accept()
+            except OSError:
+                return  # server socket closed
+            threading.Thread(
+                target=self._serve_worker,
+                args=(conn,),
+                name="distributed-worker-io",
+                daemon=True,
+            ).start()
+
+    def _serve_worker(self, conn: socket.socket) -> None:
+        reader = conn.makefile("rb")
+        try:
+            hello = recv_frame(reader)
+        except ValueError:
+            hello = None
+        if not hello or hello.get("type") != "HELLO":
+            conn.close()
+            return
+        with self._condition:
+            worker = _WorkerConnection(
+                worker_id=f"w{self._next_worker_number:03d}",
+                sock=conn,
+                name=str(hello.get("worker", "?")),
+                capacity=int(hello.get("capacity", 1)),
+                backend=str(hello.get("backend", "inline")),
+                pid=hello.get("pid"),
+            )
+            self._next_worker_number += 1
+            self._workers[worker.worker_id] = worker
+            self._condition.notify_all()
+        try:
+            while True:
+                frame = recv_frame(reader)
+                if frame is None or frame.get("type") == "BYE":
+                    return
+                kind = frame.get("type")
+                if kind == "HEARTBEAT":
+                    worker.last_heartbeat = time.monotonic()
+                elif kind == "RESULT":
+                    self._record_result(worker, frame)
+        except ValueError:
+            return  # malformed stream: treat like a disconnect
+        finally:
+            with self._condition:
+                worker.alive = False
+                self._condition.notify_all()
+            worker.close()
+
+    def _record_result(
+        self, worker: _WorkerConnection, frame: Dict[str, object]
+    ) -> None:
+        task_id = str(frame.get("task_id"))
+        with self._condition:
+            worker.last_heartbeat = time.monotonic()
+            worker.inflight.pop(task_id, None)
+            worker.tasks_completed += 1
+            if task_id in self._results:
+                # A reassigned task finished twice (the original worker was
+                # declared dead but still delivered).  Payloads are identical
+                # by construction; the first delivery won.
+                self._condition.notify_all()
+                return
+            self._results[task_id] = frame["payload"]
+            self.utilization_log.append(
+                {
+                    "worker": worker.worker_id,
+                    "name": worker.name,
+                    "epoch": frame["payload"].get("epoch"),
+                    "shard": frame["payload"].get("shard_index"),
+                    "wall_seconds": round(
+                        float(frame["payload"].get("wall_seconds", 0.0)), 3
+                    ),
+                    "reassigned": self._task_attempts.get(task_id, 1) > 1,
+                }
+            )
+            self._condition.notify_all()
+
+    # -- epoch execution --------------------------------------------------------------------
+
+    def run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
+        if not tasks:
+            return []
+        order: List[str] = []
+        wires: Dict[str, Dict[str, object]] = {}
+        for task in tasks:
+            task_id = f"e{task.epoch}-s{task.shard_index}"
+            order.append(task_id)
+            wires[task_id] = {
+                "task_id": task_id,
+                "task": shard_task_to_wire(task),
+            }
+        with self._condition:
+            self._results = {}
+            self._task_attempts = {task_id: 0 for task_id in order}
+            pending = deque(order)
+            if not self._started:
+                # Fleet warm-up: lets an operator insist the first epoch is
+                # spread over N daemons.  Later epochs run on whatever
+                # survives — a shrunken fleet is slower, never stuck.
+                self._await_workers(self.min_workers)
+                self._started = True
+        no_worker_since: Optional[float] = None
+        while True:
+            dispatches: List[Tuple[_WorkerConnection, List[Dict[str, object]]]] = []
+            with self._condition:
+                self._sweep_stale_workers()
+                self._requeue_lost_tasks(pending)
+                if len(self._results) == len(order):
+                    break
+                live = [worker for worker in self._ordered_workers() if worker.alive]
+                if not live:
+                    now = time.monotonic()
+                    if no_worker_since is None:
+                        no_worker_since = now
+                    elif now - no_worker_since > self.worker_wait_timeout:
+                        raise RuntimeError(
+                            f"lost every worker and none joined within "
+                            f"{self.worker_wait_timeout:.0f}s; "
+                            f"{len(order) - len(self._results)} task(s) unfinished "
+                            f"(resume the campaign from its checkpoint)"
+                        )
+                else:
+                    no_worker_since = None
+                    for worker in live:
+                        if worker.inflight or not pending:
+                            continue
+                        batch = [
+                            pending.popleft()
+                            for _ in range(min(worker.capacity, len(pending)))
+                        ]
+                        for task_id in batch:
+                            worker.inflight[task_id] = wires[task_id]
+                            self._task_attempts[task_id] += 1
+                        dispatches.append(
+                            (worker, [wires[task_id] for task_id in batch])
+                        )
+                if not dispatches:
+                    self._condition.wait(timeout=0.25)
+            for worker, batch in dispatches:
+                try:
+                    send_frame(
+                        worker.sock,
+                        {"type": "TASK", "tasks": batch},
+                        worker.write_lock,
+                    )
+                except OSError:
+                    with self._condition:
+                        worker.alive = False
+                        self._condition.notify_all()
+        with self._condition:
+            return [self._results[task_id] for task_id in order]
+
+    def _await_workers(self, count: int) -> None:
+        """Block (under the condition) until ``count`` workers are alive."""
+        deadline = time.monotonic() + self.worker_wait_timeout
+        while True:
+            live = sum(1 for worker in self._workers.values() if worker.alive)
+            if live >= count:
+                return
+            remaining = deadline - time.monotonic()
+            if remaining <= 0:
+                raise RuntimeError(
+                    f"only {live}/{count} worker(s) joined within "
+                    f"{self.worker_wait_timeout:.0f}s; start workers with "
+                    f"python -m repro.core.worker --connect "
+                    f"{self.address[0]}:{self.address[1]}"
+                )
+            self._condition.wait(timeout=min(0.25, remaining))
+
+    def _sweep_stale_workers(self) -> None:
+        """Declare workers dead when their heartbeats go silent."""
+        now = time.monotonic()
+        for worker in self._workers.values():
+            if worker.alive and now - worker.last_heartbeat > self.heartbeat_timeout:
+                worker.alive = False
+                worker.close()  # unblocks its reader thread too
+
+    def _requeue_lost_tasks(self, pending: deque) -> None:
+        """Move dead workers' unfinished tasks back onto the queue (front)."""
+        for worker in self._ordered_workers():
+            if worker.alive or not worker.inflight:
+                continue
+            lost = [
+                task_id
+                for task_id in worker.inflight
+                if task_id not in self._results
+            ]
+            worker.inflight.clear()
+            for task_id in reversed(lost):
+                pending.appendleft(task_id)
+            self.reassigned_tasks += len(lost)
+
+    def close(self) -> None:
+        if self._closing:
+            return
+        self._closing = True
+        with self._condition:
+            workers = list(self._workers.values())
+        for worker in workers:
+            if worker.alive:
+                try:
+                    send_frame(
+                        worker.sock,
+                        {"type": "BYE", "reason": "campaign complete"},
+                        worker.write_lock,
+                    )
+                except OSError:
+                    pass
+            worker.close()
+        try:
+            self._server.close()
+        except OSError:
+            pass

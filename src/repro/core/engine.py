@@ -1,14 +1,36 @@
 """The sharded parallel campaign engine.
 
-Scales a DejaVuzz campaign across N worker processes.  Each shard is a full
-:class:`~repro.core.fuzzer.DejaVuzzFuzzer` driven by its own split of the root
-:class:`~repro.utils.rng.DeterministicRng` entropy (label
-``engine/shard<i>/epoch<e>``) and a disjoint seed-id namespace, so a parallel
-run is reproducible from a single integer no matter how the OS schedules the
-workers.
+Scales a DejaVuzz campaign across N worker processes — or N worker *hosts*.
+Each shard is a full :class:`~repro.core.fuzzer.DejaVuzzFuzzer` driven by its
+own split of the root :class:`~repro.utils.rng.DeterministicRng` entropy
+(label ``engine/shard<i>/epoch<e>``) and a disjoint seed-id namespace, so a
+parallel run is reproducible from a single integer no matter how the OS (or
+the network) schedules the workers.
+
+The run loop is split into two explicit layers:
+
+* :class:`CampaignScheduler` — the transport-agnostic brain.  It owns every
+  campaign *decision*: the epoch/round schedule of the
+  :class:`SyncPolicy`, per-shard task construction (entropy splits, seed-id
+  bases, baseline coverage), the per-core merge of shard payloads, corpus
+  redistribution and cross-core transfer, and the checkpoint cadence.  The
+  scheduler consumes only merged per-epoch payload dicts, so its decisions
+  are identical no matter where or in what order the shards actually ran.
+* the :class:`~repro.core.backends.ExecutionBackend` transport — *how* one
+  epoch's :class:`~repro.core.backends.ShardTask` list turns into result
+  payloads: serially in-process (``inline``), on a reused local process pool
+  (``process``), interleaved on one asyncio loop (``async``), or farmed out
+  to remote worker daemons over TCP
+  (``distributed`` — :mod:`repro.core.distributed`).
+
+:class:`ParallelCampaignEngine` is the thin driver wiring the two together:
+it asks the scheduler for the next epoch's tasks, hands them to the backend,
+and feeds the payloads back.  Because the scheduler never sees the transport,
+every backend — any worker count, join order, or mid-epoch worker loss —
+produces **byte-identical** campaign results.
 
 The campaign is divided into **sync epochs**.  Within an epoch the shards run
-independently; at the epoch boundary the engine
+independently; at the epoch boundary the scheduler
 
 1. merges every shard's :class:`~repro.core.coverage.TaintCoverageMatrix`
    into the global matrix *of that shard's core* (coverage points are
@@ -36,23 +58,18 @@ found on the target core in the epoch the transferred seed started.  The
 attribution is epoch-granular: the seed opens that epoch and its mutated
 descendants count towards its outcome.
 
-How the epochs *execute* is delegated to a pluggable
-:class:`~repro.core.backends.ExecutionBackend` (``executor="inline" |
-"process" | "async"``): serial in-process, a reused worker-process pool, or a
-single asyncio event loop that interleaves many latency-bound shard
-simulations on one worker.  Only cheap wire forms (``to_dict`` payloads and
-plain dataclasses of primitives) cross the backend boundary — simulator state
-never gets pickled.
-
 Sync epochs follow a :class:`SyncPolicy`: the classic fixed count
 (``sync_epochs`` equal slices of the budget, redistribution at every
 boundary) or a stall-triggered policy that runs fixed-size rounds and only
-pays for corpus redistribution when the global new-point rate flatlines.
+pays for corpus redistribution when the global new-point rate flatlines
+(optionally averaged over the last ``window_rounds`` rounds).
 
 Long campaigns survive restarts: ``checkpoint_path`` makes the engine write a
 JSON checkpoint after every merged epoch, and :meth:`ParallelCampaignEngine.resume_from`
 rebuilds the engine mid-campaign from it — the resumed campaign is
-byte-identical (timing aside) to an uninterrupted one.
+byte-identical (timing aside) to an uninterrupted one.  Combined with the
+distributed backend this covers the preemptible-fleet case: a campaign whose
+entire worker fleet is lost resumes from the last merged epoch.
 
 Run it directly::
 
@@ -82,7 +99,7 @@ from repro.core.fuzzer import FuzzerConfiguration
 from repro.core.report import CampaignResult
 from repro.generation.seeds import Seed
 from repro.generation.window_types import group_of
-from repro.uarch.boom import small_boom_config
+from repro.uarch.boom import large_boom_config, small_boom_config
 from repro.uarch.config import CoreConfig
 from repro.uarch.xiangshan import xiangshan_minimal_config
 from repro.utils.rng import DeterministicRng
@@ -91,6 +108,7 @@ __all__ = [
     "CORES",
     "CORE_ALIASES",
     "CORE_FACTORIES",
+    "CampaignScheduler",
     "EngineConfiguration",
     "EngineResult",
     "ParallelCampaignEngine",
@@ -107,10 +125,12 @@ __all__ = [
 # help text) lists each core exactly once.
 CORES: Dict[str, Callable[[], CoreConfig]] = {
     "boom": small_boom_config,
+    "boom-large": large_boom_config,
     "xiangshan": xiangshan_minimal_config,
 }
 CORE_ALIASES: Dict[str, str] = {
     "small-boom": "boom",
+    "large-boom": "boom-large",
     "xiangshan-minimal": "xiangshan",
 }
 # Flat name -> factory view kept for backward compatibility.
@@ -157,14 +177,18 @@ class SyncPolicy:
     remainder).  Coverage is merged after every round (the cheap, mandatory
     accounting step), but the expensive cross-shard intervention — corpus
     redistribution and seed transfer — only triggers when the global
-    new-point rate flatlines: a round contributing at most ``stall_gain``
-    globally-new points marks a stall.  The decision uses only merged
+    new-point rate flatlines: the *mean* globally-new gain of the last
+    ``window_rounds`` rounds (the current one included) dropping to at most
+    ``stall_gain`` marks a stall.  ``window_rounds=1``, the default, is the
+    classic single-round threshold; a larger window smooths out one lucky
+    round masking an otherwise flat trend.  The decision uses only merged
     per-round data, so it is deterministic and backend-independent.
     """
 
     kind: str = "fixed"        # "fixed" | "stall"
     epoch_iterations: int = 0  # stall: global iterations per round (0 = iterations/8)
-    stall_gain: int = 0        # stall: round gain <= this triggers redistribution
+    stall_gain: int = 0        # stall: mean round gain <= this triggers redistribution
+    window_rounds: int = 1     # stall: rounds averaged by the stall estimate
 
     def __post_init__(self) -> None:
         if self.kind not in ("fixed", "stall"):
@@ -175,12 +199,24 @@ class SyncPolicy:
             )
         if self.stall_gain < 0:
             raise ValueError(f"stall_gain must be non-negative, got {self.stall_gain}")
+        if self.window_rounds < 1:
+            raise ValueError(
+                f"window_rounds must be at least 1, got {self.window_rounds}"
+            )
 
     @staticmethod
     def normalize(policy: Union[str, "SyncPolicy"]) -> "SyncPolicy":
         if isinstance(policy, SyncPolicy):
             return policy
         return SyncPolicy(kind=str(policy))
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "kind": self.kind,
+            "epoch_iterations": self.epoch_iterations,
+            "stall_gain": self.stall_gain,
+            "window_rounds": self.window_rounds,
+        }
 
 
 @dataclass
@@ -194,8 +230,8 @@ class EngineConfiguration:
     corpus_capacity: int = 64
     redistribute_top: int = 2            # lagging shards reseeded per epoch
     report_top_seeds: int = 4            # seeds each shard reports per epoch
-    max_workers: Optional[int] = None    # process backend pool size; defaults to `shards`
-    executor: str = "process"            # execution backend: "process" | "inline" | "async"
+    max_workers: Optional[int] = None    # process pool size / distributed: workers to wait for
+    executor: str = "process"            # backend: "process" | "inline" | "async" | "distributed"
     async_concurrency: Optional[int] = None  # async backend: in-flight shards (default 4)
     # Injected wait per simulator invocation (seconds), modelling a slow
     # external (RTL) simulator; see repro.core.backends.  Zero = full speed.
@@ -206,6 +242,9 @@ class EngineConfiguration:
     # Write a JSON checkpoint here after every merged epoch; resume with
     # ParallelCampaignEngine.resume_from(path, configuration).
     checkpoint_path: Optional[str] = None
+    # Distributed backend: "host:port" the coordinator listens on for worker
+    # daemons (port 0 picks a free port; see repro.core.distributed).
+    listen: Optional[str] = None
     # Per-shard core assignment for heterogeneous campaigns: one entry per
     # shard, each a registry name ("boom"), a CoreConfig, or a full
     # FuzzerConfiguration.  None runs every shard on the prototype's core.
@@ -345,6 +384,11 @@ class EngineResult:
     redistributed_seeds: int = 0
     transferred_seeds: int = 0
     wall_clock_seconds: float = 0.0
+    # Distributed backend only: one row per completed task delivery
+    # ({worker, epoch, shard, wall_seconds, reassigned}); feed it to
+    # repro.analysis.worker_utilization_table.  Timing-adjacent diagnostics —
+    # never part of the deterministic wire forms, never checkpointed.
+    worker_log: List[Dict[str, object]] = field(default_factory=list)
     # False when run(max_epochs=...) halted mid-campaign; the checkpoint holds
     # the state needed to resume.
     complete: bool = True
@@ -403,8 +447,21 @@ class EngineResult:
 CHECKPOINT_FORMAT = 1
 
 
-class ParallelCampaignEngine:
-    """Runs N DejaVuzz shards with periodic coverage/corpus synchronisation."""
+class CampaignScheduler:
+    """The transport-agnostic brain of a sharded campaign.
+
+    Owns every campaign *decision* — the epoch/round schedule, per-shard task
+    construction, coverage/corpus merging, redistribution and transfer, and
+    the checkpoint cadence — but never executes a task itself.  A driver
+    (:class:`ParallelCampaignEngine`, or any other transport loop) pulls
+    tasks via :meth:`next_tasks`, runs them on whatever transport it likes,
+    and feeds the result payload dicts back through :meth:`complete_epoch`.
+
+    All decisions consume only merged per-epoch payload data, so they are
+    invariant under the transport: worker count, completion order, and even
+    mid-epoch worker loss (tasks re-run elsewhere return identical payloads)
+    cannot change the campaign's results.
+    """
 
     def __init__(self, configuration: EngineConfiguration) -> None:
         self.configuration = configuration
@@ -418,7 +475,7 @@ class ParallelCampaignEngine:
         self._pending_transfers: Dict[Tuple[int, int], Dict[str, object]] = {}
         # Run-loop state, kept on the instance so a campaign can be
         # checkpointed after any epoch and resumed later (possibly in a new
-        # process via :meth:`resume_from`).
+        # process via :meth:`ParallelCampaignEngine.resume_from`).
         self._result: Optional[EngineResult] = None
         self._next_epoch = 0
         self._assignments: Dict[int, Optional[Dict[str, object]]] = {
@@ -428,8 +485,14 @@ class ParallelCampaignEngine:
         # Window-type groups each core has triggered so far; feeds the
         # transfer-aware redistribution bias.
         self._core_triggered: Dict[str, Set[str]] = {}
+        # Globally-new points of each merged round, oldest first; the
+        # windowed stall estimate averages the tail of this.
+        self._round_gains: List[int] = []
         self._elapsed_before = 0.0  # wall seconds accumulated by earlier run() calls
         self._run_started: Optional[float] = None
+        # Elapsed campaign seconds at the moment the current epoch's tasks
+        # were built; bug-report wall clocks are rebased onto it at merge.
+        self._epoch_offset_seconds = 0.0
 
     # -- deterministic derivations ---------------------------------------------------------
 
@@ -464,67 +527,75 @@ class ParallelCampaignEngine:
             for budget in self.configuration.round_iterations()
         ]
 
-    # -- campaign --------------------------------------------------------------------------
+    # -- the driver interface ---------------------------------------------------------------
 
-    def run(
-        self,
-        progress_callback: Optional[Callable[[int, "EngineResult"], None]] = None,
-        max_epochs: Optional[int] = None,
-    ) -> EngineResult:
-        """Run the sharded campaign and return the merged outcome.
+    @property
+    def result(self) -> Optional[EngineResult]:
+        return self._result
 
-        ``max_epochs`` bounds how many sync epochs this *call* executes —
-        with ``checkpoint_path`` set this is a deterministic stand-in for a
-        mid-campaign kill: the returned result has ``complete=False`` and the
-        campaign continues from the checkpoint via :meth:`resume_from`.
-        A resumed engine picks up exactly where the checkpoint left off.
-        """
-        configuration = self.configuration
+    @property
+    def next_epoch(self) -> int:
+        """Index of the first epoch that has not merged yet."""
+        return self._next_epoch
+
+    @property
+    def finished(self) -> bool:
+        return self._next_epoch >= len(self.epoch_budgets())
+
+    def begin_run(self) -> None:
+        """Start (or continue) the campaign clock; idempotent per run call."""
         self._run_started = time.perf_counter()
         if self._result is None:
             self._initialise_run()
-        result = self._result
-        all_budgets = self.epoch_budgets()
-        backend = self._create_backend()
-        epochs_this_call = 0
-        try:
-            while self._next_epoch < len(all_budgets):
-                if max_epochs is not None and epochs_this_call >= max_epochs:
-                    break
-                epoch = self._next_epoch
-                budgets = all_budgets[epoch]
-                tasks = [
-                    self._build_task(shard_index, epoch, budgets[shard_index])
-                    for shard_index in range(configuration.shards)
-                    if budgets[shard_index] > 0
-                ]
-                if tasks:
-                    epoch_offset_seconds = self._elapsed_before + (
-                        time.perf_counter() - self._run_started
-                    )
-                    payloads = self._execute(tasks, backend)
-                    epoch_gains = self._merge_epoch(
-                        payloads, result, epoch_offset_seconds, self._shard_iterations_done
-                    )
-                    self._assignments = {
-                        index: None for index in range(configuration.shards)
-                    }
-                    if epoch < len(all_budgets) - 1 and self._should_redistribute(
-                        epoch_gains
-                    ):
-                        self._assignments = self._redistribute(
-                            epoch_gains, result, all_budgets[epoch + 1], epoch + 1
-                        )
-                self._next_epoch = epoch + 1
-                epochs_this_call += 1
-                if configuration.checkpoint_path:
-                    self.save_checkpoint(configuration.checkpoint_path)
-                if tasks and progress_callback is not None:
-                    progress_callback(epoch, result)
-        finally:
-            backend.close()
 
-        result.complete = self._next_epoch >= len(all_budgets)
+    def next_tasks(self) -> List[ShardTask]:
+        """Build the current epoch's shard tasks (empty when budget-less)."""
+        epoch = self._next_epoch
+        budgets = self.epoch_budgets()[epoch]
+        self._epoch_offset_seconds = self._elapsed_before + (
+            time.perf_counter() - (self._run_started or time.perf_counter())
+        )
+        return [
+            self._build_task(shard_index, epoch, budgets[shard_index])
+            for shard_index in range(self.configuration.shards)
+            if budgets[shard_index] > 0
+        ]
+
+    def complete_epoch(self, payloads: List[Dict[str, object]]) -> None:
+        """Fold one epoch's payloads in, decide redistribution, checkpoint.
+
+        Payloads may arrive in any order — they are merged in shard order, so
+        history snapshots and corpus tiebreaks stay deterministic regardless
+        of which worker finished first.
+        """
+        configuration = self.configuration
+        all_budgets = self.epoch_budgets()
+        epoch = self._next_epoch
+        if payloads:
+            ordered = sorted(payloads, key=lambda payload: payload["shard_index"])
+            epoch_gains = self._merge_epoch(
+                ordered,
+                self._result,
+                self._epoch_offset_seconds,
+                self._shard_iterations_done,
+            )
+            self._assignments = {
+                index: None for index in range(configuration.shards)
+            }
+            should_sync = self._should_redistribute(epoch_gains)
+            self._round_gains.append(sum(epoch_gains.values()))
+            if epoch < len(all_budgets) - 1 and should_sync:
+                self._assignments = self._redistribute(
+                    epoch_gains, self._result, all_budgets[epoch + 1], epoch + 1
+                )
+        self._next_epoch = epoch + 1
+        if configuration.checkpoint_path:
+            self.save_checkpoint(configuration.checkpoint_path)
+
+    def end_run(self) -> EngineResult:
+        """Stop the campaign clock and return the (possibly partial) result."""
+        result = self._result
+        result.complete = self.finished
         if result.complete:
             result.campaign.finish()
         self._elapsed_before += time.perf_counter() - self._run_started
@@ -539,8 +610,9 @@ class ParallelCampaignEngine:
 
         Everything that feeds the deterministic derivations is included; the
         execution backend and its sizing knobs deliberately are *not* — a
-        campaign checkpointed under the process pool may resume inline or
-        async and still produce identical results.
+        campaign checkpointed under the process pool may resume inline,
+        async, or on a different worker fleet and still produce identical
+        results.
         """
         configuration = self.configuration
         policy = SyncPolicy.normalize(configuration.sync_policy)
@@ -548,11 +620,7 @@ class ParallelCampaignEngine:
             "shards": configuration.shards,
             "iterations": configuration.iterations,
             "sync_epochs": configuration.sync_epochs,
-            "sync_policy": {
-                "kind": policy.kind,
-                "epoch_iterations": policy.epoch_iterations,
-                "stall_gain": policy.stall_gain,
-            },
+            "sync_policy": policy.to_dict(),
             "entropy": configuration.fuzzer.entropy,
             "variant": configuration.fuzzer.variant_name(),
             "low_gain_limit": configuration.fuzzer.low_gain_limit,
@@ -563,7 +631,7 @@ class ParallelCampaignEngine:
         }
 
     def checkpoint_state(self) -> Dict[str, object]:
-        """The engine's full mid-campaign state as a JSON-safe dict."""
+        """The scheduler's full mid-campaign state as a JSON-safe dict."""
         if self._result is None:
             raise ValueError(
                 "no campaign state to checkpoint: run() has not started"
@@ -588,6 +656,7 @@ class ParallelCampaignEngine:
                 core: sorted(groups)
                 for core, groups in self._core_triggered.items()
             },
+            "round_gains": list(self._round_gains),
             "corpus": self.corpus.to_dicts(),
             "core_coverage": {
                 core: {"points": matrix.to_dicts(), "history": list(matrix.history)}
@@ -621,24 +690,7 @@ class ParallelCampaignEngine:
         os.replace(staging, path)  # a killed writer never corrupts the checkpoint
         return path
 
-    @classmethod
-    def resume_from(
-        cls, path: str, configuration: EngineConfiguration
-    ) -> "ParallelCampaignEngine":
-        """Rebuild a mid-campaign engine from a checkpoint file.
-
-        ``configuration`` must describe the same campaign (checked against
-        the checkpoint's fingerprint); the execution backend may differ.
-        Calling :meth:`run` on the returned engine continues from the first
-        unexecuted epoch.
-        """
-        with open(path, encoding="utf-8") as handle:
-            payload = json.load(handle)
-        engine = cls(configuration)
-        engine._restore(payload)
-        return engine
-
-    def _restore(self, payload: Dict[str, object]) -> None:
+    def restore(self, payload: Dict[str, object]) -> None:
         if payload.get("format") != CHECKPOINT_FORMAT:
             raise ValueError(
                 f"unsupported checkpoint format {payload.get('format')!r} "
@@ -646,7 +698,25 @@ class ParallelCampaignEngine:
             )
         expected = self.configuration_fingerprint()
         found = payload.get("fingerprint")
+        if isinstance(found, dict) and isinstance(found.get("sync_policy"), dict):
+            # Checkpoints written before the windowed stall estimate carry no
+            # window_rounds; they ran the single-round threshold, so default
+            # to 1 rather than stranding every pre-upgrade checkpoint.
+            found = dict(found)
+            found["sync_policy"] = {
+                "window_rounds": 1,
+                **found["sync_policy"],
+            }
         if found != expected:
+            stored_policy = (found or {}).get("sync_policy")
+            if stored_policy != expected.get("sync_policy"):
+                raise ValueError(
+                    f"checkpoint was written under sync policy {stored_policy!r} "
+                    f"but this configuration resumes with "
+                    f"{expected['sync_policy']!r}: a policy change on resume "
+                    f"would silently alter the redistribution cadence, so the "
+                    f"original sync-policy flags must be passed again"
+                )
             differing = sorted(
                 key
                 for key in set(expected) | set(found or {})
@@ -702,6 +772,7 @@ class ParallelCampaignEngine:
             core: set(groups)
             for core, groups in payload.get("core_triggered", {}).items()
         }
+        self._round_gains = [int(gain) for gain in payload.get("round_gains", [])]
         self.corpus = SharedCorpus.from_dicts(
             payload["corpus"], capacity=configuration.corpus_capacity
         )
@@ -742,23 +813,20 @@ class ParallelCampaignEngine:
             shard_points={index: set() for index in range(configuration.shards)},
         )
 
-    def _create_backend(self) -> ExecutionBackend:
-        configuration = self.configuration
-        return create_backend(
-            configuration.executor,
-            max_workers=min(
-                configuration.shards,
-                configuration.max_workers or configuration.shards,
-            ),
-            concurrency=configuration.async_concurrency,
-        )
-
     def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
-        """Fixed policy syncs every boundary; stall policy only on a flatline."""
+        """Fixed policy syncs every boundary; stall policy only on a flatline.
+
+        The stall estimate is windowed: the mean globally-new gain of the
+        last ``window_rounds`` rounds — prior merged rounds plus the one just
+        summarised by ``epoch_gains`` — must drop to ``stall_gain`` or below.
+        """
         policy = SyncPolicy.normalize(self.configuration.sync_policy)
         if policy.kind == "fixed":
             return True
-        return sum(epoch_gains.values()) <= policy.stall_gain
+        window = (self._round_gains + [sum(epoch_gains.values())])[
+            -policy.window_rounds:
+        ]
+        return sum(window) / len(window) <= policy.stall_gain
 
     def _build_task(
         self,
@@ -782,15 +850,6 @@ class ParallelCampaignEngine:
             report_top_seeds=self.configuration.report_top_seeds,
             step_latency=self.configuration.step_latency,
         )
-
-    def _execute(
-        self, tasks: List[ShardTask], backend: ExecutionBackend
-    ) -> List[Dict[str, object]]:
-        payloads = backend.run_epoch(tasks)
-        # Merge in shard order regardless of completion order: set-union makes
-        # the merged points order-independent, but history snapshots and corpus
-        # tiebreaks stay deterministic only under a fixed fold order.
-        return sorted(payloads, key=lambda payload: payload["shard_index"])
 
     def _merge_epoch(
         self,
@@ -950,6 +1009,147 @@ class ParallelCampaignEngine:
         return assignments
 
 
+class ParallelCampaignEngine:
+    """Drives a :class:`CampaignScheduler` over an :class:`ExecutionBackend`.
+
+    The engine owns neither decisions nor transport: it pulls each epoch's
+    tasks from the scheduler, hands them to the backend, and feeds the
+    payloads back.  Construction-time knobs (``executor=``) pick the backend;
+    :meth:`run` also accepts a pre-built backend instance, which is how a
+    caller shares one :class:`~repro.core.distributed.DistributedBackend`
+    (and its connected worker fleet) across engines or reads its listen
+    address before workers join.
+    """
+
+    def __init__(self, configuration: EngineConfiguration) -> None:
+        self.configuration = configuration
+        self.scheduler = CampaignScheduler(configuration)
+
+    # -- scheduler delegation (compatibility surface) ----------------------------------------
+
+    @property
+    def corpus(self) -> SharedCorpus:
+        return self.scheduler.corpus
+
+    @property
+    def _next_epoch(self) -> int:
+        return self.scheduler.next_epoch
+
+    @property
+    def _core_triggered(self) -> Dict[str, Set[str]]:
+        return self.scheduler._core_triggered
+
+    @_core_triggered.setter
+    def _core_triggered(self, value: Dict[str, Set[str]]) -> None:
+        self.scheduler._core_triggered = value
+
+    def shard_entropy(self, shard_index: int, epoch: int) -> int:
+        return self.scheduler.shard_entropy(shard_index, epoch)
+
+    shard_seed_id_base = staticmethod(CampaignScheduler.shard_seed_id_base)
+
+    def shard_core(self, shard_index: int) -> CoreConfig:
+        return self.scheduler.shard_core(shard_index)
+
+    def epoch_budgets(self) -> List[List[int]]:
+        return self.scheduler.epoch_budgets()
+
+    def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
+        return self.scheduler._should_redistribute(epoch_gains)
+
+    def _redistribute(self, *args, **kwargs):
+        return self.scheduler._redistribute(*args, **kwargs)
+
+    def configuration_fingerprint(self) -> Dict[str, object]:
+        return self.scheduler.configuration_fingerprint()
+
+    def checkpoint_state(self) -> Dict[str, object]:
+        return self.scheduler.checkpoint_state()
+
+    def save_checkpoint(self, path: str) -> str:
+        return self.scheduler.save_checkpoint(path)
+
+    # -- campaign --------------------------------------------------------------------------
+
+    def run(
+        self,
+        progress_callback: Optional[Callable[[int, "EngineResult"], None]] = None,
+        max_epochs: Optional[int] = None,
+        backend: Optional[ExecutionBackend] = None,
+    ) -> EngineResult:
+        """Run the sharded campaign and return the merged outcome.
+
+        ``max_epochs`` bounds how many sync epochs this *call* executes —
+        with ``checkpoint_path`` set this is a deterministic stand-in for a
+        mid-campaign kill: the returned result has ``complete=False`` and the
+        campaign continues from the checkpoint via :meth:`resume_from`.
+        A resumed engine picks up exactly where the checkpoint left off.
+
+        ``backend`` substitutes a caller-owned backend for the configured
+        one; the engine then does *not* close it, so a connected worker
+        fleet survives the call.
+        """
+        scheduler = self.scheduler
+        scheduler.begin_run()
+        owns_backend = backend is None
+        if backend is None:
+            backend = self._create_backend()
+        # A shared backend keeps one cumulative delivery log across
+        # campaigns; only the rows this run produced belong to this result.
+        log_start = len(getattr(backend, "utilization_log", ()))
+        epochs_this_call = 0
+        try:
+            while not scheduler.finished:
+                if max_epochs is not None and epochs_this_call >= max_epochs:
+                    break
+                epoch = scheduler.next_epoch
+                tasks = scheduler.next_tasks()
+                payloads = backend.run_epoch(tasks) if tasks else []
+                scheduler.complete_epoch(payloads)
+                epochs_this_call += 1
+                if tasks and progress_callback is not None:
+                    progress_callback(epoch, scheduler.result)
+        finally:
+            log = getattr(backend, "utilization_log", None)
+            if log and scheduler.result is not None:
+                scheduler.result.worker_log = [
+                    dict(row) for row in log[log_start:]
+                ]
+            if owns_backend:
+                backend.close()
+        return scheduler.end_run()
+
+    @classmethod
+    def resume_from(
+        cls, path: str, configuration: EngineConfiguration
+    ) -> "ParallelCampaignEngine":
+        """Rebuild a mid-campaign engine from a checkpoint file.
+
+        ``configuration`` must describe the same campaign (checked against
+        the checkpoint's fingerprint); the execution backend may differ.
+        Calling :meth:`run` on the returned engine continues from the first
+        unexecuted epoch.
+        """
+        with open(path, encoding="utf-8") as handle:
+            payload = json.load(handle)
+        engine = cls(configuration)
+        engine.scheduler.restore(payload)
+        return engine
+
+    def _create_backend(self) -> ExecutionBackend:
+        configuration = self.configuration
+        return create_backend(
+            configuration.executor,
+            max_workers=min(
+                configuration.shards,
+                configuration.max_workers or configuration.shards,
+            ),
+            concurrency=configuration.async_concurrency,
+            listen=configuration.listen,
+            min_workers=configuration.max_workers,
+        )
+
+
 def run_parallel_campaign(
     core=None,
     shards: Optional[int] = None,
@@ -962,6 +1162,8 @@ def run_parallel_campaign(
     step_latency: float = 0.0,
     sync_policy: Union[str, SyncPolicy] = "fixed",
     checkpoint_path: Optional[str] = None,
+    listen: Optional[str] = None,
+    backend: Optional[ExecutionBackend] = None,
     **fuzzer_overrides,
 ) -> EngineResult:
     """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`.
@@ -970,6 +1172,8 @@ def run_parallel_campaign(
     a per-shard assignment for heterogeneous ones (``core`` then defaults to
     the first entry and only seeds the prototype configuration).  ``shards``
     defaults to one per ``cores`` entry, matching the CLI, or to 4.
+    ``backend`` passes a caller-owned backend instance straight through to
+    :meth:`ParallelCampaignEngine.run`.
     """
     if shards is None:
         shards = len(cores) if cores else 4
@@ -995,8 +1199,9 @@ def run_parallel_campaign(
         step_latency=step_latency,
         sync_policy=sync_policy,
         checkpoint_path=checkpoint_path,
+        listen=listen,
     )
-    return ParallelCampaignEngine(configuration).run()
+    return ParallelCampaignEngine(configuration).run(backend=backend)
 
 
 # -- CLI -------------------------------------------------------------------------------------
@@ -1049,14 +1254,19 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument("--entropy", type=int, default=2025, help="root entropy")
     parser.add_argument(
-        "--workers", type=int, default=None, help="process pool size (default: one per shard)"
+        "--workers", type=int, default=None,
+        help="process pool size (default: one per shard); with --backend "
+        "distributed: how many worker daemons to wait for before the first "
+        "epoch (default: 1)",
     )
     parser.add_argument(
         "--backend",
         choices=sorted(BACKEND_NAMES),
         default=None,
-        help="execution backend: process pool, serial inline, or one asyncio "
-        "loop interleaving latency-bound shards (default: process)",
+        help="execution backend: process pool, serial inline, one asyncio "
+        "loop interleaving latency-bound shards, or a distributed "
+        "coordinator farming shards to remote worker daemons "
+        "(default: process)",
     )
     parser.add_argument(
         "--inline",
@@ -1068,6 +1278,12 @@ def build_parser() -> argparse.ArgumentParser:
         type=int,
         default=None,
         help="async backend: max shards in flight on the event loop (default: 4)",
+    )
+    parser.add_argument(
+        "--listen",
+        metavar="HOST:PORT",
+        help="distributed backend: listen here for worker daemons "
+        "(python -m repro.core.worker --connect HOST:PORT)",
     )
     parser.add_argument(
         "--step-latency",
@@ -1095,8 +1311,15 @@ def build_parser() -> argparse.ArgumentParser:
         "--stall-gain",
         type=int,
         default=0,
-        help="stall policy: a round gaining at most this many globally-new "
-        "points triggers redistribution (default: 0)",
+        help="stall policy: a mean round gain of at most this many "
+        "globally-new points triggers redistribution (default: 0)",
+    )
+    parser.add_argument(
+        "--window-rounds",
+        type=int,
+        default=1,
+        help="stall policy: rounds averaged by the stall estimate "
+        "(default: 1, the single-round threshold)",
     )
     parser.add_argument(
         "--checkpoint",
@@ -1153,6 +1376,9 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
     shards = args.shards if args.shards is not None else (len(core_names) if core_names else 4)
     backend = args.backend or ("inline" if args.inline else "process")
+    if backend == "distributed" and not args.listen:
+        print("error: --backend distributed requires --listen HOST:PORT")
+        return 2
 
     try:
         core = resolve_core(core_names[0] if core_names else args.core)
@@ -1176,8 +1402,10 @@ def main(argv: Optional[List[str]] = None) -> int:
                 kind=args.sync_policy,
                 epoch_iterations=args.epoch_iterations,
                 stall_gain=args.stall_gain,
+                window_rounds=args.window_rounds,
             ),
             checkpoint_path=args.checkpoint,
+            listen=args.listen,
             cores=core_names,
         )
         if args.resume:
@@ -1189,6 +1417,16 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 2
 
     total_epochs = configuration.planned_epochs()
+
+    if backend == "distributed":
+        print(
+            f"distributed coordinator: listening on {args.listen}, waiting "
+            f"for {args.workers or 1} worker(s)"
+        )
+        print(
+            f"start workers with: python -m repro.core.worker "
+            f"--connect {args.listen}"
+        )
 
     def report_epoch(epoch: int, result: EngineResult) -> None:
         print(
@@ -1233,6 +1471,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  seed {row['donor_seed_id']} [{row['donor_core']}] -> "
                 f"shard {row['target_shard']} [{row['target_core']}] "
                 f"epoch {row['epoch']}: {outcome}"
+            )
+    if result.worker_log:
+        from repro.analysis import worker_utilization_table
+
+        print("\nper-worker utilization:")
+        for row in worker_utilization_table(result.worker_log):
+            print(
+                f"  {row['worker']:8s} tasks={row['tasks']:3d} "
+                f"epochs={row['epochs']:2d} "
+                f"shard-seconds={row['shard_seconds']:.2f} "
+                f"reassigned-in={row['reassigned_tasks']}"
             )
 
     if args.json:

@@ -1,0 +1,227 @@
+"""The distributed campaign worker daemon.
+
+One worker daemon connects to a :class:`~repro.core.distributed.DistributedBackend`
+coordinator, announces itself (HELLO: capacity + local backend), and then
+runs whatever TASK batches arrive through any *local* execution backend —
+serial ``inline`` (the default), a ``process`` pool sized to ``--capacity``,
+or the ``async`` interleaver for latency-bound simulators.  RESULT frames
+carry each finished task's payload back; a HEARTBEAT side thread keeps
+beating even while a batch is running, so the coordinator can tell "busy"
+from "gone".
+
+The daemon is stateless between batches: every task payload is
+self-contained (full fuzzer configuration, baseline coverage, initial
+seed), so a worker can join mid-campaign, die without notice (the
+coordinator reassigns its tasks), or serve several campaigns in a row.
+
+Run it::
+
+    python -m repro.core.worker --connect HOST:PORT [--capacity N]
+                                [--backend inline|process|async]
+
+``--retry`` keeps re-trying the initial connection (default 10s), so
+workers may be started before the coordinator listens.
+"""
+
+from __future__ import annotations
+
+import argparse
+import os
+import socket
+import threading
+import time
+from typing import List, Optional
+
+from repro.core.backends import BACKEND_NAMES, create_backend
+from repro.core.distributed import (
+    HEARTBEAT_INTERVAL,
+    PROTOCOL_VERSION,
+    parse_address,
+    recv_frame,
+    send_frame,
+    shard_task_from_wire,
+)
+
+__all__ = ["run_worker", "main"]
+
+# The worker's local backends exclude "distributed" — a worker farming its
+# tasks to further workers would be a fleet topology, not a local executor.
+LOCAL_BACKEND_NAMES = tuple(
+    name for name in BACKEND_NAMES if name != "distributed"
+)
+
+
+def _connect_with_retry(
+    host: str, port: int, retry_seconds: float, log
+) -> Optional[socket.socket]:
+    deadline = time.monotonic() + max(0.0, retry_seconds)
+    while True:
+        try:
+            return socket.create_connection((host, port), timeout=5.0)
+        except OSError as error:
+            if time.monotonic() >= deadline:
+                log(f"giving up on {host}:{port} ({error})")
+                return None
+            time.sleep(0.2)
+
+
+def run_worker(
+    connect: str,
+    capacity: int = 1,
+    backend: str = "inline",
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    retry_seconds: float = 10.0,
+    quiet: bool = False,
+) -> int:
+    """Serve one coordinator connection until BYE/EOF; returns an exit code.
+
+    ``capacity`` is the largest TASK batch the coordinator may send at once;
+    the batch runs on the local ``backend`` (pool/loop sized to the same
+    capacity).  The function blocks for the daemon's whole life — callers
+    that want a worker *and* a coordinator in one process run it on a
+    thread, exactly like the tests do.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if backend not in LOCAL_BACKEND_NAMES:
+        raise ValueError(
+            f"unknown worker backend {backend!r} "
+            f"(known: {', '.join(LOCAL_BACKEND_NAMES)})"
+        )
+    log = (lambda message: None) if quiet else (
+        lambda message: print(f"[worker {os.getpid()}] {message}", flush=True)
+    )
+    host, port = parse_address(connect)
+    sock = _connect_with_retry(host, port, retry_seconds, log)
+    if sock is None:
+        return 1
+    write_lock = threading.Lock()
+    stop_beating = threading.Event()
+
+    def beat() -> None:
+        while not stop_beating.wait(heartbeat_interval):
+            try:
+                send_frame(sock, {"type": "HEARTBEAT"}, write_lock)
+            except OSError:
+                return
+
+    local = create_backend(backend, max_workers=capacity, concurrency=capacity)
+    reader = sock.makefile("rb")
+    try:
+        send_frame(
+            sock,
+            {
+                "type": "HELLO",
+                "version": PROTOCOL_VERSION,
+                "worker": f"{socket.gethostname()}:{os.getpid()}",
+                "pid": os.getpid(),
+                "capacity": capacity,
+                "backend": backend,
+            },
+            write_lock,
+        )
+        threading.Thread(target=beat, name="worker-heartbeat", daemon=True).start()
+        log(f"connected to {host}:{port} (capacity {capacity}, {backend} backend)")
+        while True:
+            frame = recv_frame(reader)
+            if frame is None:
+                log("coordinator hung up")
+                return 0
+            kind = frame.get("type")
+            if kind == "BYE":
+                log(f"coordinator said goodbye ({frame.get('reason', 'no reason')})")
+                return 0
+            if kind != "TASK":
+                continue
+            entries: List[dict] = frame["tasks"]
+            tasks = [shard_task_from_wire(entry["task"]) for entry in entries]
+            log(
+                f"running batch of {len(tasks)}: "
+                + ", ".join(
+                    f"epoch {task.epoch} shard {task.shard_index}" for task in tasks
+                )
+            )
+            payloads = local.run_epoch(tasks)
+            for entry, payload in zip(entries, payloads):
+                send_frame(
+                    sock,
+                    {
+                        "type": "RESULT",
+                        "task_id": entry["task_id"],
+                        "payload": payload,
+                    },
+                    write_lock,
+                )
+    except OSError as error:
+        log(f"connection lost: {error}")
+        return 1
+    finally:
+        stop_beating.set()
+        local.close()
+        try:
+            sock.close()
+        except OSError:
+            pass
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.core.worker",
+        description="Run a distributed-campaign worker daemon.",
+    )
+    parser.add_argument(
+        "--connect",
+        required=True,
+        metavar="HOST:PORT",
+        help="coordinator address (the engine's --listen)",
+    )
+    parser.add_argument(
+        "--capacity",
+        type=int,
+        default=1,
+        help="max tasks per batch; also sizes the local backend (default: 1)",
+    )
+    parser.add_argument(
+        "--backend",
+        choices=sorted(LOCAL_BACKEND_NAMES),
+        default="inline",
+        help="local execution backend the batches run on (default: inline)",
+    )
+    parser.add_argument(
+        "--heartbeat",
+        type=float,
+        default=HEARTBEAT_INTERVAL,
+        metavar="SECONDS",
+        help=f"heartbeat interval (default: {HEARTBEAT_INTERVAL})",
+    )
+    parser.add_argument(
+        "--retry",
+        type=float,
+        default=10.0,
+        metavar="SECONDS",
+        help="keep retrying the initial connection this long (default: 10)",
+    )
+    parser.add_argument(
+        "--quiet", action="store_true", help="suppress per-batch logging"
+    )
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    args = build_parser().parse_args(argv)
+    try:
+        return run_worker(
+            connect=args.connect,
+            capacity=args.capacity,
+            backend=args.backend,
+            heartbeat_interval=args.heartbeat,
+            retry_seconds=args.retry,
+            quiet=args.quiet,
+        )
+    except ValueError as error:
+        print(f"error: {error}")
+        return 2
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

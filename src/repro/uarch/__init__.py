@@ -15,7 +15,7 @@ implemented as injectable defects selected by the core configuration.
 
 from repro.uarch.config import CoreConfig, TaintTrackingMode
 from repro.uarch.bugs import Bug, BUG_REGISTRY, bugs_for_core
-from repro.uarch.boom import small_boom_config
+from repro.uarch.boom import large_boom_config, small_boom_config
 from repro.uarch.xiangshan import xiangshan_minimal_config
 from repro.uarch.events import (
     TraceLog,
@@ -35,6 +35,7 @@ __all__ = [
     "Bug",
     "BUG_REGISTRY",
     "bugs_for_core",
+    "large_boom_config",
     "small_boom_config",
     "xiangshan_minimal_config",
     "TraceLog",

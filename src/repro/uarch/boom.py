@@ -64,3 +64,60 @@ def small_boom_config(
         verilog_loc=171_000,
         annotation_loc=212 if taint_annotations else 0,
     )
+
+
+def large_boom_config(
+    enable_bugs: bool = True,
+    taint_annotations: bool = True,
+) -> CoreConfig:
+    """A configuration modelled on LargeBOOM — the same microarchitecture
+    family as :func:`small_boom_config`, scaled up.
+
+    The published LargeBoomConfig parameters widen the machine (4-wide
+    fetch/decode/commit, 96-entry ROB, dual load/store pipes, a larger
+    predictor complex and caches) without changing the behavioural quirks:
+    the frontend still stalls on illegal instructions (no illegal-instruction
+    transient window) and the core exhibits the same BOOM-family defects
+    (B2–B4).  Registered as ``boom-large`` in the engine's ``CORES`` registry
+    to exercise >2-core heterogeneous campaigns: seeds transfer between the
+    two BOOM variants and XiangShan along window-type groups, while coverage
+    stays strictly per core.
+    """
+    bugs = default_bug_set("boom") if enable_bugs else frozenset()
+    return CoreConfig(
+        name="large-boom",
+        isa="RV64GC",
+        fetch_width=4,
+        decode_width=4,
+        commit_width=4,
+        rob_entries=96,
+        ldq_entries=24,
+        stq_entries=24,
+        int_issue_ports=3,
+        mem_issue_ports=2,
+        fp_issue_ports=2,
+        alu_latency=1,
+        mul_latency=3,
+        div_latency=12,
+        fp_latency=4,
+        fp_div_latency=18,
+        misprediction_penalty=8,
+        # The deeper trap pipeline stretches exception-type windows slightly
+        # relative to SmallBOOM.
+        exception_commit_delay=44,
+        icache=CacheConfig(sets=64, ways=8, line_bytes=64, hit_latency=1, miss_latency=22),
+        dcache=CacheConfig(sets=64, ways=8, line_bytes=64, hit_latency=2, miss_latency=24),
+        l2_present=True,
+        l2_extra_latency=20,
+        tlb_entries=32,
+        tlb_miss_latency=14,
+        mshr_entries=8,
+        predictors=PredictorConfig(
+            bht_entries=512, btb_entries=128, ras_entries=32, loop_entries=32
+        ),
+        illegal_instruction_opens_window=False,
+        speculative_ras_update=True,
+        bugs=bugs,
+        verilog_loc=171_000,
+        annotation_loc=212 if taint_annotations else 0,
+    )

@@ -1,0 +1,363 @@
+"""Tests for the distributed campaign fabric: wire forms, the JSON-lines
+frame protocol, the coordinator/worker loop, and fault-tolerant reassignment
+(kill a worker mid-epoch, assert byte-identical campaign results)."""
+
+import json
+import os
+import signal
+import socket
+import subprocess
+import sys
+import threading
+import time
+
+import pytest
+
+from repro.core import FuzzerConfiguration, ShardTask, run_parallel_campaign
+from repro.core.backends import run_shard_task
+from repro.core.distributed import (
+    DistributedBackend,
+    core_config_from_wire,
+    core_config_to_wire,
+    fuzzer_configuration_from_wire,
+    fuzzer_configuration_to_wire,
+    parse_address,
+    recv_frame,
+    send_frame,
+    shard_task_from_wire,
+    shard_task_to_wire,
+)
+from repro.core.worker import run_worker
+from repro.generation.seeds import Seed
+from repro.generation.training import TrainingMode
+from repro.generation.window_types import TransientWindowType
+from repro.uarch import small_boom_config, xiangshan_minimal_config
+from repro.uarch.config import TaintTrackingMode
+
+BOOM = small_boom_config()
+XIANGSHAN = xiangshan_minimal_config()
+
+REPO_SRC = os.path.join(
+    os.path.dirname(os.path.dirname(os.path.abspath(__file__))), "src"
+)
+
+
+def deterministic_wire(result):
+    return json.dumps(result.campaign.to_dict(include_timing=False), sort_keys=True)
+
+
+def make_task(**overrides):
+    defaults = dict(
+        shard_index=0,
+        epoch=0,
+        iterations=3,
+        configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
+    )
+    defaults.update(overrides)
+    return ShardTask(**defaults)
+
+
+class TestWireForms:
+    def test_core_config_round_trip(self):
+        for core in (BOOM, XIANGSHAN):
+            wire = core_config_to_wire(core)
+            json.dumps(wire)  # must be JSON-safe
+            assert core_config_from_wire(wire) == core
+
+    def test_fuzzer_configuration_round_trip(self):
+        configuration = FuzzerConfiguration(
+            core=XIANGSHAN,
+            entropy=77,
+            taint_mode=TaintTrackingMode.CELLIFT,
+            training_mode=TrainingMode.RANDOM,
+            coverage_feedback=False,
+            low_gain_limit=9,
+            seed_id_base=123,
+        )
+        wire = fuzzer_configuration_to_wire(configuration)
+        json.dumps(wire)
+        assert fuzzer_configuration_from_wire(wire) == configuration
+
+    def test_shard_task_round_trip(self):
+        seed = Seed.fresh(
+            seed_id=5, entropy=1, window_type=TransientWindowType.LOAD_PAGE_FAULT
+        )
+        task = make_task(
+            initial_seed=seed.to_dict(),
+            baseline_points=[{"module": "dcache", "tainted_count": 2}],
+            report_top_seeds=7,
+            step_latency=0.25,
+        )
+        wire = shard_task_to_wire(task)
+        rebuilt = shard_task_from_wire(json.loads(json.dumps(wire)))
+        assert rebuilt == task
+
+    def test_round_tripped_task_runs_identically(self):
+        task = make_task()
+        direct = run_shard_task(make_task())
+        rebuilt = run_shard_task(shard_task_from_wire(shard_task_to_wire(task)))
+        for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+            assert rebuilt[key] == direct[key]
+        assert rebuilt["result"]["coverage_history"] == direct["result"]["coverage_history"]
+
+    def test_parse_address(self):
+        assert parse_address("127.0.0.1:7801") == ("127.0.0.1", 7801)
+        # IPv6 brackets are stripped so the host feeds the socket layer as-is.
+        assert parse_address("[::1]:0") == ("::1", 0)
+        for bad in ("localhost", "host:", "host:notaport", "host:70000", "[]:1", "::1:7801"):
+            with pytest.raises(ValueError):
+                parse_address(bad)
+
+
+class TestFraming:
+    def test_frames_round_trip_over_a_socketpair(self):
+        left, right = socket.socketpair()
+        try:
+            reader = right.makefile("rb")
+            send_frame(left, {"type": "HELLO", "capacity": 3})
+            send_frame(left, {"type": "HEARTBEAT"})
+            assert recv_frame(reader) == {"type": "HELLO", "capacity": 3}
+            assert recv_frame(reader) == {"type": "HEARTBEAT"}
+            left.close()
+            assert recv_frame(reader) is None  # EOF
+        finally:
+            right.close()
+
+    def test_malformed_frame_is_rejected(self):
+        left, right = socket.socketpair()
+        try:
+            reader = right.makefile("rb")
+            left.sendall(b'{"no_type": 1}\n')
+            with pytest.raises(ValueError, match="malformed frame"):
+                recv_frame(reader)
+        finally:
+            left.close()
+            right.close()
+
+    def test_backend_rejects_bad_sizing(self):
+        with pytest.raises(ValueError, match="min_workers"):
+            DistributedBackend(min_workers=0)
+        with pytest.raises(ValueError, match="heartbeat_timeout"):
+            DistributedBackend(heartbeat_timeout=0)
+
+
+def start_worker_thread(address, **kwargs):
+    kwargs.setdefault("quiet", True)
+    thread = threading.Thread(
+        target=run_worker,
+        kwargs=dict(connect=f"{address[0]}:{address[1]}", **kwargs),
+        daemon=True,
+    )
+    thread.start()
+    return thread
+
+
+def start_worker_process(address, *extra_args):
+    environment = dict(os.environ)
+    environment["PYTHONPATH"] = REPO_SRC + os.pathsep + environment.get("PYTHONPATH", "")
+    return subprocess.Popen(
+        [
+            sys.executable,
+            "-m",
+            "repro.core.worker",
+            "--connect",
+            f"{address[0]}:{address[1]}",
+            "--retry",
+            "30",
+            *extra_args,
+        ],
+        env=environment,
+        stdout=subprocess.DEVNULL,
+        stderr=subprocess.DEVNULL,
+    )
+
+
+class TestDistributedBackend:
+    def test_single_worker_matches_inline_payloads(self):
+        backend = DistributedBackend(listen="127.0.0.1:0")
+        try:
+            start_worker_thread(backend.address)
+            tasks = [
+                make_task(shard_index=index, configuration=FuzzerConfiguration(
+                    core=BOOM, entropy=31 + index, seed_id_base=10 + 100 * index))
+                for index in range(3)
+            ]
+            payloads = backend.run_epoch(tasks)
+        finally:
+            backend.close()
+        direct = [run_shard_task(task) for task in tasks]
+        for received, expected in zip(payloads, direct):
+            for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+                assert received[key] == expected[key]
+
+    def test_workers_may_join_mid_epoch(self):
+        # min_workers=1: the epoch starts on one worker; a second joins while
+        # tasks are still pending and picks up part of the queue.
+        backend = DistributedBackend(listen="127.0.0.1:0", min_workers=1)
+        try:
+            start_worker_thread(backend.address)
+            late_starter = threading.Timer(
+                0.3, lambda: start_worker_thread(backend.address)
+            )
+            late_starter.start()
+            tasks = [make_task(shard_index=index, configuration=FuzzerConfiguration(
+                core=BOOM, entropy=40 + index, seed_id_base=10 + 100 * index))
+                for index in range(4)]
+            payloads = backend.run_epoch(tasks)
+            assert [payload["shard_index"] for payload in payloads] == [0, 1, 2, 3]
+        finally:
+            backend.close()
+
+    def test_engine_distributed_matches_inline(self):
+        inline = run_parallel_campaign(
+            BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9, executor="inline"
+        )
+        backend = DistributedBackend(listen="127.0.0.1:0", min_workers=2)
+        try:
+            start_worker_thread(backend.address)
+            start_worker_thread(backend.address)
+            distributed = run_parallel_campaign(
+                BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9,
+                executor="inline", backend=backend,
+            )
+        finally:
+            backend.close()
+        assert deterministic_wire(distributed) == deterministic_wire(inline)
+        assert distributed.coverage.points == inline.coverage.points
+        # The delivery log feeds the analysis-layer utilization table.
+        assert distributed.worker_log
+        from repro.analysis import worker_utilization_table
+
+        rows = worker_utilization_table(distributed.worker_log)
+        assert sum(row["tasks"] for row in rows) == 4  # 2 shards x 2 epochs
+
+    def test_shared_backend_scopes_worker_log_per_campaign(self):
+        # One connected fleet may serve several campaigns in a row; each
+        # result must only carry its own deliveries, not the fleet's
+        # cumulative log.
+        backend = DistributedBackend(listen="127.0.0.1:0")
+        try:
+            start_worker_thread(backend.address)
+            first = run_parallel_campaign(
+                BOOM, shards=2, iterations=4, sync_epochs=1, entropy=9,
+                executor="inline", backend=backend,
+            )
+            second = run_parallel_campaign(
+                BOOM, shards=2, iterations=4, sync_epochs=1, entropy=10,
+                executor="inline", backend=backend,
+            )
+        finally:
+            backend.close()
+        assert len(first.worker_log) == 2
+        assert len(second.worker_log) == 2
+        assert len(backend.utilization_log) == 4  # the fleet log stays cumulative
+
+    def test_heterogeneous_distributed_matches_inline(self):
+        cores = ["boom", "xiangshan"]
+        inline = run_parallel_campaign(
+            cores=cores, shards=2, iterations=8, sync_epochs=2, entropy=11,
+            executor="inline",
+        )
+        backend = DistributedBackend(listen="127.0.0.1:0", min_workers=2)
+        try:
+            start_worker_thread(backend.address)
+            start_worker_thread(backend.address)
+            distributed = run_parallel_campaign(
+                cores=cores, shards=2, iterations=8, sync_epochs=2, entropy=11,
+                executor="inline", backend=backend,
+            )
+        finally:
+            backend.close()
+        assert deterministic_wire(distributed) == deterministic_wire(inline)
+        assert set(distributed.core_coverage) == {"small-boom", "xiangshan-minimal"}
+
+
+class TestFaultTolerance:
+    def wait_for_inflight_on(self, backend, pid, timeout=30.0):
+        """Block until the worker daemon with ``pid`` holds an assigned task."""
+        deadline = time.monotonic() + timeout
+        while time.monotonic() < deadline:
+            for row in backend.workers():
+                if row["pid"] == pid and row["inflight"] and row["alive"]:
+                    return row["worker"]
+            time.sleep(0.02)
+        raise AssertionError(f"worker {pid} never received a task")
+
+    def test_killed_worker_is_reassigned_and_results_stay_identical(self):
+        """The acceptance scenario: SIGKILL one of two workers while it holds
+        an in-flight task; its shards rerun on the survivor and the merged
+        campaign is byte-identical to the inline reference."""
+        inline = run_parallel_campaign(
+            cores=["boom", "xiangshan"], shards=2, iterations=8, sync_epochs=2,
+            entropy=9, executor="inline",
+        )
+        backend = DistributedBackend(listen="127.0.0.1:0", min_workers=2)
+        victim = None
+        try:
+            start_worker_thread(backend.address)
+            victim = start_worker_process(backend.address)
+
+            def kill_mid_epoch():
+                self.wait_for_inflight_on(backend, victim.pid)
+                os.kill(victim.pid, signal.SIGKILL)
+
+            assassin = threading.Thread(target=kill_mid_epoch, daemon=True)
+            assassin.start()
+            # step_latency keeps each task slow enough that the kill reliably
+            # lands while the victim's batch is still running.
+            distributed = run_parallel_campaign(
+                cores=["boom", "xiangshan"], shards=2, iterations=8, sync_epochs=2,
+                entropy=9, executor="inline", step_latency=0.01, backend=backend,
+            )
+            assassin.join(timeout=60)
+            assert not assassin.is_alive()
+        finally:
+            backend.close()
+            if victim is not None and victim.poll() is None:
+                victim.kill()
+            if victim is not None:
+                victim.wait(timeout=30)
+        # The victim died holding work: the coordinator must have reassigned.
+        assert backend.reassigned_tasks >= 1
+        assert any(row["reassigned"] for row in distributed.worker_log)
+        # Identity despite the loss: latency and worker death never feed back
+        # into campaign results.
+        assert deterministic_wire(distributed) == deterministic_wire(inline)
+
+    def test_late_result_from_a_presumed_dead_worker_is_dropped(self):
+        backend = DistributedBackend(listen="127.0.0.1:0")
+        try:
+            client = socket.create_connection(backend.address, timeout=5)
+            reader = client.makefile("rb")
+            send_frame(client, {"type": "HELLO", "worker": "fake:1", "capacity": 1})
+            # Run an epoch on a thread; serve its TASK frame by hand.
+            tasks = [make_task()]
+            collected = {}
+
+            def run():
+                collected["payloads"] = backend.run_epoch(tasks)
+
+            runner = threading.Thread(target=run, daemon=True)
+            runner.start()
+            frame = recv_frame(reader)
+            assert frame["type"] == "TASK" and len(frame["tasks"]) == 1
+            task_id = frame["tasks"][0]["task_id"]
+            payload = run_shard_task(tasks[0])
+            # Deliver the same task twice: the duplicate must be dropped.
+            send_frame(client, {"type": "RESULT", "task_id": task_id, "payload": payload})
+            send_frame(client, {"type": "RESULT", "task_id": task_id, "payload": payload})
+            runner.join(timeout=30)
+            assert not runner.is_alive()
+            assert [p["shard_index"] for p in collected["payloads"]] == [0]
+            assert len(backend.utilization_log) == 1
+            client.close()
+        finally:
+            backend.close()
+
+    def test_worker_cli_rejects_bad_arguments(self):
+        with pytest.raises(ValueError, match="capacity"):
+            run_worker("127.0.0.1:1", capacity=0)
+        with pytest.raises(ValueError, match="worker backend"):
+            run_worker("127.0.0.1:1", backend="distributed")
+        # An unreachable coordinator is an orderly exit code, not a hang.
+        assert run_worker("127.0.0.1:9", retry_seconds=0.0, quiet=True) == 1

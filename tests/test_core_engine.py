@@ -530,9 +530,27 @@ class TestEngineCli:
 
     def test_core_registry_lists_each_core_once_with_aliases(self):
         lines = core_registry_lines()
-        assert len(lines) == 2
-        boom_line = next(line for line in lines if line.startswith("boom"))
+        assert len(lines) == 3
+        boom_line = next(line for line in lines if line.startswith("boom "))
         assert "small-boom" in boom_line  # alias folded into the canonical row
+        large_line = next(line for line in lines if line.startswith("boom-large"))
+        assert "large-boom" in large_line
+
+    def test_three_core_registry_drives_a_heterogeneous_campaign(self):
+        result = run_parallel_campaign(
+            cores=["boom", "boom-large", "xiangshan"],
+            shards=3,
+            iterations=6,
+            sync_epochs=1,
+            executor="inline",
+            entropy=5,
+        )
+        assert set(result.core_coverage) == {
+            "small-boom",
+            "large-boom",
+            "xiangshan-minimal",
+        }
+        assert result.campaign.iterations_run == 6
 
     def test_resolve_core_accepts_aliases(self):
         assert resolve_core("boom").name == resolve_core("small-boom").name
@@ -627,6 +645,59 @@ class TestSyncPolicy:
         engine = ParallelCampaignEngine(self.cfg())
         assert engine._should_redistribute({0: 100, 1: 100})
 
+    def test_window_rounds_validation(self):
+        with pytest.raises(ValueError, match="window_rounds"):
+            SyncPolicy(kind="stall", window_rounds=0)
+        with pytest.raises(ValueError, match="window_rounds"):
+            SyncPolicy(kind="stall", window_rounds=-2)
+
+    def test_windowed_stall_estimate_averages_recent_rounds(self):
+        engine = ParallelCampaignEngine(
+            self.cfg(
+                sync_policy=SyncPolicy(
+                    kind="stall", epoch_iterations=4, stall_gain=1, window_rounds=2
+                )
+            )
+        )
+        scheduler = engine.scheduler
+        # One productive prior round on record: its gain is averaged with the
+        # current one, so a single flat round no longer triggers...
+        scheduler._round_gains = [5]
+        assert not engine._should_redistribute({0: 0, 1: 0})  # mean (5+0)/2 > 1
+        # ...but two consecutive flat rounds do.
+        scheduler._round_gains = [5, 1]
+        assert engine._should_redistribute({0: 1, 1: 0})  # mean (1+1)/2 <= 1
+
+    def test_window_rounds_default_is_the_single_round_threshold(self):
+        # K=1 must reproduce the legacy behaviour exactly, history or not.
+        engine = ParallelCampaignEngine(
+            self.cfg(sync_policy=SyncPolicy(kind="stall", epoch_iterations=4, stall_gain=1))
+        )
+        engine.scheduler._round_gains = [50, 40, 30]
+        assert engine._should_redistribute({0: 1, 1: 0})
+        assert not engine._should_redistribute({0: 3, 1: 2})
+
+    def test_windowed_stall_campaign_is_deterministic_and_checkpointable(self, tmp_path):
+        def cfg(checkpoint=None):
+            return self.cfg(
+                iterations=16,
+                sync_policy=SyncPolicy(
+                    kind="stall", epoch_iterations=4, stall_gain=2, window_rounds=2
+                ),
+                checkpoint_path=checkpoint,
+            )
+
+        uninterrupted = ParallelCampaignEngine(cfg()).run()
+        checkpoint = str(tmp_path / "windowed.json")
+        ParallelCampaignEngine(cfg(checkpoint)).run(max_epochs=2)
+        # The gain history feeds the windowed estimate, so it must survive
+        # the checkpoint round trip for the resumed run to stay identical.
+        resumed = ParallelCampaignEngine.resume_from(checkpoint, cfg(checkpoint)).run()
+        assert resumed.campaign.to_dict(
+            include_timing=False
+        ) == uninterrupted.campaign.to_dict(include_timing=False)
+        assert resumed.redistributed_seeds == uninterrupted.redistributed_seeds
+
     def test_planned_epochs_guard_the_seed_id_namespace(self):
         with pytest.raises(ValueError, match="seed-id"):
             self.cfg(
@@ -706,6 +777,55 @@ class TestCheckpointResume:
                 str(tmp_path / "checkpoint.json"),
                 self.cfg(tmp_path, iterations=24),
             )
+
+    def test_resume_rejects_a_changed_sync_policy_with_a_clear_message(self, tmp_path):
+        # Regression: resuming with a different sync policy would silently
+        # alter the redistribution cadence of the remaining epochs, so the
+        # rejection must say exactly that — not just list differing fields.
+        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
+        path = str(tmp_path / "checkpoint.json")
+        with pytest.raises(ValueError, match="redistribution cadence"):
+            ParallelCampaignEngine.resume_from(
+                path,
+                self.cfg(
+                    tmp_path,
+                    sync_policy=SyncPolicy(kind="stall", epoch_iterations=4),
+                ),
+            )
+        # A changed knob *within* the same policy kind is just as cadence-
+        # altering and gets the same treatment.
+        ParallelCampaignEngine(
+            self.cfg(
+                tmp_path, sync_policy=SyncPolicy(kind="stall", epoch_iterations=4)
+            )
+        ).run(max_epochs=1)
+        with pytest.raises(ValueError, match="redistribution cadence"):
+            ParallelCampaignEngine.resume_from(
+                path,
+                self.cfg(
+                    tmp_path,
+                    sync_policy=SyncPolicy(
+                        kind="stall", epoch_iterations=4, window_rounds=3
+                    ),
+                ),
+            )
+
+    def test_pre_window_rounds_checkpoints_still_resume(self, tmp_path):
+        # Checkpoints written before SyncPolicy.window_rounds existed carry a
+        # three-key sync_policy dict; they ran the single-round threshold, so
+        # resume must default the missing field to 1 instead of stranding
+        # them behind a bogus policy-mismatch error.
+        import json
+
+        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
+        path = tmp_path / "checkpoint.json"
+        payload = json.loads(path.read_text())
+        assert payload["fingerprint"]["sync_policy"].pop("window_rounds") == 1
+        path.write_text(json.dumps(payload))
+        resumed = ParallelCampaignEngine.resume_from(
+            str(path), self.cfg(tmp_path)
+        ).run()
+        assert resumed.complete
 
     def test_checkpoint_rejects_an_unknown_format(self, tmp_path):
         import json

@@ -154,6 +154,32 @@ class TestAnalysisHelpers:
             {"core": "small-boom", "iterations": 6, "reports": 0, "triggered_windows": 0}
         ]
 
+    def test_worker_utilization_table_aggregates_deliveries(self):
+        from repro.analysis import worker_utilization_table
+
+        log = [
+            {"worker": "w001", "name": "hostB:9", "epoch": 0, "shard": 1,
+             "wall_seconds": 0.4, "reassigned": False},
+            {"worker": "w000", "name": "hostA:7", "epoch": 0, "shard": 0,
+             "wall_seconds": 0.5, "reassigned": False},
+            {"worker": "w000", "name": "hostA:7", "epoch": 1, "shard": 1,
+             "wall_seconds": 0.25, "reassigned": True},
+            {"worker": "w000", "name": "hostA:7", "epoch": 1, "shard": 0,
+             "wall_seconds": 0.25, "reassigned": False},
+        ]
+        rows = worker_utilization_table(log)
+        assert [row["worker"] for row in rows] == ["w000", "w001"]
+        w0 = rows[0]
+        assert w0["tasks"] == 3
+        assert w0["epochs"] == 2
+        assert w0["shard_seconds"] == pytest.approx(1.0)
+        assert w0["reassigned_tasks"] == 1  # inherited from the dead worker
+        assert rows[1] == {
+            "worker": "w001", "name": "hostB:9", "tasks": 1, "epochs": 1,
+            "shard_seconds": 0.4, "reassigned_tasks": 0,
+        }
+        assert worker_utilization_table([]) == []
+
     def test_cross_core_transfer_table_aggregates_edges(self):
         transfers = [
             {"donor_core": "small-boom", "target_core": "xiangshan-minimal",
