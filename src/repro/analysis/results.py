@@ -256,6 +256,51 @@ def worker_utilization_table(
     return finished
 
 
+def simulator_process_table(
+    sim_log: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate a subprocess-simulator run's accounting into one row per shard.
+
+    ``sim_log`` is :attr:`repro.core.engine.EngineResult.sim_log`: one entry
+    per shard-epoch task executed against an out-of-process simulator server
+    (``{shard_index, epoch, spawns, restarts, steps, step_seconds_total,
+    mean_step_seconds}``).  Each output row sums a shard's server-process
+    story across the campaign — tasks served, server processes spawned,
+    crash/hang recoveries, protocol steps, and the mean per-step wall clock.
+    Like the worker log, this is timing-adjacent diagnostics and never part
+    of the deterministic campaign wire forms.
+    """
+    rows: Dict[int, Dict[str, object]] = {}
+    for entry in sim_log:
+        shard = int(entry["shard_index"])
+        row = rows.setdefault(
+            shard,
+            {
+                "shard": shard,
+                "tasks": 0,
+                "spawns": 0,
+                "restarts": 0,
+                "steps": 0,
+                "step_seconds_total": 0.0,
+            },
+        )
+        row["tasks"] += 1
+        row["spawns"] += int(entry.get("spawns", 0))
+        row["restarts"] += int(entry.get("restarts", 0))
+        row["steps"] += int(entry.get("steps", 0))
+        row["step_seconds_total"] = round(
+            row["step_seconds_total"] + float(entry.get("step_seconds_total", 0.0)), 6
+        )
+    finished = []
+    for shard in sorted(rows):
+        row = dict(rows[shard])
+        row["mean_step_seconds"] = round(
+            row["step_seconds_total"] / row["steps"] if row["steps"] else 0.0, 6
+        )
+        finished.append(row)
+    return finished
+
+
 def cross_core_transfer_table(
     transfers: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:

@@ -26,10 +26,12 @@ from repro.core.report import BugReport, CampaignResult
 from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
 from repro.core.corpus import CorpusEntry, SharedCorpus
 from repro.core.backends import (
+    SIMULATOR_NAMES,
     AsyncBackend,
     ExecutionBackend,
     InlineBackend,
     ProcessPoolBackend,
+    ShardCampaignRunner,
     ShardTask,
     create_backend,
     iterate_shard_task,
@@ -102,6 +104,8 @@ __all__ = [
     "ExecutionBackend",
     "InlineBackend",
     "ProcessPoolBackend",
+    "SIMULATOR_NAMES",
+    "ShardCampaignRunner",
     "ShardTask",
     "create_backend",
     "iterate_shard_task",

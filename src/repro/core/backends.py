@@ -24,14 +24,29 @@ task back.  Three backends implement the protocol:
   ``python -m repro.core.worker`` daemons, with heartbeat-based fault
   detection and mid-epoch task reassignment.
 
+Simulator placement: ``ShardTask.simulator`` selects where the simulations
+of a shard's steps actually execute.
+
+* ``inproc`` (the default) — the simulator runs inside the executing
+  process, exactly as before.
+* ``subprocess`` — the shard's steps are driven against an out-of-process
+  simulator server (``python -m repro.sim.server``, :mod:`repro.sim`): a
+  per-shard server process hosts the simulator behind a JSON-lines stdio
+  protocol, the step driver blocks on *real* subprocess turnaround instead
+  of an injected sleep, and a crashed or hung server is transparently
+  restarted and replayed from its last snapshot.  The async driver runs
+  each protocol request on an executor thread, so the genuine subprocess
+  waits of concurrent shards overlap on one event loop.
+
 Latency model: ``ShardTask.step_latency`` injects a fixed wait per simulator
 invocation, standing in for an external RTL simulator that responds after a
 delay behind the same wire protocol.  The serial drivers pay it with
 ``time.sleep`` at each step; the async driver awaits ``asyncio.sleep``, so
 the waits of concurrent shards overlap.  Latency never feeds back into the
-campaign itself — all backends produce byte-identical results for the same
-configuration, which the engine's tests and the
-``benchmarks/test_async_interleaving.py`` benchmark assert.
+campaign itself — all backends and both simulator placements produce
+byte-identical results for the same configuration, which the engine's tests
+and the ``benchmarks/test_async_interleaving.py`` /
+``benchmarks/test_subprocess_sim.py`` benchmarks assert.
 
 Only cheap wire forms (``to_dict`` payloads and dataclasses of primitives)
 cross the backend boundary — simulator state never gets pickled — which is
@@ -42,13 +57,18 @@ from __future__ import annotations
 
 import asyncio
 import time
-from concurrent.futures import ProcessPoolExecutor
+from concurrent.futures import ProcessPoolExecutor, ThreadPoolExecutor
 from dataclasses import dataclass, field
 from typing import Dict, Generator, List, Optional
 
 from repro.core.coverage import TaintCoverageMatrix
 from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
 from repro.generation.seeds import Seed
+
+
+# Where a shard task's simulations execute: in the executing process, or on
+# an out-of-process simulator server (repro.sim).
+SIMULATOR_NAMES = ("inproc", "subprocess")
 
 
 @dataclass
@@ -65,6 +85,86 @@ class ShardTask:
     # Injected wait per simulator invocation (seconds): models a slow external
     # (RTL) simulator behind the same protocol.  Zero means full speed.
     step_latency: float = 0.0
+    # "inproc" runs the simulator in the executing process; "subprocess"
+    # drives the steps against a repro.sim server process (real turnaround
+    # latency, crash/hang recovery via restart-and-replay).
+    simulator: str = "inproc"
+
+
+class ShardCampaignRunner:
+    """Stepwise executor of one :class:`ShardTask` with inspectable state.
+
+    Pure function of the task payload: no module-global state is read or
+    mutated, which is what makes every backend — and the out-of-process
+    simulator server, which hosts exactly this runner — produce identical
+    results.  :meth:`advance` executes the campaign up to the next simulator
+    boundary and returns the :class:`~repro.core.fuzzer.CampaignStep`, or
+    ``None`` once the shard is finished and :attr:`payload` is available.
+    The live :attr:`fuzzer` (coverage matrix, accumulating result) stays
+    readable between steps, which is what the simulator server's ``READ`` /
+    ``SNAPSHOT`` verbs are built on.
+    """
+
+    def __init__(self, task: ShardTask) -> None:
+        self.task = task
+        self.started = time.perf_counter()
+        self.fuzzer = DejaVuzzFuzzer(task.configuration)
+        self.baseline = set()
+        if task.baseline_points:
+            # Start from the merged global coverage of this shard's core so
+            # feedback only rewards globally-new points and mutation steers
+            # away from covered modules.
+            self.fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
+            self.baseline = self.fuzzer.coverage.points
+        initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
+        self._steps = self.fuzzer.campaign_steps(
+            task.iterations, initial_seed=initial_seed
+        )
+        self.steps_taken = 0
+        self.result: Optional[object] = None  # CampaignResult once finished
+        # Live view of the accumulating CampaignResult (captured from the
+        # first step onward); the simulator server's READ/SNAPSHOT digests
+        # are computed over it between steps.
+        self.campaign_result: Optional[object] = None
+        self.payload: Optional[Dict[str, object]] = None
+
+    @property
+    def finished(self) -> bool:
+        return self.payload is not None
+
+    def advance(self) -> Optional[CampaignStep]:
+        """Run to the next simulator boundary; ``None`` when the shard is done."""
+        if self.payload is not None:
+            return None
+        try:
+            step = next(self._steps)
+        except StopIteration as stop:
+            self.result = stop.value
+            self.campaign_result = stop.value
+            self.payload = self._build_payload()
+            return None
+        self.campaign_result = step.result
+        self.steps_taken += 1
+        return step
+
+    def _build_payload(self) -> Dict[str, object]:
+        task = self.task
+        observed = sorted(
+            self.fuzzer.coverage.points - self.baseline,
+            key=lambda point: (point.module, point.tainted_count),
+        )
+        return {
+            "shard_index": task.shard_index,
+            "epoch": task.epoch,
+            "core": task.configuration.core.name,
+            "result": self.result.to_dict(),
+            "points": [point.to_dict() for point in observed],
+            "top_seeds": [
+                {"seed": seed.to_dict(), "gain": gain}
+                for seed, gain in self.fuzzer.top_seeds(task.report_top_seeds)
+            ],
+            "wall_seconds": time.perf_counter() - self.started,
+        }
 
 
 def iterate_shard_task(
@@ -72,45 +172,16 @@ def iterate_shard_task(
 ) -> Generator[CampaignStep, None, Dict[str, object]]:
     """Run one shard-epoch stepwise, yielding at every simulator boundary.
 
-    Pure function of the task payload: no module-global state is read or
-    mutated, which is what makes every backend produce identical results.
-    The generator's return value is the shard's result payload dict — the
-    engine-side wire form of :func:`run_shard_task`.
+    Thin generator view of :class:`ShardCampaignRunner`.  The generator's
+    return value is the shard's result payload dict — the engine-side wire
+    form of :func:`run_shard_task`.
     """
-    started = time.perf_counter()
-    fuzzer = DejaVuzzFuzzer(task.configuration)
-    baseline = set()
-    if task.baseline_points:
-        # Start from the merged global coverage of this shard's core so
-        # feedback only rewards globally-new points and mutation steers away
-        # from covered modules.
-        fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
-        baseline = fuzzer.coverage.points
-    initial_seed = Seed.from_dict(task.initial_seed) if task.initial_seed else None
-    steps = fuzzer.campaign_steps(task.iterations, initial_seed=initial_seed)
+    runner = ShardCampaignRunner(task)
     while True:
-        try:
-            step = next(steps)
-        except StopIteration as stop:
-            result = stop.value
-            break
+        step = runner.advance()
+        if step is None:
+            return runner.payload
         yield step
-    observed = sorted(
-        fuzzer.coverage.points - baseline,
-        key=lambda point: (point.module, point.tainted_count),
-    )
-    return {
-        "shard_index": task.shard_index,
-        "epoch": task.epoch,
-        "core": task.configuration.core.name,
-        "result": result.to_dict(),
-        "points": [point.to_dict() for point in observed],
-        "top_seeds": [
-            {"seed": seed.to_dict(), "gain": gain}
-            for seed, gain in fuzzer.top_seeds(task.report_top_seeds)
-        ],
-        "wall_seconds": time.perf_counter() - started,
-    }
 
 
 def run_shard_task(task: ShardTask) -> Dict[str, object]:
@@ -119,8 +190,15 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
     The serial driver of :func:`iterate_shard_task`: used directly by the
     inline backend and as the worker function of the process pool.  Injected
     simulator latency is paid with a blocking sleep at every step, exactly
-    like a synchronous RTL-simulator call would block the worker.
+    like a synchronous RTL-simulator call would block the worker.  With
+    ``task.simulator == "subprocess"`` the steps run against a per-shard
+    simulator server process instead, and the blocking waits are the real
+    protocol round trips.
     """
+    if task.simulator == "subprocess":
+        from repro.sim.client import run_task_on_default_pool
+
+        return run_task_on_default_pool(task)
     runner = iterate_shard_task(task)
     while True:
         try:
@@ -131,14 +209,29 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
             time.sleep(task.step_latency * step.simulations)
 
 
-async def run_shard_task_async(task: ShardTask) -> Dict[str, object]:
+async def run_shard_task_async(
+    task: ShardTask, executor=None
+) -> Dict[str, object]:
     """Asyncio driver of :func:`iterate_shard_task`.
 
     Suspends at every simulator boundary — injected latency becomes an
     ``asyncio.sleep`` during which the event loop runs other shards, and even
     a zero-latency step yields control once so no single shard starves the
-    loop.  Returns the same payload as :func:`run_shard_task`.
+    loop.  With ``task.simulator == "subprocess"`` every simulator-server
+    round trip is awaited on ``executor`` (a thread pool) instead, so the
+    *real* subprocess waits of concurrent shards overlap on one event loop.
+    Returns the same payload as :func:`run_shard_task`.
     """
+    if task.simulator == "subprocess":
+        from repro.sim.client import default_pool
+
+        loop = asyncio.get_running_loop()
+        simulator = default_pool().simulator(task.shard_index)
+        await loop.run_in_executor(executor, simulator.begin_task, task)
+        while True:
+            advanced = await loop.run_in_executor(executor, simulator.advance)
+            if advanced is None:
+                return simulator.finish_task()
     runner = iterate_shard_task(task)
     while True:
         try:
@@ -225,12 +318,24 @@ class AsyncBackend(ExecutionBackend):
 
     async def _run_epoch(self, tasks: List[ShardTask]) -> List[Dict[str, object]]:
         semaphore = asyncio.Semaphore(self.concurrency)
+        executor = None
+        if any(task.simulator == "subprocess" for task in tasks):
+            # One protocol round trip blocks one thread; size the pool to the
+            # in-flight bound so the loop's default (smaller) executor never
+            # throttles the overlap below the requested concurrency.
+            executor = ThreadPoolExecutor(
+                max_workers=self.concurrency, thread_name_prefix="sim-step"
+            )
 
         async def bounded(task: ShardTask) -> Dict[str, object]:
             async with semaphore:
-                return await run_shard_task_async(task)
+                return await run_shard_task_async(task, executor=executor)
 
-        return list(await asyncio.gather(*(bounded(task) for task in tasks)))
+        try:
+            return list(await asyncio.gather(*(bounded(task) for task in tasks)))
+        finally:
+            if executor is not None:
+                executor.shutdown()
 
 
 BACKEND_NAMES = ("inline", "process", "async", "distributed")
@@ -242,6 +347,7 @@ def create_backend(
     concurrency: Optional[int] = None,
     listen: Optional[str] = None,
     min_workers: Optional[int] = None,
+    auth_token: Optional[str] = None,
 ) -> ExecutionBackend:
     """Build a backend from its registry name.
 
@@ -249,7 +355,9 @@ def create_backend(
     ``concurrency`` bounds the async backend's in-flight shards (default 4);
     ``listen``/``min_workers`` give the distributed coordinator its
     ``host:port`` (default: any free localhost port) and how many worker
-    daemons to wait for before dispatching the first epoch (default 1).
+    daemons to wait for before dispatching the first epoch (default 1);
+    ``auth_token`` makes the coordinator reject worker daemons whose HELLO
+    does not carry the same shared secret.
     """
     if name == "inline":
         return InlineBackend()
@@ -263,6 +371,7 @@ def create_backend(
         return DistributedBackend(
             listen=listen or "127.0.0.1:0",
             min_workers=min_workers if min_workers is not None else 1,
+            auth_token=auth_token,
         )
     known = ", ".join(BACKEND_NAMES)
     raise ValueError(f"unknown execution backend {name!r} (known: {known})")

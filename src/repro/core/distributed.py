@@ -14,7 +14,9 @@ frame       direction               fields
 ==========  ======================  ==========================================
 HELLO       worker -> coordinator   ``version``, ``worker`` (host:pid),
                                     ``capacity`` (max tasks per batch),
-                                    ``backend`` (the worker's local backend)
+                                    ``backend`` (the worker's local backend),
+                                    ``auth`` (shared secret, only when the
+                                    fleet runs with ``--auth-token``)
 TASK        coordinator -> worker   ``tasks``: list of ``{task_id, task}``
                                     entries (at most ``capacity`` per frame)
 RESULT      worker -> coordinator   ``task_id``, ``payload`` (the shard's
@@ -22,8 +24,18 @@ RESULT      worker -> coordinator   ``task_id``, ``payload`` (the shard's
                                     result dict)
 HEARTBEAT   worker -> coordinator   none — liveness only, sent from a side
                                     thread even while a batch is running
-BYE         either direction        optional ``reason``; an orderly goodbye
+BYE         either direction        optional ``reason`` (human-readable) and
+                                    ``code`` (machine-readable, e.g. ``auth``
+                                    on an authentication rejection); an
+                                    orderly goodbye
 ==========  ======================  ==========================================
+
+Authentication: when the coordinator is constructed with an ``auth_token``,
+every HELLO must carry the same token in its ``auth`` field; a mismatched
+(or missing) token is rejected with a ``BYE reason="auth token mismatch"``
+and a coordinator-side warning log line, and the worker is never admitted to
+the fleet.  This is a shared-secret gate for semi-trusted networks — the
+stream itself is not encrypted (TLS remains a follow-up).
 
 Fault tolerance: a worker that closes its socket, says BYE, or misses
 heartbeats for longer than ``heartbeat_timeout`` is declared dead and its
@@ -48,6 +60,7 @@ need the same code, not the same process image.
 from __future__ import annotations
 
 import json
+import logging
 import os
 import socket
 import threading
@@ -77,6 +90,8 @@ __all__ = [
 ]
 
 PROTOCOL_VERSION = 1
+
+logger = logging.getLogger(__name__)
 
 # Liveness defaults: workers beat every HEARTBEAT_INTERVAL seconds; the
 # coordinator declares a silent worker dead after DEFAULT_HEARTBEAT_TIMEOUT.
@@ -218,6 +233,7 @@ def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
         "baseline_points": task.baseline_points,
         "report_top_seeds": task.report_top_seeds,
         "step_latency": task.step_latency,
+        "simulator": task.simulator,
     }
 
 
@@ -231,6 +247,7 @@ def shard_task_from_wire(payload: Dict[str, object]) -> ShardTask:
         baseline_points=list(payload.get("baseline_points") or []),
         report_top_seeds=int(payload.get("report_top_seeds", 4)),
         step_latency=float(payload.get("step_latency", 0.0)),
+        simulator=str(payload.get("simulator", "inproc")),
     )
 
 
@@ -297,6 +314,7 @@ class DistributedBackend(ExecutionBackend):
         min_workers: int = 1,
         heartbeat_timeout: float = DEFAULT_HEARTBEAT_TIMEOUT,
         worker_wait_timeout: float = DEFAULT_WORKER_WAIT_TIMEOUT,
+        auth_token: Optional[str] = None,
     ) -> None:
         if min_workers <= 0:
             raise ValueError(f"min_workers must be positive, got {min_workers}")
@@ -308,6 +326,8 @@ class DistributedBackend(ExecutionBackend):
         self.min_workers = min_workers
         self.heartbeat_timeout = heartbeat_timeout
         self.worker_wait_timeout = worker_wait_timeout
+        self.auth_token = auth_token
+        self.rejected_workers = 0
         self._condition = threading.Condition()
         self._workers: Dict[str, _WorkerConnection] = {}
         self._results: Dict[str, Dict[str, object]] = {}
@@ -376,6 +396,28 @@ class DistributedBackend(ExecutionBackend):
         except ValueError:
             hello = None
         if not hello or hello.get("type") != "HELLO":
+            conn.close()
+            return
+        if self.auth_token is not None and hello.get("auth") != self.auth_token:
+            logger.warning(
+                "rejected worker %s: auth token mismatch (fleet runs with "
+                "--auth-token; start workers with the same token)",
+                hello.get("worker", "?"),
+            )
+            self.rejected_workers += 1
+            try:
+                # code is the machine-readable field the worker keys its
+                # give-up-or-retry decision on; reason is for humans.
+                send_frame(
+                    conn,
+                    {
+                        "type": "BYE",
+                        "code": "auth",
+                        "reason": "auth token mismatch",
+                    },
+                )
+            except OSError:
+                pass
             conn.close()
             return
         with self._condition:

@@ -23,6 +23,12 @@ The run loop is split into two explicit layers:
   to remote worker daemons over TCP
   (``distributed`` — :mod:`repro.core.distributed`).
 
+Orthogonally to the backend, ``simulator`` picks where the simulations
+themselves execute: ``inproc`` (inside whatever process runs the task) or
+``subprocess`` — per-shard out-of-process simulator servers
+(:mod:`repro.sim`) with crash/hang recovery, which every backend composes
+with.
+
 :class:`ParallelCampaignEngine` is the thin driver wiring the two together:
 it asks the scheduler for the next epoch's tasks, hands them to the backend,
 and feeds the payloads back.  Because the scheduler never sees the transport,
@@ -87,6 +93,7 @@ from typing import Callable, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.backends import (
     BACKEND_NAMES,
+    SIMULATOR_NAMES,
     ExecutionBackend,
     ShardTask,
     create_backend,
@@ -235,7 +242,16 @@ class EngineConfiguration:
     async_concurrency: Optional[int] = None  # async backend: in-flight shards (default 4)
     # Injected wait per simulator invocation (seconds), modelling a slow
     # external (RTL) simulator; see repro.core.backends.  Zero = full speed.
+    # Applies to the in-process simulator only: with simulator="subprocess"
+    # the real server turnaround replaces the injected wait.
     step_latency: float = 0.0
+    # Where shard simulations execute: "inproc" (in the executing process) or
+    # "subprocess" (per-shard repro.sim server processes with crash recovery).
+    simulator: str = "inproc"
+    # Shared secret for the distributed backend: worker daemons must present
+    # the same token in HELLO or they are rejected.  Not part of the
+    # checkpoint fingerprint — authentication is transport, not campaign.
+    auth_token: Optional[str] = None
     # Fixed-count or stall-triggered synchronisation; accepts "fixed"/"stall"
     # shorthand or a full SyncPolicy.
     sync_policy: Union[str, SyncPolicy] = "fixed"
@@ -304,6 +320,11 @@ class EngineConfiguration:
         if self.executor not in BACKEND_NAMES:
             raise ValueError(
                 f"unknown executor {self.executor!r} (known: {', '.join(BACKEND_NAMES)})"
+            )
+        if self.simulator not in SIMULATOR_NAMES:
+            raise ValueError(
+                f"unknown simulator {self.simulator!r} "
+                f"(known: {', '.join(SIMULATOR_NAMES)})"
             )
         # Resolve eagerly so a bad core name fails at configuration time, not
         # in the middle of a campaign.
@@ -389,6 +410,11 @@ class EngineResult:
     # repro.analysis.worker_utilization_table.  Timing-adjacent diagnostics —
     # never part of the deterministic wire forms, never checkpointed.
     worker_log: List[Dict[str, object]] = field(default_factory=list)
+    # Subprocess simulator only: one row per shard-epoch ({shard_index,
+    # epoch, spawns, restarts, steps, step_seconds_total, mean_step_seconds});
+    # feed it to repro.analysis.simulator_process_table.  Like worker_log,
+    # timing-adjacent diagnostics outside the deterministic wire forms.
+    sim_log: List[Dict[str, object]] = field(default_factory=list)
     # False when run(max_epochs=...) halted mid-campaign; the checkpoint holds
     # the state needed to resume.
     complete: bool = True
@@ -440,6 +466,11 @@ class EngineResult:
                 "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             }
         )
+        if self.sim_log:
+            summary["simulator_processes"] = {
+                "spawns": sum(int(row.get("spawns", 0)) for row in self.sim_log),
+                "restarts": sum(int(row.get("restarts", 0)) for row in self.sim_log),
+            }
         return summary
 
 
@@ -849,6 +880,7 @@ class CampaignScheduler:
             baseline_points=self._baseline_points.get(prototype.core.name, []),
             report_top_seeds=self.configuration.report_top_seeds,
             step_latency=self.configuration.step_latency,
+            simulator=self.configuration.simulator,
         )
 
     def _merge_epoch(
@@ -908,6 +940,11 @@ class CampaignScheduler:
             if pending is not None:
                 pending["new_global_points"] = newly_added
                 pending["reports"] = len(shard_result.reports)
+            sim_stats = payload.get("sim_stats")
+            if sim_stats:
+                # Subprocess-simulator accounting rides along in the payload;
+                # diagnostics only, so it never feeds the deterministic state.
+                result.sim_log.append(dict(sim_stats))
             result.shard_summaries.append(
                 {
                     "shard": shard_index,
@@ -1147,6 +1184,7 @@ class ParallelCampaignEngine:
             concurrency=configuration.async_concurrency,
             listen=configuration.listen,
             min_workers=configuration.max_workers,
+            auth_token=configuration.auth_token,
         )
 
 
@@ -1160,9 +1198,11 @@ def run_parallel_campaign(
     cores: Optional[Sequence[object]] = None,
     async_concurrency: Optional[int] = None,
     step_latency: float = 0.0,
+    simulator: str = "inproc",
     sync_policy: Union[str, SyncPolicy] = "fixed",
     checkpoint_path: Optional[str] = None,
     listen: Optional[str] = None,
+    auth_token: Optional[str] = None,
     backend: Optional[ExecutionBackend] = None,
     **fuzzer_overrides,
 ) -> EngineResult:
@@ -1197,9 +1237,11 @@ def run_parallel_campaign(
         cores=cores,
         async_concurrency=async_concurrency,
         step_latency=step_latency,
+        simulator=simulator,
         sync_policy=sync_policy,
         checkpoint_path=checkpoint_path,
         listen=listen,
+        auth_token=auth_token,
     )
     return ParallelCampaignEngine(configuration).run(backend=backend)
 
@@ -1291,7 +1333,22 @@ def build_parser() -> argparse.ArgumentParser:
         default=0.0,
         metavar="SECONDS",
         help="injected wait per simulator invocation, modelling a slow "
-        "external RTL simulator (default: 0)",
+        "external RTL simulator (default: 0; inproc simulator only)",
+    )
+    parser.add_argument(
+        "--simulator",
+        choices=sorted(SIMULATOR_NAMES),
+        default="inproc",
+        help="where shard simulations execute: inside the executing process "
+        "(inproc) or on per-shard repro.sim server subprocesses with "
+        "crash recovery (subprocess); default: inproc",
+    )
+    parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="SECRET",
+        help="distributed backend: shared secret worker daemons must present "
+        "in HELLO (workers with a wrong or missing token are rejected)",
     )
     parser.add_argument(
         "--sync-policy",
@@ -1398,6 +1455,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             executor=backend,
             async_concurrency=args.concurrency,
             step_latency=args.step_latency,
+            simulator=args.simulator,
+            auth_token=args.auth_token,
             sync_policy=SyncPolicy(
                 kind=args.sync_policy,
                 epoch_iterations=args.epoch_iterations,
@@ -1482,6 +1541,17 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"epochs={row['epochs']:2d} "
                 f"shard-seconds={row['shard_seconds']:.2f} "
                 f"reassigned-in={row['reassigned_tasks']}"
+            )
+    if result.sim_log:
+        from repro.analysis import simulator_process_table
+
+        print("\nper-shard simulator processes:")
+        for row in simulator_process_table(result.sim_log):
+            print(
+                f"  shard {row['shard']} tasks={row['tasks']:3d} "
+                f"spawns={row['spawns']:2d} restarts={row['restarts']:2d} "
+                f"steps={row['steps']:4d} "
+                f"mean-step={row['mean_step_seconds']*1000:.1f}ms"
             )
 
     if args.json:

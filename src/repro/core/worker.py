@@ -1,13 +1,13 @@
 """The distributed campaign worker daemon.
 
 One worker daemon connects to a :class:`~repro.core.distributed.DistributedBackend`
-coordinator, announces itself (HELLO: capacity + local backend), and then
-runs whatever TASK batches arrive through any *local* execution backend —
-serial ``inline`` (the default), a ``process`` pool sized to ``--capacity``,
-or the ``async`` interleaver for latency-bound simulators.  RESULT frames
-carry each finished task's payload back; a HEARTBEAT side thread keeps
-beating even while a batch is running, so the coordinator can tell "busy"
-from "gone".
+coordinator, announces itself (HELLO: capacity + local backend + auth token
+when the fleet uses one), and then runs whatever TASK batches arrive through
+any *local* execution backend — serial ``inline`` (the default), a
+``process`` pool sized to ``--capacity``, or the ``async`` interleaver for
+latency-bound simulators.  RESULT frames carry each finished task's payload
+back; a HEARTBEAT side thread keeps beating even while a batch is running,
+so the coordinator can tell "busy" from "gone".
 
 The daemon is stateless between batches: every task payload is
 self-contained (full fuzzer configuration, baseline coverage, initial
@@ -18,9 +18,16 @@ Run it::
 
     python -m repro.core.worker --connect HOST:PORT [--capacity N]
                                 [--backend inline|process|async]
+                                [--auth-token SECRET]
 
-``--retry`` keeps re-trying the initial connection (default 10s), so
-workers may be started before the coordinator listens.
+``--retry`` is the daemon's outage budget (default 10s): it bounds how long
+the *initial* connection is retried, and how long the daemon keeps
+reconnecting after a lost connection or a local backend failure.  A backend
+exception mid-batch does not kill the daemon — the connection is dropped (so
+the coordinator immediately reassigns the batch), a fresh backend is built,
+and the daemon re-joins the fleet; because tasks are pure functions of their
+payloads the campaign's results are unaffected.  An authentication rejection
+is terminal: retrying cannot fix a wrong ``--auth-token``.
 """
 
 from __future__ import annotations
@@ -30,9 +37,9 @@ import os
 import socket
 import threading
 import time
-from typing import List, Optional
+from typing import Callable, List, Optional
 
-from repro.core.backends import BACKEND_NAMES, create_backend
+from repro.core.backends import BACKEND_NAMES, ExecutionBackend, create_backend
 from repro.core.distributed import (
     HEARTBEAT_INTERVAL,
     PROTOCOL_VERSION,
@@ -65,36 +72,23 @@ def _connect_with_retry(
             time.sleep(0.2)
 
 
-def run_worker(
-    connect: str,
-    capacity: int = 1,
-    backend: str = "inline",
-    heartbeat_interval: float = HEARTBEAT_INTERVAL,
-    retry_seconds: float = 10.0,
-    quiet: bool = False,
-) -> int:
-    """Serve one coordinator connection until BYE/EOF; returns an exit code.
+def _serve_connection(
+    sock: socket.socket,
+    local: ExecutionBackend,
+    capacity: int,
+    backend_name: str,
+    heartbeat_interval: float,
+    auth_token: Optional[str],
+    log,
+) -> str:
+    """Serve one coordinator connection; returns why it ended.
 
-    ``capacity`` is the largest TASK batch the coordinator may send at once;
-    the batch runs on the local ``backend`` (pool/loop sized to the same
-    capacity).  The function blocks for the daemon's whole life — callers
-    that want a worker *and* a coordinator in one process run it on a
-    thread, exactly like the tests do.
+    ``"bye"`` — orderly goodbye; ``"rejected"`` — the coordinator refused our
+    auth token; ``"hangup"`` — EOF without a BYE (coordinator gone);
+    ``"io-error"`` — the socket broke mid-batch; ``"backend-error"`` — the
+    local backend raised while running a batch (the connection is dropped so
+    the coordinator reassigns the batch immediately).
     """
-    if capacity <= 0:
-        raise ValueError(f"capacity must be positive, got {capacity}")
-    if backend not in LOCAL_BACKEND_NAMES:
-        raise ValueError(
-            f"unknown worker backend {backend!r} "
-            f"(known: {', '.join(LOCAL_BACKEND_NAMES)})"
-        )
-    log = (lambda message: None) if quiet else (
-        lambda message: print(f"[worker {os.getpid()}] {message}", flush=True)
-    )
-    host, port = parse_address(connect)
-    sock = _connect_with_retry(host, port, retry_seconds, log)
-    if sock is None:
-        return 1
     write_lock = threading.Lock()
     stop_beating = threading.Event()
 
@@ -105,32 +99,33 @@ def run_worker(
             except OSError:
                 return
 
-    local = create_backend(backend, max_workers=capacity, concurrency=capacity)
     reader = sock.makefile("rb")
     try:
-        send_frame(
-            sock,
-            {
-                "type": "HELLO",
-                "version": PROTOCOL_VERSION,
-                "worker": f"{socket.gethostname()}:{os.getpid()}",
-                "pid": os.getpid(),
-                "capacity": capacity,
-                "backend": backend,
-            },
-            write_lock,
-        )
+        hello = {
+            "type": "HELLO",
+            "version": PROTOCOL_VERSION,
+            "worker": f"{socket.gethostname()}:{os.getpid()}",
+            "pid": os.getpid(),
+            "capacity": capacity,
+            "backend": backend_name,
+        }
+        if auth_token is not None:
+            hello["auth"] = auth_token
+        send_frame(sock, hello, write_lock)
         threading.Thread(target=beat, name="worker-heartbeat", daemon=True).start()
-        log(f"connected to {host}:{port} (capacity {capacity}, {backend} backend)")
+        log(f"connected (capacity {capacity}, {backend_name} backend)")
         while True:
             frame = recv_frame(reader)
             if frame is None:
                 log("coordinator hung up")
-                return 0
+                return "hangup"
             kind = frame.get("type")
             if kind == "BYE":
-                log(f"coordinator said goodbye ({frame.get('reason', 'no reason')})")
-                return 0
+                reason = frame.get("reason", "no reason")
+                log(f"coordinator said goodbye ({reason})")
+                if frame.get("code") == "auth":
+                    return "rejected"
+                return "bye"
             if kind != "TASK":
                 continue
             entries: List[dict] = frame["tasks"]
@@ -141,7 +136,11 @@ def run_worker(
                     f"epoch {task.epoch} shard {task.shard_index}" for task in tasks
                 )
             )
-            payloads = local.run_epoch(tasks)
+            try:
+                payloads = local.run_epoch(tasks)
+            except Exception as error:  # noqa: BLE001 — any backend failure
+                log(f"local backend failed mid-batch: {error!r}")
+                return "backend-error"
             for entry, payload in zip(entries, payloads):
                 send_frame(
                     sock,
@@ -154,14 +153,77 @@ def run_worker(
                 )
     except OSError as error:
         log(f"connection lost: {error}")
-        return 1
+        return "io-error"
     finally:
         stop_beating.set()
-        local.close()
         try:
             sock.close()
         except OSError:
             pass
+
+
+def run_worker(
+    connect: str,
+    capacity: int = 1,
+    backend: str = "inline",
+    heartbeat_interval: float = HEARTBEAT_INTERVAL,
+    retry_seconds: float = 10.0,
+    quiet: bool = False,
+    auth_token: Optional[str] = None,
+    backend_factory: Optional[Callable[[], ExecutionBackend]] = None,
+) -> int:
+    """Serve a coordinator until an orderly end; returns an exit code.
+
+    ``capacity`` is the largest TASK batch the coordinator may send at once;
+    batches run on the local ``backend`` (pool/loop sized to the same
+    capacity).  ``backend_factory`` substitutes a caller-built backend per
+    connection — the crash-injection tests use it to hand the worker a
+    backend that fails mid-batch.  The function blocks for the daemon's
+    whole life — callers that want a worker *and* a coordinator in one
+    process run it on a thread, exactly like the tests do.
+
+    The daemon survives outages: after a lost connection or a local backend
+    failure it rebuilds its backend and reconnects, retrying each outage for
+    up to ``retry_seconds`` before giving up.
+    """
+    if capacity <= 0:
+        raise ValueError(f"capacity must be positive, got {capacity}")
+    if backend_factory is None and backend not in LOCAL_BACKEND_NAMES:
+        raise ValueError(
+            f"unknown worker backend {backend!r} "
+            f"(known: {', '.join(LOCAL_BACKEND_NAMES)})"
+        )
+    log = (lambda message: None) if quiet else (
+        lambda message: print(f"[worker {os.getpid()}] {message}", flush=True)
+    )
+    host, port = parse_address(connect)
+    while True:
+        sock = _connect_with_retry(host, port, retry_seconds, log)
+        if sock is None:
+            return 1
+        if backend_factory is not None:
+            local = backend_factory()
+        else:
+            local = create_backend(backend, max_workers=capacity, concurrency=capacity)
+        try:
+            outcome = _serve_connection(
+                sock,
+                local,
+                capacity=capacity,
+                backend_name=backend,
+                heartbeat_interval=heartbeat_interval,
+                auth_token=auth_token,
+                log=log,
+            )
+        finally:
+            local.close()
+        if outcome in ("bye", "hangup"):
+            return 0
+        if outcome == "rejected":
+            return 1
+        # io-error / backend-error: drop back into the reconnect loop so the
+        # coordinator reassigns the batch and this daemon re-joins the fleet.
+        log(f"reconnecting after {outcome} (retry budget {retry_seconds:.0f}s)")
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -188,6 +250,13 @@ def build_parser() -> argparse.ArgumentParser:
         help="local execution backend the batches run on (default: inline)",
     )
     parser.add_argument(
+        "--auth-token",
+        default=None,
+        metavar="SECRET",
+        help="shared secret carried in HELLO; must match the coordinator's "
+        "--auth-token (workers with a wrong or missing token are rejected)",
+    )
+    parser.add_argument(
         "--heartbeat",
         type=float,
         default=HEARTBEAT_INTERVAL,
@@ -199,7 +268,9 @@ def build_parser() -> argparse.ArgumentParser:
         type=float,
         default=10.0,
         metavar="SECONDS",
-        help="keep retrying the initial connection this long (default: 10)",
+        help="per-outage budget for (re)connecting to the coordinator: "
+        "initial connection, lost connections, and local backend failures "
+        "all retry this long (default: 10)",
     )
     parser.add_argument(
         "--quiet", action="store_true", help="suppress per-batch logging"
@@ -217,6 +288,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             heartbeat_interval=args.heartbeat,
             retry_seconds=args.retry,
             quiet=args.quiet,
+            auth_token=args.auth_token,
         )
     except ValueError as error:
         print(f"error: {error}")

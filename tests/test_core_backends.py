@@ -207,3 +207,66 @@ class TestEngineBackendEquivalence:
         assert slow.campaign.to_dict(include_timing=False) == fast.campaign.to_dict(
             include_timing=False
         )
+
+
+class TestShardCampaignRunner:
+    """The inspectable stepwise executor the simulator server hosts."""
+
+    def test_runner_matches_the_generator_driver(self):
+        from repro.core.backends import ShardCampaignRunner
+
+        generator = iterate_shard_task(make_task())
+        steps = []
+        while True:
+            try:
+                steps.append(next(generator))
+            except StopIteration as stop:
+                generator_payload = stop.value
+                break
+
+        runner = ShardCampaignRunner(make_task())
+        runner_steps = []
+        while True:
+            step = runner.advance()
+            if step is None:
+                break
+            runner_steps.append(step)
+        assert runner.finished
+        assert len(runner_steps) == len(steps)
+        for ours, theirs in zip(runner_steps, steps):
+            assert (ours.iteration, ours.phase, ours.simulations) == (
+                theirs.iteration, theirs.phase, theirs.simulations
+            )
+        for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+            assert runner.payload[key] == generator_payload[key]
+        assert runner.payload["result"]["coverage_history"] == (
+            generator_payload["result"]["coverage_history"]
+        )
+
+    def test_runner_exposes_live_campaign_state(self):
+        from repro.core.backends import ShardCampaignRunner
+
+        runner = ShardCampaignRunner(make_task())
+        assert runner.campaign_result is None
+        first = runner.advance()
+        assert first is not None
+        # The captured reference is the live accumulating CampaignResult.
+        assert runner.campaign_result is first.result
+        assert runner.steps_taken == 1
+        assert not runner.finished
+        while runner.advance() is not None:
+            pass
+        assert runner.campaign_result is runner.result
+        assert runner.payload is not None
+        # advance() after completion stays a no-op.
+        assert runner.advance() is None
+
+    def test_simulator_field_survives_the_distributed_wire(self):
+        from repro.core.distributed import shard_task_from_wire, shard_task_to_wire
+
+        task = make_task(simulator="subprocess")
+        assert shard_task_from_wire(shard_task_to_wire(task)) == task
+        # Pre-upgrade frames without the field default to inproc.
+        wire = shard_task_to_wire(make_task())
+        del wire["simulator"]
+        assert shard_task_from_wire(wire).simulator == "inproc"

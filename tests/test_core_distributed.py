@@ -361,3 +361,124 @@ class TestFaultTolerance:
             run_worker("127.0.0.1:1", backend="distributed")
         # An unreachable coordinator is an orderly exit code, not a hang.
         assert run_worker("127.0.0.1:9", retry_seconds=0.0, quiet=True) == 1
+
+
+class TestAuthToken:
+    """The shared-secret gate on the worker protocol (HELLO ``auth`` field)."""
+
+    def run_worker_for_code(self, backend, **kwargs):
+        holder = {}
+
+        def run():
+            holder["code"] = run_worker(
+                connect=f"{backend.address[0]}:{backend.address[1]}",
+                quiet=True,
+                retry_seconds=0.0,
+                **kwargs,
+            )
+
+        thread = threading.Thread(target=run, daemon=True)
+        thread.start()
+        thread.join(timeout=30)
+        assert not thread.is_alive()
+        return holder["code"]
+
+    def test_mismatched_token_is_rejected_with_a_log_line(self, caplog):
+        import logging
+
+        backend = DistributedBackend(listen="127.0.0.1:0", auth_token="sesame")
+        try:
+            with caplog.at_level(logging.WARNING, logger="repro.core.distributed"):
+                code = self.run_worker_for_code(backend, auth_token="wrong")
+            assert code == 1  # an auth rejection is terminal, not retried
+            assert backend.rejected_workers == 1
+            assert backend.workers() == []  # never admitted to the fleet
+            assert any(
+                "auth token mismatch" in record.getMessage()
+                for record in caplog.records
+            )
+        finally:
+            backend.close()
+
+    def test_missing_token_is_rejected(self):
+        backend = DistributedBackend(listen="127.0.0.1:0", auth_token="sesame")
+        try:
+            assert self.run_worker_for_code(backend) == 1
+            assert backend.rejected_workers == 1
+            assert backend.workers() == []
+        finally:
+            backend.close()
+
+    def test_open_coordinator_ignores_presented_tokens(self):
+        # Only a coordinator that *has* a token enforces one.
+        backend = DistributedBackend(listen="127.0.0.1:0")
+        try:
+            start_worker_thread(backend.address, auth_token="anything")
+            deadline = time.monotonic() + 30
+            while time.monotonic() < deadline and not backend.workers():
+                time.sleep(0.02)
+            assert len(backend.workers()) == 1
+        finally:
+            backend.close()
+
+    def test_matching_token_campaign_is_identical_to_inline(self):
+        inline = run_parallel_campaign(
+            BOOM, shards=2, iterations=6, sync_epochs=1, entropy=13,
+            executor="inline",
+        )
+        backend = DistributedBackend(listen="127.0.0.1:0", auth_token="sesame")
+        try:
+            start_worker_thread(backend.address, auth_token="sesame")
+            authenticated = run_parallel_campaign(
+                BOOM, shards=2, iterations=6, sync_epochs=1, entropy=13,
+                executor="inline", backend=backend,
+            )
+        finally:
+            backend.close()
+        assert deterministic_wire(authenticated) == deterministic_wire(inline)
+
+
+class TestWorkerCrashRecovery:
+    """A local backend failure mid-batch must not kill the daemon: the worker
+    drops the connection (so the coordinator reassigns the batch), rebuilds
+    its backend, reconnects within ``--retry``, and the campaign stays
+    byte-identical to inline."""
+
+    def test_backend_raising_mid_batch_reconnects_and_stays_identical(self):
+        from repro.core.backends import ExecutionBackend
+
+        inline = run_parallel_campaign(
+            BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9,
+            executor="inline",
+        )
+        fault = {"armed": True}
+
+        class FlakyOnceBackend(ExecutionBackend):
+            name = "flaky-once"
+
+            def run_epoch(self, tasks):
+                if fault["armed"]:
+                    fault["armed"] = False
+                    raise RuntimeError("injected mid-batch backend failure")
+                return [run_shard_task(task) for task in tasks]
+
+        backend = DistributedBackend(listen="127.0.0.1:0", min_workers=1)
+        try:
+            start_worker_thread(
+                backend.address,
+                retry_seconds=60.0,
+                backend_factory=FlakyOnceBackend,
+            )
+            campaign = run_parallel_campaign(
+                BOOM, shards=2, iterations=8, sync_epochs=2, entropy=9,
+                executor="inline", backend=backend,
+            )
+            # The failed batch was requeued and the daemon re-joined as a
+            # fresh fleet member.
+            assert not fault["armed"]
+            assert backend.reassigned_tasks >= 1
+            assert len(backend.workers()) == 2  # the dead incarnation + the reconnect
+        finally:
+            backend.close()
+        assert deterministic_wire(campaign) == deterministic_wire(inline)
+        assert campaign.worker_log  # the reconnected daemon delivered the work

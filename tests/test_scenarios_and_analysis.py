@@ -180,6 +180,29 @@ class TestAnalysisHelpers:
         }
         assert worker_utilization_table([]) == []
 
+    def test_simulator_process_table_aggregates_per_shard(self):
+        from repro.analysis import simulator_process_table
+
+        log = [
+            {"shard_index": 1, "epoch": 0, "spawns": 1, "restarts": 0,
+             "steps": 10, "step_seconds_total": 0.5, "mean_step_seconds": 0.05},
+            {"shard_index": 0, "epoch": 0, "spawns": 1, "restarts": 0,
+             "steps": 8, "step_seconds_total": 0.4, "mean_step_seconds": 0.05},
+            {"shard_index": 0, "epoch": 1, "spawns": 1, "restarts": 1,
+             "steps": 12, "step_seconds_total": 0.2, "mean_step_seconds": 0.0167},
+        ]
+        rows = simulator_process_table(log)
+        assert [row["shard"] for row in rows] == [0, 1]
+        shard0 = rows[0]
+        assert shard0["tasks"] == 2
+        assert shard0["spawns"] == 2
+        assert shard0["restarts"] == 1  # the epoch-1 crash recovery
+        assert shard0["steps"] == 20
+        assert shard0["step_seconds_total"] == pytest.approx(0.6)
+        assert shard0["mean_step_seconds"] == pytest.approx(0.03)
+        assert rows[1]["tasks"] == 1 and rows[1]["restarts"] == 0
+        assert simulator_process_table([]) == []
+
     def test_cross_core_transfer_table_aggregates_edges(self):
         transfers = [
             {"donor_core": "small-boom", "target_core": "xiangshan-minimal",

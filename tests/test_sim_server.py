@@ -1,0 +1,250 @@
+"""Tests for the simulator-server protocol: the six verbs over a real
+``python -m repro.sim.server`` subprocess, the documented edge cases
+(malformed frame, READ before LOAD, double QUIT), and snapshot/restore
+round-trip byte-identity."""
+
+import json
+import subprocess
+import time
+
+import pytest
+
+from repro.core import FuzzerConfiguration, ShardTask
+from repro.core.backends import run_shard_task
+from repro.core.distributed import shard_task_to_wire
+from repro.sim.client import (
+    SimProtocolError,
+    SimServerProcess,
+    default_server_command,
+    server_environment,
+)
+from repro.uarch import small_boom_config
+
+BOOM = small_boom_config()
+
+
+def make_task(**overrides):
+    defaults = dict(
+        shard_index=0,
+        epoch=0,
+        iterations=3,
+        configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
+    )
+    defaults.update(overrides)
+    return ShardTask(**defaults)
+
+
+@pytest.fixture(scope="module")
+def server():
+    """One long-lived server process shared by the happy-path tests (each
+    test LOADs its own workload, which resets the session)."""
+    process = SimServerProcess(request_timeout=60.0)
+    yield process
+    process.quit()
+
+
+class TestVerbs:
+    def test_load_step_to_completion_matches_inproc(self, server):
+        task = make_task()
+        response = server.request({"type": "LOAD", "task": shard_task_to_wire(task)})
+        assert response["type"] == "LOADED"
+        assert response["steps"] == 0
+        assert isinstance(response["digest"], str)
+
+        steps = 0
+        while True:
+            response = server.request({"type": "STEP"})
+            assert response["type"] == "STEP"
+            if response["done"]:
+                payload = response["payload"]
+                break
+            steps += 1
+            assert response["steps"] == steps
+            assert response["step"]["phase"] in ("window", "explore")
+            assert response["step"]["simulations"] >= 0
+
+        reference = run_shard_task(make_task())
+        assert payload["points"] == reference["points"]
+        assert payload["top_seeds"] == reference["top_seeds"]
+        assert (
+            payload["result"]["coverage_history"]
+            == reference["result"]["coverage_history"]
+        )
+        assert steps > 0
+
+    def test_read_reports_live_coverage(self, server):
+        task = make_task()
+        server.request({"type": "LOAD", "task": shard_task_to_wire(task)})
+        server.request({"type": "STEP"})
+        state = server.request({"type": "READ"})
+        assert state["type"] == "STATE"
+        assert state["loaded"] and not state["finished"]
+        assert state["steps"] == 1
+        assert state["coverage"]["total"] == sum(
+            state["coverage"]["per_module"].values()
+        )
+        assert list(state["coverage"]["per_module"]) == sorted(
+            state["coverage"]["per_module"]
+        )
+        assert isinstance(state["digest"], str)
+
+    def test_load_replaces_the_previous_workload(self, server):
+        server.request({"type": "LOAD", "task": shard_task_to_wire(make_task())})
+        server.request({"type": "STEP"})
+        response = server.request(
+            {"type": "LOAD", "task": shard_task_to_wire(make_task(epoch=1))}
+        )
+        assert response["steps"] == 0
+        state = server.request({"type": "READ"})
+        assert state["steps"] == 0
+
+    def test_digest_is_deterministic_across_processes(self):
+        task_wire = shard_task_to_wire(make_task())
+
+        def digest_after(steps):
+            process = SimServerProcess(request_timeout=60.0)
+            try:
+                process.request({"type": "LOAD", "task": task_wire})
+                for _ in range(steps):
+                    process.request({"type": "STEP"})
+                return process.request({"type": "SNAPSHOT"})["digest"]
+            finally:
+                process.quit()
+
+        assert digest_after(2) == digest_after(2)
+        assert digest_after(2) != digest_after(1)
+
+
+class TestEdgeCases:
+    def test_malformed_frame_survives(self, server):
+        # A raw non-JSON line must produce an ERROR frame, not kill the
+        # session: the next request is answered normally.
+        server._process.stdin.write(b"this is not json\n")
+        server._process.stdin.flush()
+        line = server._read_line(time.monotonic() + 30)
+        response = json.loads(line)
+        assert response["type"] == "ERROR"
+        assert "malformed" in response["error"]
+
+        with pytest.raises(SimProtocolError, match="malformed"):
+            server.request({"no_type": True})
+
+        follow_up = server.request(
+            {"type": "LOAD", "task": shard_task_to_wire(make_task())}
+        )
+        assert follow_up["type"] == "LOADED"
+
+    def test_read_before_load(self):
+        process = SimServerProcess(request_timeout=60.0)
+        try:
+            for verb in ("READ", "STEP", "SNAPSHOT"):
+                with pytest.raises(SimProtocolError, match="before LOAD"):
+                    process.request({"type": verb})
+            # The session survives the errors.
+            assert process.request(
+                {"type": "LOAD", "task": shard_task_to_wire(make_task())}
+            )["type"] == "LOADED"
+        finally:
+            process.quit()
+
+    def test_unknown_verb(self, server):
+        with pytest.raises(SimProtocolError, match="unknown request type"):
+            server.request({"type": "FLY"})
+
+    def test_step_after_finish(self, server):
+        server.request({"type": "LOAD", "task": shard_task_to_wire(make_task())})
+        while not server.request({"type": "STEP"})["done"]:
+            pass
+        with pytest.raises(SimProtocolError, match="already finished"):
+            server.request({"type": "STEP"})
+
+    def test_double_quit_exits_cleanly(self):
+        # Two QUITs on one session: the server answers the first with BYE and
+        # exits; the second frame is never read.  Exit code must be 0 and the
+        # stream must contain exactly one BYE.
+        process = subprocess.Popen(
+            default_server_command(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=server_environment(),
+            text=True,
+        )
+        out, _ = process.communicate(
+            input='{"type":"QUIT"}\n{"type":"QUIT"}\n', timeout=60
+        )
+        assert process.returncode == 0
+        frames = [json.loads(line) for line in out.splitlines() if line.strip()]
+        assert frames == [{"type": "BYE"}]
+
+    def test_eof_exits_cleanly(self):
+        process = subprocess.Popen(
+            default_server_command(),
+            stdin=subprocess.PIPE,
+            stdout=subprocess.PIPE,
+            env=server_environment(),
+            text=True,
+        )
+        out, _ = process.communicate(input="", timeout=60)
+        assert process.returncode == 0
+        assert out == ""
+
+    def test_restore_bad_steps(self, server):
+        wire = shard_task_to_wire(make_task())
+        with pytest.raises(SimProtocolError, match="non-negative integer"):
+            server.request({"type": "RESTORE", "task": wire, "steps": -1})
+        # Fast-forwarding past the end of the workload is refused loudly.
+        with pytest.raises(SimProtocolError, match="cannot fast-forward"):
+            server.request({"type": "RESTORE", "task": wire, "steps": 10_000})
+
+
+class TestSnapshotRestore:
+    def test_round_trip_byte_identity(self):
+        """A session RESTOREd at a snapshot is byte-identical to the original:
+        same digest at the snapshot, same digests for every later step, and
+        the same final payload."""
+        task_wire = shard_task_to_wire(make_task(iterations=4))
+        original = SimServerProcess(request_timeout=60.0)
+        restored = SimServerProcess(request_timeout=60.0)
+        try:
+            original.request({"type": "LOAD", "task": task_wire})
+            for _ in range(3):
+                original.request({"type": "STEP"})
+            snapshot = original.request({"type": "SNAPSHOT"})
+            assert snapshot["steps"] == 3
+
+            response = restored.request(
+                {"type": "RESTORE", "task": task_wire, "steps": snapshot["steps"]}
+            )
+            assert response["type"] == "RESTORED"
+            assert response["steps"] == snapshot["steps"]
+            assert response["digest"] == snapshot["digest"]
+
+            # Both sessions now walk the remainder in lockstep.
+            while True:
+                step_a = original.request({"type": "STEP"})
+                step_b = restored.request({"type": "STEP"})
+                assert step_a == step_b or (
+                    # wall_seconds inside the final payload is timing
+                    step_a["done"]
+                    and step_b["done"]
+                )
+                if step_a["done"]:
+                    payload_a = dict(step_a["payload"])
+                    payload_b = dict(step_b["payload"])
+                    payload_a.pop("wall_seconds")
+                    payload_b.pop("wall_seconds")
+                    # Timing lives inside the result dict too; compare the
+                    # deterministic projection.
+                    result_a = payload_a.pop("result")
+                    result_b = payload_b.pop("result")
+                    for entry in (result_a, result_b):
+                        entry["elapsed_seconds"] = 0.0
+                        entry["first_bug_seconds"] = None
+                        for report in entry["reports"]:
+                            report["wall_clock_seconds"] = 0.0
+                    assert payload_a == payload_b
+                    assert result_a == result_b
+                    break
+        finally:
+            original.quit()
+            restored.quit()
