@@ -69,14 +69,14 @@ def test_cross_core_transfer(benchmark):
     assert set(first.core_coverage) == {"small-boom", "xiangshan-minimal"}
     for core_name, matrix in first.core_coverage.items():
         own_shards = [
-            index for index, name in first.shard_cores.items() if name == core_name
+            index for index, name in first.slice_cores.items() if name == core_name
         ]
         own_points = set()
         for index in own_shards:
-            assert first.shard_points[index] <= matrix.points, (
+            assert first.slice_points[index] <= matrix.points, (
                 f"shard {index} lost points in the {core_name} merge"
             )
-            own_points |= first.shard_points[index]
+            own_points |= first.slice_points[index]
         assert matrix.points == own_points, (
             f"{core_name} matrix contains points from another core"
         )
@@ -150,9 +150,9 @@ def test_three_core_campaign_smoke():
     # exactly its own shards' points.
     for core_name, matrix in first.core_coverage.items():
         own_points = set()
-        for index, name in first.shard_cores.items():
+        for index, name in first.slice_cores.items():
             if name == core_name:
-                own_points |= first.shard_points[index]
+                own_points |= first.slice_points[index]
         assert matrix.points == own_points
     assert json.dumps(
         first.campaign.to_dict(include_timing=False), sort_keys=True

@@ -85,8 +85,8 @@ def test_parallel_scaling(benchmark):
     # Coverage parity: the merged matrix contains every shard's points and is
     # in the same ballpark as the serial loop (different rng streams explore
     # different corners, so exact equality is not expected).
-    for shard_index, points in sharded.shard_points.items():
-        assert points <= sharded.coverage.points, f"shard {shard_index} lost points in merge"
+    for slice_index, points in sharded.slice_points.items():
+        assert points <= sharded.coverage.points, f"slice {slice_index} lost points in merge"
     assert len(sharded.coverage) >= 0.5 * serial.final_coverage()
 
     if cpus >= SHARDS and not os.environ.get("CI"):

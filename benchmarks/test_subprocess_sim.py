@@ -24,7 +24,7 @@ Asserts
   in-process reference: where the simulator executes is a transport detail
   and must never leak into results,
 * **crash-free accounting** — the campaign's ``sim_log`` reports one row per
-  shard-epoch with zero restarts,
+  executed slice-epoch task with zero restarts,
 * **interleaving speedup** — on hosts with at least 4 CPUs (and outside CI),
   the async backend finishes the subprocess-simulated campaign at least 2x
   faster than serial inline: genuine subprocess compute overlaps across
@@ -113,9 +113,10 @@ def test_subprocess_sim(benchmark):
     # Simulator identity: out-of-process execution never leaks into results.
     assert all(identical.values()), f"subprocess runs diverged: {identical}"
     assert serial.coverage.points == reference.coverage.points
-    # Crash-free accounting: one row per shard-epoch, no recoveries needed.
-    assert len(serial.sim_log) == SHARDS * SYNC_EPOCHS
-    assert len(interleaved.sim_log) == SHARDS * SYNC_EPOCHS
+    # Crash-free accounting: one row per executed slice-epoch task, no
+    # recoveries needed.
+    assert len(serial.sim_log) == len(serial.slice_summaries)
+    assert len(interleaved.sim_log) == len(interleaved.slice_summaries)
     assert serial_restarts == 0 and async_restarts == 0
     assert len(warm_servers) == SHARDS
 

@@ -66,7 +66,7 @@ def main() -> int:
         outcome = (f"+{row['new_global_points']} points, {row['reports']} reports"
                    if row["new_global_points"] is not None else "not run")
         print(f"  seed {row['donor_seed_id']} [{row['donor_core']}] -> "
-              f"shard {row['target_shard']} [{row['target_core']}] "
+              f"slice {row['target_slice']} [{row['target_core']}] "
               f"epoch {row['epoch']}: {outcome}")
     return 0
 

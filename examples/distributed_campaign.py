@@ -118,7 +118,7 @@ def main() -> int:
     for row in worker_utilization_table(distributed.worker_log):
         print(
             f"  {row['worker']} ({row['name']}): {row['tasks']} tasks over "
-            f"{row['epochs']} epoch(s), {row['shard_seconds']:.2f} shard-seconds, "
+            f"{row['epochs']} epoch(s), {row['task_seconds']:.2f} task-seconds, "
             f"{row['reassigned_tasks']} inherited from lost workers"
         )
 

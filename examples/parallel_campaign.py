@@ -51,16 +51,16 @@ def main() -> int:
           f"redistributed={sharded.redistributed_seeds} in {sharded_seconds:.2f}s")
 
     print("\nper shard-epoch:")
-    for row in sharded.shard_summaries:
-        print(f"  shard {row['shard']} epoch {row['epoch']}: {row['iterations']} iters, "
+    for row in sharded.slice_summaries:
+        print(f"  slice {row['slice']} epoch {row['epoch']}: {row['iterations']} iters, "
               f"+{row['new_global_points']} global points, {row['reports']} reports")
 
     speedup = serial_seconds / max(sharded_seconds, 1e-9)
     print(f"\nwall-clock ratio serial/sharded: {speedup:.2f}x")
     merged_superset = all(
-        points <= sharded.coverage.points for points in sharded.shard_points.values()
+        points <= sharded.coverage.points for points in sharded.slice_points.values()
     )
-    print(f"merged coverage is a superset of every shard: {merged_superset}")
+    print(f"merged coverage is a superset of every slice: {merged_superset}")
     return 0
 
 

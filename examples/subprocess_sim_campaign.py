@@ -91,10 +91,10 @@ def main() -> int:
         f"({spawns} server process(es) spawned, {restarts} restart(s) "
         f"after crashes)"
     )
-    print("\nper-shard simulator processes:")
+    print("\nper-slice simulator processes:")
     for row in simulator_process_table(campaign.sim_log):
         print(
-            f"  shard {row['shard']}: {row['tasks']} tasks, "
+            f"  slice {row['slice']}: {row['tasks']} tasks, "
             f"{row['spawns']} spawns, {row['restarts']} restarts, "
             f"{row['steps']} steps, "
             f"mean step {row['mean_step_seconds'] * 1000:.1f}ms"

@@ -148,31 +148,31 @@ def per_core_breakdown(campaign: CampaignResult) -> List[Dict[str, object]]:
 
 
 def sync_round_table(
-    shard_summaries: Iterable[Dict[str, object]]
+    slice_summaries: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:
-    """Aggregate the engine's per-shard-epoch log into one row per sync round.
+    """Aggregate the engine's per-slice-epoch log into one row per sync round.
 
-    Each row sums one epoch across its shards: iterations executed,
-    globally-new coverage points, bug reports, and the slowest shard's wall
+    Each row sums one epoch across its slices: iterations executed,
+    globally-new coverage points, bug reports, and the slowest slice's wall
     time (the epoch's critical path — what an interleaving backend shortens).
     Useful for eyeballing where an adaptive (stall-triggered) sync policy
     found the new-point rate flatlining.
     """
     rounds: Dict[int, Dict[str, object]] = {}
-    for entry in shard_summaries:
+    for entry in slice_summaries:
         epoch = int(entry["epoch"])
         row = rounds.setdefault(
             epoch,
             {
                 "epoch": epoch,
-                "shards": 0,
+                "slices": 0,
                 "iterations": 0,
                 "new_global_points": 0,
                 "reports": 0,
                 "critical_path_seconds": 0.0,
             },
         )
-        row["shards"] += 1
+        row["slices"] += 1
         row["iterations"] += int(entry["iterations"])
         row["new_global_points"] += int(entry["new_global_points"])
         row["reports"] += int(entry["reports"])
@@ -199,7 +199,7 @@ def checkpoint_summary(payload: Dict[str, object]) -> Dict[str, object]:
         "next_epoch": payload.get("next_epoch"),
         "iterations_done": campaign.get("iterations_run", 0),
         "iterations_total": fingerprint.get("iterations"),
-        "shards": fingerprint.get("shards"),
+        "slices": fingerprint.get("slices"),
         "cores": fingerprint.get("cores", []),
         "per_core_coverage": coverage,
         "corpus_seeds": len(payload.get("corpus", [])),
@@ -221,7 +221,7 @@ def worker_utilization_table(
     ``worker_log`` is :attr:`repro.core.engine.EngineResult.worker_log` (or
     ``DistributedBackend.utilization_log`` directly): one entry per delivered
     task.  Each output row sums a worker's contribution — tasks delivered,
-    distinct epochs served, total shard wall seconds executed, and how many
+    distinct epochs served, total task wall seconds executed, and how many
     of its deliveries were *reassignments* (tasks inherited from a worker
     that died mid-epoch).  Workers that joined but never delivered a task do
     not appear; the log is timing-adjacent diagnostics, never part of the
@@ -237,14 +237,14 @@ def worker_utilization_table(
                 "name": str(entry.get("name", "")),
                 "tasks": 0,
                 "epochs": set(),
-                "shard_seconds": 0.0,
+                "task_seconds": 0.0,
                 "reassigned_tasks": 0,
             },
         )
         row["tasks"] += 1
         row["epochs"].add(entry.get("epoch"))
-        row["shard_seconds"] = round(
-            row["shard_seconds"] + float(entry.get("wall_seconds", 0.0)), 3
+        row["task_seconds"] = round(
+            row["task_seconds"] + float(entry.get("wall_seconds", 0.0)), 3
         )
         if entry.get("reassigned"):
             row["reassigned_tasks"] += 1
@@ -259,12 +259,12 @@ def worker_utilization_table(
 def simulator_process_table(
     sim_log: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:
-    """Aggregate a subprocess-simulator run's accounting into one row per shard.
+    """Aggregate a subprocess-simulator run's accounting into one row per slice.
 
     ``sim_log`` is :attr:`repro.core.engine.EngineResult.sim_log`: one entry
-    per shard-epoch task executed against an out-of-process simulator server
-    (``{shard_index, epoch, spawns, restarts, steps, step_seconds_total,
-    mean_step_seconds}``).  Each output row sums a shard's server-process
+    per slice-epoch task executed against an out-of-process simulator server
+    (``{slice_index, epoch, spawns, restarts, steps, step_seconds_total,
+    mean_step_seconds}``).  Each output row sums a slice's server-process
     story across the campaign — tasks served, server processes spawned,
     crash/hang recoveries, protocol steps, and the mean per-step wall clock.
     Like the worker log, this is timing-adjacent diagnostics and never part
@@ -272,11 +272,11 @@ def simulator_process_table(
     """
     rows: Dict[int, Dict[str, object]] = {}
     for entry in sim_log:
-        shard = int(entry["shard_index"])
+        index = int(entry["slice_index"])
         row = rows.setdefault(
-            shard,
+            index,
             {
-                "shard": shard,
+                "slice": index,
                 "tasks": 0,
                 "spawns": 0,
                 "restarts": 0,
@@ -292,8 +292,8 @@ def simulator_process_table(
             row["step_seconds_total"] + float(entry.get("step_seconds_total", 0.0)), 6
         )
     finished = []
-    for shard in sorted(rows):
-        row = dict(rows[shard])
+    for index in sorted(rows):
+        row = dict(rows[index])
         row["mean_step_seconds"] = round(
             row["step_seconds_total"] / row["steps"] if row["steps"] else 0.0, 6
         )
@@ -307,7 +307,7 @@ def cross_core_transfer_table(
     """Aggregate the engine's transfer log into a donor-core x target-core table.
 
     Each row counts the seeds transferred along one (donor core, target core)
-    edge, how many of those started shard-epochs that contributed globally-new
+    edge, how many of those started slice-epochs that contributed globally-new
     coverage on the target core, the summed new points, and how many of those
     epochs produced bug reports there.  Attribution is epoch-granular — the
     transferred seed opens the receiving epoch and its mutated descendants

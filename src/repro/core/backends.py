@@ -1,10 +1,12 @@
 """Pluggable execution backends for the sharded campaign engine.
 
 The :class:`~repro.core.engine.ParallelCampaignEngine` owns *what* runs — the
-shard-epoch schedule, coverage merging and corpus redistribution — but not
+slice-epoch schedule, coverage merging and corpus redistribution — but not
 *how* it runs.  Each sync epoch it hands a list of :class:`ShardTask` payloads
-to an :class:`ExecutionBackend` and gets one JSON-safe result payload dict per
-task back.  Three backends implement the protocol:
+(one per logical slice; the class keeps its historical name because it is the
+unit a physical shard executes) to an :class:`ExecutionBackend` and gets one
+JSON-safe result payload dict per task back.  Three backends implement the
+protocol:
 
 * :class:`InlineBackend` — runs every task serially in the calling process.
   Deterministic on any host; the debugging and CI default.
@@ -13,11 +15,11 @@ task back.  Three backends implement the protocol:
   lazily on the first multi-task epoch and reused across epochs (worker spawn
   plus interpreter boot is expensive relative to an epoch's work).
 * :class:`AsyncBackend` — a single asyncio event loop that interleaves many
-  shard campaigns on one worker.  Each shard runs as
+  slice campaigns on one worker.  Each slice task runs as
   :meth:`~repro.core.fuzzer.DejaVuzzFuzzer.campaign_steps`, a generator that
-  suspends at every simulator boundary; whenever one shard is waiting on its
-  (slow, possibly external RTL) simulator the loop advances another shard, so
-  a latency-dominated campaign no longer pins a whole worker per shard.
+  suspends at every simulator boundary; whenever one task is waiting on its
+  (slow, possibly external RTL) simulator the loop advances another, so a
+  latency-dominated campaign no longer pins a whole worker per slice.
 * :class:`~repro.core.distributed.DistributedBackend` (registry name
   ``distributed``; imported lazily so the socket machinery stays out of
   single-host runs) — a TCP coordinator farming tasks to remote
@@ -25,24 +27,24 @@ task back.  Three backends implement the protocol:
   detection and mid-epoch task reassignment.
 
 Simulator placement: ``ShardTask.simulator`` selects where the simulations
-of a shard's steps actually execute.
+of a slice's steps actually execute.
 
 * ``inproc`` (the default) — the simulator runs inside the executing
   process, exactly as before.
-* ``subprocess`` — the shard's steps are driven against an out-of-process
+* ``subprocess`` — the slice's steps are driven against an out-of-process
   simulator server (``python -m repro.sim.server``, :mod:`repro.sim`): a
-  per-shard server process hosts the simulator behind a JSON-lines stdio
+  per-slice server process hosts the simulator behind a JSON-lines stdio
   protocol, the step driver blocks on *real* subprocess turnaround instead
   of an injected sleep, and a crashed or hung server is transparently
   restarted and replayed from its last snapshot.  The async driver runs
   each protocol request on an executor thread, so the genuine subprocess
-  waits of concurrent shards overlap on one event loop.
+  waits of concurrent slices overlap on one event loop.
 
 Latency model: ``ShardTask.step_latency`` injects a fixed wait per simulator
 invocation, standing in for an external RTL simulator that responds after a
 delay behind the same wire protocol.  The serial drivers pay it with
 ``time.sleep`` at each step; the async driver awaits ``asyncio.sleep``, so
-the waits of concurrent shards overlap.  Latency never feeds back into the
+the waits of concurrent slices overlap.  Latency never feeds back into the
 campaign itself — all backends and both simulator placements produce
 byte-identical results for the same configuration, which the engine's tests
 and the ``benchmarks/test_async_interleaving.py`` /
@@ -66,16 +68,23 @@ from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
 from repro.generation.seeds import Seed
 
 
-# Where a shard task's simulations execute: in the executing process, or on
+# Where a slice task's simulations execute: in the executing process, or on
 # an out-of-process simulator server (repro.sim).
 SIMULATOR_NAMES = ("inproc", "subprocess")
 
 
 @dataclass
 class ShardTask:
-    """One shard-epoch work unit; everything in it is cheaply picklable."""
+    """One slice-epoch work unit; everything in it is cheaply picklable.
 
-    shard_index: int
+    ``slice_index`` names the *logical* slice this task advances — the
+    stable identity all deterministic derivations (entropy stream, seed-id
+    base, corpus provenance) are keyed by.  Which physical shard or worker
+    executes the task is an execution-backend concern that never appears
+    here.
+    """
+
+    slice_index: int
     epoch: int
     iterations: int
     configuration: FuzzerConfiguration
@@ -99,7 +108,7 @@ class ShardCampaignRunner:
     simulator server, which hosts exactly this runner — produce identical
     results.  :meth:`advance` executes the campaign up to the next simulator
     boundary and returns the :class:`~repro.core.fuzzer.CampaignStep`, or
-    ``None`` once the shard is finished and :attr:`payload` is available.
+    ``None`` once the slice task is finished and :attr:`payload` is available.
     The live :attr:`fuzzer` (coverage matrix, accumulating result) stays
     readable between steps, which is what the simulator server's ``READ`` /
     ``SNAPSHOT`` verbs are built on.
@@ -111,7 +120,7 @@ class ShardCampaignRunner:
         self.fuzzer = DejaVuzzFuzzer(task.configuration)
         self.baseline = set()
         if task.baseline_points:
-            # Start from the merged global coverage of this shard's core so
+            # Start from the merged global coverage of this slice's core so
             # feedback only rewards globally-new points and mutation steers
             # away from covered modules.
             self.fuzzer.coverage = TaintCoverageMatrix.from_dicts(task.baseline_points)
@@ -133,7 +142,7 @@ class ShardCampaignRunner:
         return self.payload is not None
 
     def advance(self) -> Optional[CampaignStep]:
-        """Run to the next simulator boundary; ``None`` when the shard is done."""
+        """Run to the next simulator boundary; ``None`` when the task is done."""
         if self.payload is not None:
             return None
         try:
@@ -154,7 +163,7 @@ class ShardCampaignRunner:
             key=lambda point: (point.module, point.tainted_count),
         )
         return {
-            "shard_index": task.shard_index,
+            "slice_index": task.slice_index,
             "epoch": task.epoch,
             "core": task.configuration.core.name,
             "result": self.result.to_dict(),
@@ -170,10 +179,10 @@ class ShardCampaignRunner:
 def iterate_shard_task(
     task: ShardTask,
 ) -> Generator[CampaignStep, None, Dict[str, object]]:
-    """Run one shard-epoch stepwise, yielding at every simulator boundary.
+    """Run one slice-epoch stepwise, yielding at every simulator boundary.
 
     Thin generator view of :class:`ShardCampaignRunner`.  The generator's
-    return value is the shard's result payload dict — the engine-side wire
+    return value is the slice's result payload dict — the engine-side wire
     form of :func:`run_shard_task`.
     """
     runner = ShardCampaignRunner(task)
@@ -185,13 +194,13 @@ def iterate_shard_task(
 
 
 def run_shard_task(task: ShardTask) -> Dict[str, object]:
-    """Execute one shard-epoch to completion in the current process.
+    """Execute one slice-epoch to completion in the current process.
 
     The serial driver of :func:`iterate_shard_task`: used directly by the
     inline backend and as the worker function of the process pool.  Injected
     simulator latency is paid with a blocking sleep at every step, exactly
     like a synchronous RTL-simulator call would block the worker.  With
-    ``task.simulator == "subprocess"`` the steps run against a per-shard
+    ``task.simulator == "subprocess"`` the steps run against a per-slice
     simulator server process instead, and the blocking waits are the real
     protocol round trips.
     """
@@ -215,18 +224,18 @@ async def run_shard_task_async(
     """Asyncio driver of :func:`iterate_shard_task`.
 
     Suspends at every simulator boundary — injected latency becomes an
-    ``asyncio.sleep`` during which the event loop runs other shards, and even
-    a zero-latency step yields control once so no single shard starves the
+    ``asyncio.sleep`` during which the event loop runs other tasks, and even
+    a zero-latency step yields control once so no single task starves the
     loop.  With ``task.simulator == "subprocess"`` every simulator-server
     round trip is awaited on ``executor`` (a thread pool) instead, so the
-    *real* subprocess waits of concurrent shards overlap on one event loop.
+    *real* subprocess waits of concurrent tasks overlap on one event loop.
     Returns the same payload as :func:`run_shard_task`.
     """
     if task.simulator == "subprocess":
         from repro.sim.client import default_pool
 
         loop = asyncio.get_running_loop()
-        simulator = default_pool().simulator(task.shard_index)
+        simulator = default_pool().simulator(task.slice_index)
         await loop.run_in_executor(executor, simulator.begin_task, task)
         while True:
             advanced = await loop.run_in_executor(executor, simulator.advance)
@@ -244,7 +253,7 @@ async def run_shard_task_async(
 
 
 class ExecutionBackend:
-    """How one sync epoch's shard tasks get executed.
+    """How one sync epoch's slice tasks get executed.
 
     Implementations submit :class:`ShardTask` payloads and collect the result
     payload dicts of :func:`run_shard_task`, in task order.  A backend may
@@ -271,7 +280,7 @@ class InlineBackend(ExecutionBackend):
 
 
 class ProcessPoolBackend(ExecutionBackend):
-    """One worker process per shard task, on a pool reused across epochs."""
+    """One worker process per slice task, on a pool reused across epochs."""
 
     name = "process"
 
@@ -297,11 +306,11 @@ class ProcessPoolBackend(ExecutionBackend):
 
 
 class AsyncBackend(ExecutionBackend):
-    """One asyncio event loop interleaving up to ``concurrency`` shards.
+    """One asyncio event loop interleaving up to ``concurrency`` slice tasks.
 
-    All shard compute still happens on the calling thread — what overlaps is
-    the *waiting*: injected or real simulator latency suspends one shard's
-    generator while another advances.  With latency-dominated shards the
+    All task compute still happens on the calling thread — what overlaps is
+    the *waiting*: injected or real simulator latency suspends one task's
+    generator while another advances.  With latency-dominated tasks the
     epoch finishes in roughly ``total_wait / concurrency`` instead of
     ``total_wait``, on a single worker.
     """
@@ -352,7 +361,7 @@ def create_backend(
     """Build a backend from its registry name.
 
     ``max_workers`` sizes the process pool (default: one per task);
-    ``concurrency`` bounds the async backend's in-flight shards (default 4);
+    ``concurrency`` bounds the async backend's in-flight tasks (default 4);
     ``listen``/``min_workers`` give the distributed coordinator its
     ``host:port`` (default: any free localhost port) and how many worker
     daemons to wait for before dispatching the first epoch (default 1);

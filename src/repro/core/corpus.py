@@ -1,11 +1,14 @@
 """The shared seed corpus of the sharded campaign engine.
 
-Each shard of a parallel campaign reports its most productive seeds (ranked by
-cumulative coverage gain) at every sync epoch.  The engine folds them into one
-:class:`SharedCorpus`, which keeps a bounded, gain-ranked pool and hands the
-best entries back out to lagging shards — the standard corpus-redistribution
-move of parallel coverage-guided fuzzers, applied to DejaVuzz's taint-coverage
-gain signal.
+Each logical slice of a parallel campaign reports its most productive seeds
+(ranked by cumulative coverage gain) at every sync epoch.  The engine folds
+them into one :class:`SharedCorpus`, which keeps a bounded, gain-ranked pool
+and hands the best entries back out to lagging slices — the standard
+corpus-redistribution move of parallel coverage-guided fuzzers, applied to
+DejaVuzz's taint-coverage gain signal.  Provenance is tracked by the *slice*
+index (the stable logical partition), never by the physical shard that
+happened to execute it, so a checkpointed corpus stays meaningful when the
+campaign resumes on a different shard count.
 
 Everything here is deliberately wire-friendly: entries round-trip through
 ``to_dict``/``from_dict`` so a corpus can be checkpointed to JSON or shipped
@@ -26,13 +29,13 @@ class CorpusEntry:
 
     ``core`` is the origin core the seed was realized (and productive) on;
     the empty string marks a legacy / unbound seed that any core may run.
-    Redistribution uses the tag to pick compatible donors for a shard's core,
+    Redistribution uses the tag to pick compatible donors for a slice's core,
     or to transfer a foreign donor via :meth:`repro.generation.seeds.Seed.transfer`.
     """
 
     seed: Seed
     gain: int
-    shard_index: int
+    slice_index: int
     epoch: int
     core: str = ""
 
@@ -43,7 +46,7 @@ class CorpusEntry:
         return {
             "seed": self.seed.to_dict(),
             "gain": self.gain,
-            "shard_index": self.shard_index,
+            "slice_index": self.slice_index,
             "epoch": self.epoch,
             "core": self.core,
         }
@@ -54,7 +57,7 @@ class CorpusEntry:
         return CorpusEntry(
             seed=seed,
             gain=int(payload["gain"]),
-            shard_index=int(payload["shard_index"]),
+            slice_index=int(payload["slice_index"]),
             epoch=int(payload["epoch"]),
             # Older checkpoints predate the tag; fall back to the seed's own
             # core binding so a reloaded corpus keeps its transfer semantics.
@@ -63,7 +66,7 @@ class CorpusEntry:
 
 
 class SharedCorpus:
-    """A bounded, gain-ranked pool of seeds shared across campaign shards."""
+    """A bounded, gain-ranked pool of seeds shared across campaign slices."""
 
     def __init__(self, capacity: int = 64) -> None:
         if capacity <= 0:
@@ -78,13 +81,13 @@ class SharedCorpus:
         self,
         seed: Seed,
         gain: int,
-        shard_index: int,
+        slice_index: int,
         epoch: int,
         core: Optional[str] = None,
     ) -> CorpusEntry:
         """Insert or update one seed; the highest observed gain wins.
 
-        Seed ids are globally unique (shards allocate from disjoint id bases),
+        Seed ids are globally unique (slices allocate from disjoint id bases),
         so the id is a stable identity across epochs: a seed re-reported with
         a higher cumulative gain moves up in the ranking instead of
         duplicating.  ``core`` tags the entry's origin core; it defaults to
@@ -95,7 +98,7 @@ class SharedCorpus:
             entry = CorpusEntry(
                 seed=seed,
                 gain=gain,
-                shard_index=shard_index,
+                slice_index=slice_index,
                 epoch=epoch,
                 core=seed.core if core is None else core,
             )
@@ -107,17 +110,17 @@ class SharedCorpus:
 
     def extend(self, entries: Iterable[CorpusEntry]) -> None:
         for entry in entries:
-            self.add(entry.seed, entry.gain, entry.shard_index, entry.epoch, core=entry.core)
+            self.add(entry.seed, entry.gain, entry.slice_index, entry.epoch, core=entry.core)
 
     def best(
         self,
         count: int,
-        exclude_shard: Optional[int] = None,
+        exclude_slice: Optional[int] = None,
         core: Optional[str] = None,
     ) -> List[CorpusEntry]:
-        """The top-gain entries, optionally excluding one shard's own seeds.
+        """The top-gain entries, optionally excluding one slice's own seeds.
 
-        ``exclude_shard`` keeps redistribution useful: handing a shard back a
+        ``exclude_slice`` keeps redistribution useful: handing a slice back a
         seed it bred itself adds nothing to its exploration frontier.
         ``core`` restricts the ranking to entries compatible with that core
         (same origin core, or untagged); without it all entries rank.
@@ -125,7 +128,7 @@ class SharedCorpus:
         candidates = [
             entry
             for entry in self._entries.values()
-            if (exclude_shard is None or entry.shard_index != exclude_shard)
+            if (exclude_slice is None or entry.slice_index != exclude_slice)
             and (core is None or entry.compatible_with(core))
         ]
         return sorted(candidates, key=self._rank)[:count]

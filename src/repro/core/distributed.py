@@ -225,7 +225,7 @@ def fuzzer_configuration_from_wire(
 
 def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
     return {
-        "shard_index": task.shard_index,
+        "slice_index": task.slice_index,
         "epoch": task.epoch,
         "iterations": task.iterations,
         "configuration": fuzzer_configuration_to_wire(task.configuration),
@@ -239,7 +239,7 @@ def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
 
 def shard_task_from_wire(payload: Dict[str, object]) -> ShardTask:
     return ShardTask(
-        shard_index=int(payload["shard_index"]),
+        slice_index=int(payload["slice_index"]),
         epoch=int(payload["epoch"]),
         iterations=int(payload["iterations"]),
         configuration=fuzzer_configuration_from_wire(payload["configuration"]),
@@ -287,7 +287,7 @@ class _WorkerConnection:
 
 
 class DistributedBackend(ExecutionBackend):
-    """TCP coordinator: farms shard tasks to remote worker daemons.
+    """TCP coordinator: leases slice tasks to remote worker daemons.
 
     The coordinator listens on ``listen`` (``host:port``; port 0 binds any
     free port — read the actual one from :attr:`address`) and accepts worker
@@ -302,7 +302,7 @@ class DistributedBackend(ExecutionBackend):
     which is what makes distributed results byte-identical to inline ones.
 
     ``utilization_log`` records one row per delivered task
-    (``{worker, name, epoch, shard, wall_seconds, reassigned}``); feed it to
+    (``{worker, name, epoch, slice, wall_seconds, reassigned}``); feed it to
     :func:`repro.analysis.worker_utilization_table`.
     """
 
@@ -470,7 +470,7 @@ class DistributedBackend(ExecutionBackend):
                     "worker": worker.worker_id,
                     "name": worker.name,
                     "epoch": frame["payload"].get("epoch"),
-                    "shard": frame["payload"].get("shard_index"),
+                    "slice": frame["payload"].get("slice_index"),
                     "wall_seconds": round(
                         float(frame["payload"].get("wall_seconds", 0.0)), 3
                     ),
@@ -487,7 +487,7 @@ class DistributedBackend(ExecutionBackend):
         order: List[str] = []
         wires: Dict[str, Dict[str, object]] = {}
         for task in tasks:
-            task_id = f"e{task.epoch}-s{task.shard_index}"
+            task_id = f"e{task.epoch}-s{task.slice_index}"
             order.append(task_id)
             wires[task_id] = {
                 "task_id": task_id,

@@ -1,21 +1,31 @@
 """The sharded parallel campaign engine.
 
 Scales a DejaVuzz campaign across N worker processes — or N worker *hosts*.
-Each shard is a full :class:`~repro.core.fuzzer.DejaVuzzFuzzer` driven by its
-own split of the root :class:`~repro.utils.rng.DeterministicRng` entropy
-(label ``engine/shard<i>/epoch<e>``) and a disjoint seed-id namespace, so a
+The campaign's work is partitioned into a fixed set of **logical slices**
+(``EngineConfiguration.slices``, default ``max(shards, 16)``, pinned in the
+checkpoint).  Each slice is a full
+:class:`~repro.core.fuzzer.DejaVuzzFuzzer` driven by its own split of the
+root :class:`~repro.utils.rng.DeterministicRng` entropy (label
+``engine/slice<s>/epoch<e>``) and a disjoint seed-id namespace, so a
 parallel run is reproducible from a single integer no matter how the OS (or
 the network) schedules the workers.
+
+Physical **shards** are pure executors: ``--shards`` only sizes the worker
+pool (or fleet) that leases slice tasks each epoch, and never enters any
+deterministic derivation.  That is what makes campaigns *elastic*: a
+checkpoint taken at ``--shards 4`` resumes at ``--shards 8`` (or 2, or on a
+different distributed fleet) with byte-identical results, because every
+slice keeps its identity no matter which executor runs it.
 
 The run loop is split into two explicit layers:
 
 * :class:`CampaignScheduler` — the transport-agnostic brain.  It owns every
   campaign *decision*: the epoch/round schedule of the
-  :class:`SyncPolicy`, per-shard task construction (entropy splits, seed-id
-  bases, baseline coverage), the per-core merge of shard payloads, corpus
+  :class:`SyncPolicy`, per-slice task construction (entropy splits, seed-id
+  bases, baseline coverage), the per-core merge of slice payloads, corpus
   redistribution and cross-core transfer, and the checkpoint cadence.  The
   scheduler consumes only merged per-epoch payload dicts, so its decisions
-  are identical no matter where or in what order the shards actually ran.
+  are identical no matter where or in what order the slices actually ran.
 * the :class:`~repro.core.backends.ExecutionBackend` transport — *how* one
   epoch's :class:`~repro.core.backends.ShardTask` list turns into result
   payloads: serially in-process (``inline``), on a reused local process pool
@@ -35,34 +45,36 @@ and feeds the payloads back.  Because the scheduler never sees the transport,
 every backend — any worker count, join order, or mid-epoch worker loss —
 produces **byte-identical** campaign results.
 
-The campaign is divided into **sync epochs**.  Within an epoch the shards run
+The campaign is divided into **sync epochs**.  Within an epoch the slices run
 independently; at the epoch boundary the scheduler
 
-1. merges every shard's :class:`~repro.core.coverage.TaintCoverageMatrix`
-   into the global matrix *of that shard's core* (coverage points are
+1. merges every slice's :class:`~repro.core.coverage.TaintCoverageMatrix`
+   into the global matrix *of that slice's core* (coverage points are
    microarchitecture-specific, so BOOM and XiangShan points never share a
-   matrix; ``add_points`` reports how many points each shard contributed that
+   matrix; ``add_points`` reports how many points each slice contributed that
    were globally new on its core),
-2. folds the shard :class:`~repro.core.report.CampaignResult` objects into the
+2. folds the slice :class:`~repro.core.report.CampaignResult` objects into the
    aggregate report (with a per-core breakdown),
-3. collects each shard's top-gain seeds into a :class:`SharedCorpus`, tagged
+3. collects each slice's top-gain seeds into a :class:`SharedCorpus`, tagged
    with their origin core, and
-4. redistributes the best corpus seeds to the *lagging* shards (lowest global
-   coverage contribution this epoch) for the next epoch.  A lagging shard
+4. redistributes the best corpus seeds to the *lagging* slices (lowest global
+   coverage contribution this epoch) for the next epoch.  A lagging slice
    prefers a donor realized for its own core; when only foreign-core donors
    remain, the donor's portable genotype is *transferred* — re-realized for
    the target core via :meth:`~repro.generation.seeds.Seed.transfer`
-   (window-type groups transfer; encodings are core-specific).  Every shard
-   restarts from its core's merged coverage baseline so no shard spends
-   iterations rediscovering another shard's points.
+   (window-type groups transfer; encodings are core-specific).  Every slice
+   restarts from its core's merged coverage baseline so no slice spends
+   iterations rediscovering another slice's points.
 
-Shards may run different cores (``cores=["boom", "boom", "xiangshan",
-"xiangshan"]``), turning the shared corpus into a cross-core transfer study:
-:attr:`EngineResult.transfers` records each transfer together with the
-receiving shard-epoch's outcome — the globally-new coverage and bug reports
-found on the target core in the epoch the transferred seed started.  The
-attribution is epoch-granular: the seed opens that epoch and its mutated
-descendants count towards its outcome.
+Slices may run different cores (``cores=["boom", "xiangshan"]`` assigns
+cores round-robin across the slice set), turning the shared corpus into a
+cross-core transfer study: :attr:`EngineResult.transfers` records each
+transfer together with the receiving slice-epoch's outcome — the
+globally-new coverage and bug reports found on the target core in the epoch
+the transferred seed started.  The attribution is epoch-granular: the seed
+opens that epoch and its mutated descendants count towards its outcome.
+Because the slice→core assignment derives only from ``(slice_index,
+cores)``, it too survives resharding.
 
 Sync epochs follow a :class:`SyncPolicy`: the classic fixed count
 (``sync_epochs`` equal slices of the budget, redistribution at every
@@ -158,17 +170,25 @@ def resolve_core(name: str) -> CoreConfig:
     return factory()
 
 
-# Seed-id namespacing: shard i / epoch e allocates ids from
-# (i + 1) * SHARD_ID_STRIDE + e * EPOCH_ID_STRIDE upward.  A shard would need
+# Seed-id namespacing: logical slice s / epoch e allocates ids from
+# (s + 1) * SLICE_ID_STRIDE + e * EPOCH_ID_STRIDE upward.  A slice would need
 # to breed 100k seeds in one epoch (or run 100 epochs) to collide, far beyond
 # any realistic campaign; ids stay disjoint so the shared corpus can use the
-# seed id as a global identity.
-SHARD_ID_STRIDE = 10_000_000
+# seed id as a global identity.  Crucially the namespace is keyed by the
+# *logical* slice, never the physical shard executing it, so ids — and every
+# deterministic derivation built on them — are independent of the shard count.
+SLICE_ID_STRIDE = 10_000_000
 EPOCH_ID_STRIDE = 100_000
 # Cross-core transfers re-realize a donor seed under a new identity; they get
-# their own namespace far above any shard/epoch base (shard bases stay below
-# this for fewer than ~100 shards).
+# their own namespace far above any slice/epoch base (slice bases stay below
+# this for fewer than ~100 slices).
 TRANSFER_SEED_ID_BASE = 1_000_000_000
+# Pre-slice name of the stride, kept for callers written against the
+# shard-indexed engine.
+SHARD_ID_STRIDE = SLICE_ID_STRIDE
+# Default logical partition count: generous relative to typical shard counts
+# so a campaign started small can later fan out onto a bigger fleet.
+DEFAULT_MIN_SLICES = 16
 
 
 @dataclass(frozen=True)
@@ -230,9 +250,15 @@ class SyncPolicy:
 class EngineConfiguration:
     """Knobs of a sharded campaign."""
 
-    fuzzer: FuzzerConfiguration          # prototype; entropy/seed ids are re-derived per shard
-    shards: int = 4
-    iterations: int = 100                # total budget, split across shards and epochs
+    fuzzer: FuzzerConfiguration          # prototype; entropy/seed ids are re-derived per slice
+    shards: int = 4                      # physical executors; never enters determinism
+    # Logical work partitions of the campaign.  Fixed at configuration time
+    # (default max(shards, DEFAULT_MIN_SLICES)) and pinned by the checkpoint
+    # fingerprint: every deterministic derivation — entropy streams, seed-id
+    # namespaces, core assignment, corpus attribution — keys off the slice,
+    # so the same campaign resumes on any shard count.
+    slices: Optional[int] = None
+    iterations: int = 100                # total budget, split across slices and epochs
     sync_epochs: int = 2
     corpus_capacity: int = 64
     redistribute_top: int = 2            # lagging shards reseeded per epoch
@@ -261,14 +287,21 @@ class EngineConfiguration:
     # Distributed backend: "host:port" the coordinator listens on for worker
     # daemons (port 0 picks a free port; see repro.core.distributed).
     listen: Optional[str] = None
-    # Per-shard core assignment for heterogeneous campaigns: one entry per
-    # shard, each a registry name ("boom"), a CoreConfig, or a full
-    # FuzzerConfiguration.  None runs every shard on the prototype's core.
+    # Core assignment for heterogeneous campaigns: each entry is a registry
+    # name ("boom"), a CoreConfig, or a full FuzzerConfiguration.  The
+    # entries are assigned round-robin across the logical slices (slice s
+    # runs cores[s % len(cores)]), so the slice→core mapping depends only on
+    # the slice identity — not on the shard count.  None runs every slice on
+    # the prototype's core.
     cores: Optional[Sequence[object]] = None
 
     def __post_init__(self) -> None:
         if self.shards <= 0:
             raise ValueError(f"shards must be positive, got {self.shards}")
+        if self.slices is None:
+            self.slices = max(self.shards, DEFAULT_MIN_SLICES)
+        if self.slices <= 0:
+            raise ValueError(f"slices must be positive, got {self.slices}")
         if self.iterations <= 0:
             raise ValueError(f"iterations must be positive, got {self.iterations}")
         if self.sync_epochs < 1:
@@ -300,22 +333,24 @@ class EngineConfiguration:
         self.sync_policy = SyncPolicy.normalize(self.sync_policy)
         planned = self.planned_epochs()
         # Seed ids are the corpus's global identity: epoch bases must stay
-        # inside one shard's stride, and the highest shard-epoch base must
-        # stay below the transfer namespace, or ids would collide.
-        if planned * EPOCH_ID_STRIDE > SHARD_ID_STRIDE:
+        # inside one slice's stride, and the highest slice-epoch base must
+        # stay below the transfer namespace, or ids would collide.  Both
+        # checks derive from the *logical* slice count — the physical shard
+        # count can never exhaust (or be constrained by) the namespace.
+        if planned * EPOCH_ID_STRIDE > SLICE_ID_STRIDE:
             raise ValueError(
-                f"{planned} sync epochs exhaust one shard's seed-id stride "
-                f"({SHARD_ID_STRIDE // EPOCH_ID_STRIDE} epochs max); use larger "
+                f"{planned} sync epochs exhaust one slice's seed-id stride "
+                f"({SLICE_ID_STRIDE // EPOCH_ID_STRIDE} epochs max); use larger "
                 f"epochs"
             )
-        highest_base = ParallelCampaignEngine.shard_seed_id_base(
-            self.shards - 1, planned - 1
+        highest_base = CampaignScheduler.slice_seed_id_base(
+            self.slices - 1, planned - 1
         )
         if highest_base + EPOCH_ID_STRIDE > TRANSFER_SEED_ID_BASE:
             raise ValueError(
-                f"shards={self.shards} x sync_epochs={planned} exhausts "
+                f"slices={self.slices} x sync_epochs={planned} exhausts "
                 f"the seed-id namespace below TRANSFER_SEED_ID_BASE "
-                f"({TRANSFER_SEED_ID_BASE}); reduce the shard or epoch count"
+                f"({TRANSFER_SEED_ID_BASE}); reduce the slice or epoch count"
             )
         if self.executor not in BACKEND_NAMES:
             raise ValueError(
@@ -328,7 +363,7 @@ class EngineConfiguration:
             )
         # Resolve eagerly so a bad core name fails at configuration time, not
         # in the middle of a campaign.
-        self.shard_fuzzers()
+        self.slice_fuzzers()
 
     def planned_epochs(self) -> int:
         """How many sync epochs/rounds the campaign will run."""
@@ -355,29 +390,36 @@ class EngineConfiguration:
             remaining -= rounds[-1]
         return rounds
 
-    def shard_fuzzers(self) -> List[FuzzerConfiguration]:
-        """One prototype configuration per shard (entropy re-derived later)."""
+    def slice_fuzzers(self) -> List[FuzzerConfiguration]:
+        """One prototype configuration per logical slice (entropy re-derived later).
+
+        ``cores`` entries are assigned round-robin: slice ``s`` runs
+        ``cores[s % len(cores)]``.  The mapping depends only on the slice
+        index and the (fingerprinted) core list, so it survives resharding.
+        """
         if self.cores is None:
-            return [self.fuzzer] * self.shards
-        if len(self.cores) != self.shards:
+            return [self.fuzzer] * self.slices
+        if not self.cores:
+            raise ValueError("cores must name at least one core")
+        if len(self.cores) > self.slices:
             raise ValueError(
-                f"cores must assign one core per shard: got {len(self.cores)} "
-                f"entries for {self.shards} shards"
+                f"more core assignments ({len(self.cores)}) than slices "
+                f"({self.slices}); raise slices or drop entries"
             )
-        prototypes: List[FuzzerConfiguration] = []
+        rotation: List[FuzzerConfiguration] = []
         for spec in self.cores:
             if isinstance(spec, FuzzerConfiguration):
-                prototypes.append(spec)
+                rotation.append(spec)
             elif isinstance(spec, CoreConfig):
-                prototypes.append(replace(self.fuzzer, core=spec))
+                rotation.append(replace(self.fuzzer, core=spec))
             elif isinstance(spec, str):
-                prototypes.append(replace(self.fuzzer, core=resolve_core(spec)))
+                rotation.append(replace(self.fuzzer, core=resolve_core(spec)))
             else:
                 raise ValueError(
                     f"cannot interpret core assignment {spec!r} "
                     "(expected name, CoreConfig or FuzzerConfiguration)"
                 )
-        return prototypes
+        return [rotation[index % len(rotation)] for index in range(self.slices)]
 
 
 @dataclass
@@ -392,25 +434,30 @@ class EngineResult:
 
     campaign: CampaignResult
     core_coverage: Dict[str, TaintCoverageMatrix]
+    # Physical executor count this run was configured with — purely
+    # diagnostic, and free to differ between a checkpoint and its resume.
     shards: int
     epochs: int
-    shard_cores: Dict[int, str] = field(default_factory=dict)
-    shard_points: Dict[int, Set[CoveragePoint]] = field(default_factory=dict)
-    shard_summaries: List[Dict[str, object]] = field(default_factory=list)
+    # Logical work partition count; every per-slice mapping below is keyed by
+    # the slice index, which is stable across reshards.
+    slices: int = 0
+    slice_cores: Dict[int, str] = field(default_factory=dict)
+    slice_points: Dict[int, Set[CoveragePoint]] = field(default_factory=dict)
+    slice_summaries: List[Dict[str, object]] = field(default_factory=list)
     # One row per cross-core transfer: donor identity/core/gain, target
-    # shard/core, the re-realized seed id, the epoch it ran in, and — once
+    # slice/core, the re-realized seed id, the epoch it ran in, and — once
     # that epoch merged — the globally-new points and reports of the
-    # receiving shard-epoch.
+    # receiving slice-epoch.
     transfers: List[Dict[str, object]] = field(default_factory=list)
     redistributed_seeds: int = 0
     transferred_seeds: int = 0
     wall_clock_seconds: float = 0.0
     # Distributed backend only: one row per completed task delivery
-    # ({worker, epoch, shard, wall_seconds, reassigned}); feed it to
+    # ({worker, epoch, slice, wall_seconds, reassigned}); feed it to
     # repro.analysis.worker_utilization_table.  Timing-adjacent diagnostics —
     # never part of the deterministic wire forms, never checkpointed.
     worker_log: List[Dict[str, object]] = field(default_factory=list)
-    # Subprocess simulator only: one row per shard-epoch ({shard_index,
+    # Subprocess simulator only: one row per slice-epoch ({slice_index,
     # epoch, spawns, restarts, steps, step_seconds_total, mean_step_seconds});
     # feed it to repro.analysis.simulator_process_table.  Like worker_log,
     # timing-adjacent diagnostics outside the deterministic wire forms.
@@ -454,6 +501,7 @@ class EngineResult:
         summary.update(
             {
                 "shards": self.shards,
+                "slices": self.slices,
                 "sync_epochs": self.epochs,
                 "coverage": self.total_coverage(),
                 "per_core_coverage": {
@@ -474,32 +522,39 @@ class EngineResult:
         return summary
 
 
-# Version tag of the engine checkpoint wire format.
-CHECKPOINT_FORMAT = 1
+# Version tag of the engine checkpoint wire format.  Format 2 re-keyed every
+# per-worker map by the logical slice and dropped the physical shard count
+# from the fingerprint (pinning `slices` instead), which is what lets a
+# checkpoint resume on a different shard count.  Format-1 checkpoints keyed
+# state by physical shard and cannot be resharded; they are rejected with a
+# clear format error rather than silently misinterpreted.
+CHECKPOINT_FORMAT = 2
 
 
 class CampaignScheduler:
     """The transport-agnostic brain of a sharded campaign.
 
-    Owns every campaign *decision* — the epoch/round schedule, per-shard task
+    Owns every campaign *decision* — the epoch/round schedule, per-slice task
     construction, coverage/corpus merging, redistribution and transfer, and
     the checkpoint cadence — but never executes a task itself.  A driver
     (:class:`ParallelCampaignEngine`, or any other transport loop) pulls
     tasks via :meth:`next_tasks`, runs them on whatever transport it likes,
     and feeds the result payload dicts back through :meth:`complete_epoch`.
 
-    All decisions consume only merged per-epoch payload data, so they are
-    invariant under the transport: worker count, completion order, and even
-    mid-epoch worker loss (tasks re-run elsewhere return identical payloads)
-    cannot change the campaign's results.
+    All decisions consume only the logical slice identity and merged
+    per-epoch payload data, so they are invariant under the transport:
+    worker count, completion order, mid-epoch worker loss (tasks re-run
+    elsewhere return identical payloads) — and, across a checkpoint/resume
+    boundary, even a *changed shard count* — cannot change the campaign's
+    results.
     """
 
     def __init__(self, configuration: EngineConfiguration) -> None:
         self.configuration = configuration
         self.corpus = SharedCorpus(capacity=configuration.corpus_capacity)
-        self._shard_fuzzers = configuration.shard_fuzzers()
+        self._slice_fuzzers = configuration.slice_fuzzers()
         # Wire form of each core's merged coverage, handed to that core's
-        # shards as their starting baseline; refreshed at every epoch merge.
+        # slices as their starting baseline; refreshed at every epoch merge.
         self._baseline_points: Dict[str, List[Dict[str, object]]] = {}
         # Deterministic id allocation and outcome bookkeeping for transfers.
         self._transfer_count = 0
@@ -510,9 +565,9 @@ class CampaignScheduler:
         self._result: Optional[EngineResult] = None
         self._next_epoch = 0
         self._assignments: Dict[int, Optional[Dict[str, object]]] = {
-            index: None for index in range(configuration.shards)
+            index: None for index in range(configuration.slices)
         }
-        self._shard_iterations_done: Dict[int, int] = {}
+        self._slice_iterations_done: Dict[int, int] = {}
         # Window-type groups each core has triggered so far; feeds the
         # transfer-aware redistribution bias.
         self._core_triggered: Dict[str, Set[str]] = {}
@@ -527,33 +582,37 @@ class CampaignScheduler:
 
     # -- deterministic derivations ---------------------------------------------------------
 
-    def shard_entropy(self, shard_index: int, epoch: int) -> int:
-        """The entropy of one shard-epoch, derived only from the root entropy."""
+    def slice_entropy(self, slice_index: int, epoch: int) -> int:
+        """The entropy of one slice-epoch, derived only from the root entropy.
+
+        The stream label names the logical slice — never the physical shard
+        executing it — so the split is identical on any fleet size.
+        """
         stream = DeterministicRng(
-            self.configuration.fuzzer.entropy, f"engine/shard{shard_index}/epoch{epoch}"
+            self.configuration.fuzzer.entropy, f"engine/slice{slice_index}/epoch{epoch}"
         )
         return stream.randint(0, 2**31 - 1)
 
     @staticmethod
-    def shard_seed_id_base(shard_index: int, epoch: int) -> int:
-        return (shard_index + 1) * SHARD_ID_STRIDE + epoch * EPOCH_ID_STRIDE
+    def slice_seed_id_base(slice_index: int, epoch: int) -> int:
+        return (slice_index + 1) * SLICE_ID_STRIDE + epoch * EPOCH_ID_STRIDE
 
-    def shard_core(self, shard_index: int) -> CoreConfig:
-        return self._shard_fuzzers[shard_index].core
+    def slice_core(self, slice_index: int) -> CoreConfig:
+        return self._slice_fuzzers[slice_index].core
 
     def epoch_budgets(self) -> List[List[int]]:
-        """Split the iteration budget across sync epochs, then across shards.
+        """Split the iteration budget across sync epochs, then across slices.
 
-        Epoch sizes come from the sync policy (equal slices under ``fixed``,
+        Epoch sizes come from the sync policy (equal shares under ``fixed``,
         ``epoch_iterations``-sized rounds under ``stall``); remainders go to
         the lowest indices, so the grand total is exactly
-        ``configuration.iterations`` for any shard/policy combination.
+        ``configuration.iterations`` for any slice/policy combination.
         """
-        shards = self.configuration.shards
+        slices = self.configuration.slices
         return [
             [
-                budget // shards + (1 if index < budget % shards else 0)
-                for index in range(shards)
+                budget // slices + (1 if index < budget % slices else 0)
+                for index in range(slices)
             ]
             for budget in self.configuration.round_iterations()
         ]
@@ -580,22 +639,26 @@ class CampaignScheduler:
             self._initialise_run()
 
     def next_tasks(self) -> List[ShardTask]:
-        """Build the current epoch's shard tasks (empty when budget-less)."""
+        """Build the current epoch's slice tasks (empty when budget-less).
+
+        One task per budgeted slice; the backend decides which physical
+        executor leases each one.
+        """
         epoch = self._next_epoch
         budgets = self.epoch_budgets()[epoch]
         self._epoch_offset_seconds = self._elapsed_before + (
             time.perf_counter() - (self._run_started or time.perf_counter())
         )
         return [
-            self._build_task(shard_index, epoch, budgets[shard_index])
-            for shard_index in range(self.configuration.shards)
-            if budgets[shard_index] > 0
+            self._build_task(slice_index, epoch, budgets[slice_index])
+            for slice_index in range(self.configuration.slices)
+            if budgets[slice_index] > 0
         ]
 
     def complete_epoch(self, payloads: List[Dict[str, object]]) -> None:
         """Fold one epoch's payloads in, decide redistribution, checkpoint.
 
-        Payloads may arrive in any order — they are merged in shard order, so
+        Payloads may arrive in any order — they are merged in slice order, so
         history snapshots and corpus tiebreaks stay deterministic regardless
         of which worker finished first.
         """
@@ -603,15 +666,15 @@ class CampaignScheduler:
         all_budgets = self.epoch_budgets()
         epoch = self._next_epoch
         if payloads:
-            ordered = sorted(payloads, key=lambda payload: payload["shard_index"])
+            ordered = sorted(payloads, key=lambda payload: payload["slice_index"])
             epoch_gains = self._merge_epoch(
                 ordered,
                 self._result,
                 self._epoch_offset_seconds,
-                self._shard_iterations_done,
+                self._slice_iterations_done,
             )
             self._assignments = {
-                index: None for index in range(configuration.shards)
+                index: None for index in range(configuration.slices)
             }
             should_sync = self._should_redistribute(epoch_gains)
             self._round_gains.append(sum(epoch_gains.values()))
@@ -640,22 +703,24 @@ class CampaignScheduler:
         """The configuration facts a checkpoint must match to be resumable.
 
         Everything that feeds the deterministic derivations is included; the
-        execution backend and its sizing knobs deliberately are *not* — a
-        campaign checkpointed under the process pool may resume inline,
-        async, or on a different worker fleet and still produce identical
-        results.
+        execution backend, its sizing knobs, and — since format 2 — the
+        physical ``shards`` count deliberately are *not*: a campaign
+        checkpointed under the process pool may resume inline, async, or on
+        a different-sized worker fleet and still produce identical results.
+        What *is* pinned is ``slices``, the logical partition count every
+        entropy stream and seed-id namespace derives from.
         """
         configuration = self.configuration
         policy = SyncPolicy.normalize(configuration.sync_policy)
         return {
-            "shards": configuration.shards,
+            "slices": configuration.slices,
             "iterations": configuration.iterations,
             "sync_epochs": configuration.sync_epochs,
             "sync_policy": policy.to_dict(),
             "entropy": configuration.fuzzer.entropy,
             "variant": configuration.fuzzer.variant_name(),
             "low_gain_limit": configuration.fuzzer.low_gain_limit,
-            "cores": [prototype.core.name for prototype in self._shard_fuzzers],
+            "cores": [prototype.core.name for prototype in self._slice_fuzzers],
             "corpus_capacity": configuration.corpus_capacity,
             "redistribute_top": configuration.redistribute_top,
             "report_top_seeds": configuration.report_top_seeds,
@@ -678,9 +743,9 @@ class CampaignScheduler:
             "assignments": {
                 str(index): seed for index, seed in self._assignments.items()
             },
-            "shard_iterations_done": {
+            "slice_iterations_done": {
                 str(index): count
-                for index, count in self._shard_iterations_done.items()
+                for index, count in self._slice_iterations_done.items()
             },
             "transfer_count": self._transfer_count,
             "core_triggered": {
@@ -694,16 +759,16 @@ class CampaignScheduler:
                 for core, matrix in result.core_coverage.items()
             },
             "campaign": result.campaign.to_dict(),
-            "shard_points": {
+            "slice_points": {
                 str(index): [
                     point.to_dict()
                     for point in sorted(
                         points, key=lambda p: (p.module, p.tainted_count)
                     )
                 ]
-                for index, points in result.shard_points.items()
+                for index, points in result.slice_points.items()
             },
-            "shard_summaries": list(result.shard_summaries),
+            "slice_summaries": list(result.slice_summaries),
             "transfers": list(result.transfers),
             "redistributed_seeds": result.redistributed_seeds,
             "transferred_seeds": result.transferred_seeds,
@@ -722,22 +787,19 @@ class CampaignScheduler:
         return path
 
     def restore(self, payload: Dict[str, object]) -> None:
-        if payload.get("format") != CHECKPOINT_FORMAT:
+        found_format = payload.get("format")
+        if found_format != CHECKPOINT_FORMAT:
+            # Format 1 keyed everything by the physical shard index; there is
+            # no faithful way to reinterpret it under slice addressing, so
+            # fail loudly instead of raising a KeyError deep in the restore.
             raise ValueError(
-                f"unsupported checkpoint format {payload.get('format')!r} "
-                f"(expected {CHECKPOINT_FORMAT})"
+                f"checkpoint format {found_format!r}, expected "
+                f"{CHECKPOINT_FORMAT}; re-run the campaign from scratch or "
+                f"migrate the checkpoint (format 1 checkpoints are keyed by "
+                f"physical shard and cannot be resharded)"
             )
         expected = self.configuration_fingerprint()
         found = payload.get("fingerprint")
-        if isinstance(found, dict) and isinstance(found.get("sync_policy"), dict):
-            # Checkpoints written before the windowed stall estimate carry no
-            # window_rounds; they ran the single-round threshold, so default
-            # to 1 rather than stranding every pre-upgrade checkpoint.
-            found = dict(found)
-            found["sync_policy"] = {
-                "window_rounds": 1,
-                **found["sync_policy"],
-            }
         if found != expected:
             stored_policy = (found or {}).get("sync_policy")
             if stored_policy != expected.get("sync_policy"):
@@ -758,13 +820,13 @@ class CampaignScheduler:
                 f"(differing fields: {', '.join(differing)})"
             )
         configuration = self.configuration
-        shard_cores = {
+        slice_cores = {
             index: prototype.core.name
-            for index, prototype in enumerate(self._shard_fuzzers)
+            for index, prototype in enumerate(self._slice_fuzzers)
         }
         core_coverage: Dict[str, TaintCoverageMatrix] = {}
         stored_coverage = payload["core_coverage"]
-        for name in dict.fromkeys(shard_cores.values()):
+        for name in dict.fromkeys(slice_cores.values()):
             entry = stored_coverage.get(name, {"points": [], "history": []})
             matrix = TaintCoverageMatrix.from_dicts(entry["points"])
             matrix.history = [int(total) for total in entry["history"]]
@@ -774,15 +836,16 @@ class CampaignScheduler:
             core_coverage=core_coverage,
             shards=configuration.shards,
             epochs=len(self.epoch_budgets()),
-            shard_cores=shard_cores,
-            shard_points={
+            slices=configuration.slices,
+            slice_cores=slice_cores,
+            slice_points={
                 index: {
                     CoveragePoint.from_dict(point)
-                    for point in payload["shard_points"].get(str(index), [])
+                    for point in payload["slice_points"].get(str(index), [])
                 }
-                for index in range(configuration.shards)
+                for index in range(configuration.slices)
             },
-            shard_summaries=list(payload["shard_summaries"]),
+            slice_summaries=list(payload["slice_summaries"]),
             transfers=[dict(row) for row in payload["transfers"]],
             redistributed_seeds=int(payload["redistributed_seeds"]),
             transferred_seeds=int(payload["transferred_seeds"]),
@@ -790,13 +853,13 @@ class CampaignScheduler:
         )
         self._next_epoch = int(payload["next_epoch"])
         self._assignments = {
-            index: None for index in range(configuration.shards)
+            index: None for index in range(configuration.slices)
         }
         for key, seed in payload["assignments"].items():
             self._assignments[int(key)] = seed
-        self._shard_iterations_done = {
+        self._slice_iterations_done = {
             int(key): int(count)
-            for key, count in payload["shard_iterations_done"].items()
+            for key, count in payload["slice_iterations_done"].items()
         }
         self._transfer_count = int(payload["transfer_count"])
         self._core_triggered = {
@@ -811,11 +874,11 @@ class CampaignScheduler:
             core: matrix.to_dicts() for core, matrix in core_coverage.items()
         }
         # Transfers whose receiving epoch has not merged yet get their outcome
-        # filled in after resume; relink them by (target shard, epoch).
+        # filled in after resume; relink them by (target slice, epoch).
         self._pending_transfers = {}
         for row in self._result.transfers:
             if row.get("new_global_points") is None:
-                key = (int(row["target_shard"]), int(row["epoch"]))
+                key = (int(row["target_slice"]), int(row["epoch"]))
                 self._pending_transfers[key] = row
         self._elapsed_before = float(payload.get("wall_clock_seconds", 0.0))
 
@@ -823,25 +886,26 @@ class CampaignScheduler:
 
     def _initialise_run(self) -> None:
         configuration = self.configuration
-        shard_cores = {
+        slice_cores = {
             index: prototype.core.name
-            for index, prototype in enumerate(self._shard_fuzzers)
+            for index, prototype in enumerate(self._slice_fuzzers)
         }
-        # One matrix per distinct core, in shard order.
+        # One matrix per distinct core, in slice order.
         core_coverage = {
-            name: TaintCoverageMatrix() for name in dict.fromkeys(shard_cores.values())
+            name: TaintCoverageMatrix() for name in dict.fromkeys(slice_cores.values())
         }
         aggregate = CampaignResult(
             fuzzer_name=configuration.fuzzer.variant_name(),
-            core="+".join(dict.fromkeys(shard_cores.values())),
+            core="+".join(dict.fromkeys(slice_cores.values())),
         )
         self._result = EngineResult(
             campaign=aggregate,
             core_coverage=core_coverage,
             shards=configuration.shards,
             epochs=len(self.epoch_budgets()),
-            shard_cores=shard_cores,
-            shard_points={index: set() for index in range(configuration.shards)},
+            slices=configuration.slices,
+            slice_cores=slice_cores,
+            slice_points={index: set() for index in range(configuration.slices)},
         )
 
     def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
@@ -861,22 +925,22 @@ class CampaignScheduler:
 
     def _build_task(
         self,
-        shard_index: int,
+        slice_index: int,
         epoch: int,
         iterations: int,
     ) -> ShardTask:
-        prototype = self._shard_fuzzers[shard_index]
-        shard_configuration = replace(
+        prototype = self._slice_fuzzers[slice_index]
+        slice_configuration = replace(
             prototype,
-            entropy=self.shard_entropy(shard_index, epoch),
-            seed_id_base=self.shard_seed_id_base(shard_index, epoch),
+            entropy=self.slice_entropy(slice_index, epoch),
+            seed_id_base=self.slice_seed_id_base(slice_index, epoch),
         )
         return ShardTask(
-            shard_index=shard_index,
+            slice_index=slice_index,
             epoch=epoch,
             iterations=iterations,
-            configuration=shard_configuration,
-            initial_seed=self._assignments.get(shard_index),
+            configuration=slice_configuration,
+            initial_seed=self._assignments.get(slice_index),
             baseline_points=self._baseline_points.get(prototype.core.name, []),
             report_top_seeds=self.configuration.report_top_seeds,
             step_latency=self.configuration.step_latency,
@@ -888,71 +952,71 @@ class CampaignScheduler:
         payloads: List[Dict[str, object]],
         result: EngineResult,
         epoch_offset_seconds: float,
-        shard_iterations_done: Dict[int, int],
+        slice_iterations_done: Dict[int, int],
     ) -> Dict[int, int]:
-        """Fold one epoch's shard payloads into the global per-core state."""
+        """Fold one epoch's slice payloads into the global per-core state."""
         epoch_gains: Dict[int, int] = {}
         for payload in payloads:
-            shard_index = payload["shard_index"]
+            slice_index = payload["slice_index"]
             core_name = payload["core"]
             matrix = result.core_coverage[core_name]
             points = {CoveragePoint.from_dict(entry) for entry in payload["points"]}
             newly_added = matrix.add_points(points)
-            epoch_gains[shard_index] = newly_added
-            result.shard_points[shard_index] |= points
+            epoch_gains[slice_index] = newly_added
+            result.slice_points[slice_index] |= points
             # The aggregate curve counts points across cores (per-core curves
             # live in each matrix's own history).
             result.campaign.coverage_history.append(result.total_coverage())
-            shard_result = CampaignResult.from_dict(payload["result"])
-            # Shard bug metrics are epoch-local; rebase them to the engine's
-            # origin (campaign start, shard-cumulative iterations) so
+            slice_result = CampaignResult.from_dict(payload["result"])
+            # Slice bug metrics are epoch-local; rebase them to the engine's
+            # origin (campaign start, slice-cumulative iterations) so
             # merge_shard's min() compares like with like and the merged
             # reports sit on the same timeline as first_bug_*.
-            iterations_before = shard_iterations_done.get(shard_index, 0)
-            if shard_result.first_bug_iteration is not None:
-                shard_result.first_bug_iteration += iterations_before
-            if shard_result.first_bug_seconds is not None:
-                shard_result.first_bug_seconds += epoch_offset_seconds
-            for report in shard_result.reports:
+            iterations_before = slice_iterations_done.get(slice_index, 0)
+            if slice_result.first_bug_iteration is not None:
+                slice_result.first_bug_iteration += iterations_before
+            if slice_result.first_bug_seconds is not None:
+                slice_result.first_bug_seconds += epoch_offset_seconds
+            for report in slice_result.reports:
                 report.iteration += iterations_before
                 report.wall_clock_seconds += epoch_offset_seconds
-            shard_iterations_done[shard_index] = (
-                shard_iterations_done.get(shard_index, 0) + shard_result.iterations_run
+            slice_iterations_done[slice_index] = (
+                slice_iterations_done.get(slice_index, 0) + slice_result.iterations_run
             )
             # Which window-type groups this core has triggered so far; the
             # redistribution walk biases donors towards cores where their
             # group is still untriggered.
             self._core_triggered.setdefault(core_name, set()).update(
-                shard_result.triggered_windows
+                slice_result.triggered_windows
             )
-            result.campaign.merge_shard(shard_result)
+            result.campaign.merge_shard(slice_result)
             for entry in payload["top_seeds"]:
                 self.corpus.add(
                     Seed.from_dict(entry["seed"]),
                     gain=int(entry["gain"]),
-                    shard_index=shard_index,
+                    slice_index=slice_index,
                     epoch=payload["epoch"],
                     core=core_name,
                 )
             pending = self._pending_transfers.pop(
-                (shard_index, payload["epoch"]), None
+                (slice_index, payload["epoch"]), None
             )
             if pending is not None:
                 pending["new_global_points"] = newly_added
-                pending["reports"] = len(shard_result.reports)
+                pending["reports"] = len(slice_result.reports)
             sim_stats = payload.get("sim_stats")
             if sim_stats:
                 # Subprocess-simulator accounting rides along in the payload;
                 # diagnostics only, so it never feeds the deterministic state.
                 result.sim_log.append(dict(sim_stats))
-            result.shard_summaries.append(
+            result.slice_summaries.append(
                 {
-                    "shard": shard_index,
+                    "slice": slice_index,
                     "epoch": payload["epoch"],
                     "core": core_name,
-                    "iterations": shard_result.iterations_run,
+                    "iterations": slice_result.iterations_run,
                     "new_global_points": newly_added,
-                    "reports": len(shard_result.reports),
+                    "reports": len(slice_result.reports),
                     "wall_seconds": round(payload["wall_seconds"], 3),
                 }
             )
@@ -968,25 +1032,25 @@ class CampaignScheduler:
         next_budgets: Optional[List[int]] = None,
         next_epoch: int = 0,
     ) -> Dict[int, Optional[Dict[str, object]]]:
-        """Assign top corpus seeds to the shards that gained the least.
+        """Assign top corpus seeds to the slices that gained the least.
 
         Donors are considered in global gain order, with a transfer-aware
         bias: donors whose window-type *group* the receiving core has not
         triggered yet rank first (stable within each tier, so gain order
         still decides among them) — a seed is worth the most exactly where
         its window group is still unexplored.  A compatible donor (same core
-        as the receiving shard, or untagged) is handed over as-is, while a
+        as the receiving slice, or untagged) is handed over as-is, while a
         foreign-core donor is *transferred* — its portable genotype
-        re-realized for the shard's core.  The shared corpus is thus one
+        re-realized for the slice's core.  The shared corpus is thus one
         cross-core pool: if the most productive seed campaign-wide lives on
-        the other core, the lagging shard still benefits from it.
-        ``next_budgets`` filters out shards with no iterations left in the
+        the other core, the lagging slice still benefits from it.
+        ``next_budgets`` filters out slices with no iterations left in the
         next epoch — assigning them a donor would silently drop the seed while
-        withholding it from shards that could still run it.
+        withholding it from slices that could still run it.
         """
         configuration = self.configuration
         assignments: Dict[int, Optional[Dict[str, object]]] = {
-            index: None for index in range(configuration.shards)
+            index: None for index in range(configuration.slices)
         }
         if not epoch_gains or len(self.corpus) == 0:
             return assignments
@@ -997,22 +1061,22 @@ class CampaignScheduler:
         ]
         lagging = sorted(eligible, key=lambda index: (epoch_gains[index], index))
         assigned_ids: set = set()
-        for shard_index in lagging[: configuration.redistribute_top]:
-            target_core = self.shard_core(shard_index)
+        for slice_index in lagging[: configuration.redistribute_top]:
+            target_core = self.slice_core(slice_index)
             supported = target_core.supported_window_types()
             triggered_groups = self._core_triggered.get(target_core.name, set())
             donors = sorted(
-                self.corpus.best(len(self.corpus), exclude_shard=shard_index),
+                self.corpus.best(len(self.corpus), exclude_slice=slice_index),
                 key=lambda donor: group_of(donor.seed.window_type)
                 in triggered_groups,
             )
-            # Each lagging shard gets a *distinct* donor seed, otherwise every
+            # Each lagging slice gets a *distinct* donor seed, otherwise every
             # redistribution slot would restart from the same global best.
             for donor in donors:
                 if donor.seed.seed_id in assigned_ids:
                     continue
                 if donor.compatible_with(target_core.name):
-                    assignments[shard_index] = donor.seed.to_dict()
+                    assignments[slice_index] = donor.seed.to_dict()
                     assigned_ids.add(donor.seed.seed_id)
                     result.redistributed_seeds += 1
                     break
@@ -1024,24 +1088,24 @@ class CampaignScheduler:
                     supported=supported,
                 )
                 self._transfer_count += 1
-                assignments[shard_index] = transferred.to_dict()
+                assignments[slice_index] = transferred.to_dict()
                 assigned_ids.add(donor.seed.seed_id)
                 result.redistributed_seeds += 1
                 result.transferred_seeds += 1
                 row: Dict[str, object] = {
                     "donor_seed_id": donor.seed.seed_id,
                     "donor_core": donor.core or donor.seed.core,
-                    "donor_shard": donor.shard_index,
+                    "donor_slice": donor.slice_index,
                     "donor_gain": donor.gain,
                     "target_core": target_core.name,
-                    "target_shard": shard_index,
+                    "target_slice": slice_index,
                     "transferred_seed_id": transferred.seed_id,
                     "epoch": next_epoch,
                     "new_global_points": None,
                     "reports": None,
                 }
                 result.transfers.append(row)
-                self._pending_transfers[(shard_index, next_epoch)] = row
+                self._pending_transfers[(slice_index, next_epoch)] = row
                 break
         return assignments
 
@@ -1080,13 +1144,13 @@ class ParallelCampaignEngine:
     def _core_triggered(self, value: Dict[str, Set[str]]) -> None:
         self.scheduler._core_triggered = value
 
-    def shard_entropy(self, shard_index: int, epoch: int) -> int:
-        return self.scheduler.shard_entropy(shard_index, epoch)
+    def slice_entropy(self, slice_index: int, epoch: int) -> int:
+        return self.scheduler.slice_entropy(slice_index, epoch)
 
-    shard_seed_id_base = staticmethod(CampaignScheduler.shard_seed_id_base)
+    slice_seed_id_base = staticmethod(CampaignScheduler.slice_seed_id_base)
 
-    def shard_core(self, shard_index: int) -> CoreConfig:
-        return self.scheduler.shard_core(shard_index)
+    def slice_core(self, slice_index: int) -> CoreConfig:
+        return self.scheduler.slice_core(slice_index)
 
     def epoch_budgets(self) -> List[List[int]]:
         return self.scheduler.epoch_budgets()
@@ -1191,6 +1255,7 @@ class ParallelCampaignEngine:
 def run_parallel_campaign(
     core=None,
     shards: Optional[int] = None,
+    slices: Optional[int] = None,
     iterations: int = 100,
     sync_epochs: int = 2,
     entropy: int = 2025,
@@ -1209,10 +1274,14 @@ def run_parallel_campaign(
     """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`.
 
     ``core`` is the prototype core for homogeneous campaigns; ``cores`` gives
-    a per-shard assignment for heterogeneous ones (``core`` then defaults to
+    a per-slice assignment for heterogeneous ones (``core`` then defaults to
     the first entry and only seeds the prototype configuration).  ``shards``
-    defaults to one per ``cores`` entry, matching the CLI, or to 4.
-    ``backend`` passes a caller-owned backend instance straight through to
+    defaults to one per ``cores`` entry, matching the CLI, or to 4; it only
+    sizes the execution backend.  ``slices`` pins the logical partition count
+    (default ``max(shards, DEFAULT_MIN_SLICES)``) — everything deterministic
+    derives from it, so runs with the same ``slices`` but different
+    ``shards`` produce identical campaigns.  ``backend`` passes a
+    caller-owned backend instance straight through to
     :meth:`ParallelCampaignEngine.run`.
     """
     if shards is None:
@@ -1231,6 +1300,7 @@ def run_parallel_campaign(
     configuration = EngineConfiguration(
         fuzzer=fuzzer_configuration,
         shards=shards,
+        slices=slices,
         iterations=iterations,
         sync_epochs=sync_epochs,
         executor=executor,
@@ -1271,13 +1341,14 @@ def build_parser() -> argparse.ArgumentParser:
         "--core",
         choices=sorted(CORE_FACTORIES),
         default="boom",
-        help="simulated core for every shard (default: boom; see --list-cores)",
+        help="simulated core for every slice (default: boom; see --list-cores)",
     )
     parser.add_argument(
         "--cores",
         metavar="A,B,...",
-        help="comma-separated per-shard core assignment for a heterogeneous "
-        "campaign, e.g. boom,boom,xiangshan,xiangshan (overrides --core)",
+        help="comma-separated core rotation assigned to slices round-robin "
+        "for a heterogeneous campaign, e.g. boom,xiangshan (overrides "
+        "--core; survives resharding because it is keyed by slice)",
     )
     parser.add_argument(
         "--list-cores",
@@ -1286,10 +1357,17 @@ def build_parser() -> argparse.ArgumentParser:
     )
     parser.add_argument(
         "--shards", type=int, default=None,
-        help="parallel shard count (default: 4, or the length of --cores)",
+        help="physical executor count — sizes pools/fleets only, never the "
+        "campaign's deterministic state, so --resume accepts a different "
+        "value (default: 4, or the length of --cores)",
     )
     parser.add_argument(
-        "--iterations", type=int, default=100, help="total iteration budget across all shards"
+        "--slices", type=int, default=None,
+        help="logical work partition count; pinned by the checkpoint "
+        "fingerprint (default: max(shards, 16))",
+    )
+    parser.add_argument(
+        "--iterations", type=int, default=100, help="total iteration budget across all slices"
     )
     parser.add_argument(
         "--epochs", type=int, default=2, help="sync epochs (corpus/coverage merges)"
@@ -1319,7 +1397,7 @@ def build_parser() -> argparse.ArgumentParser:
         "--concurrency",
         type=int,
         default=None,
-        help="async backend: max shards in flight on the event loop (default: 4)",
+        help="async backend: max slice tasks in flight on the event loop (default: 4)",
     )
     parser.add_argument(
         "--listen",
@@ -1339,8 +1417,8 @@ def build_parser() -> argparse.ArgumentParser:
         "--simulator",
         choices=sorted(SIMULATOR_NAMES),
         default="inproc",
-        help="where shard simulations execute: inside the executing process "
-        "(inproc) or on per-shard repro.sim server subprocesses with "
+        help="where slice simulations execute: inside the executing process "
+        "(inproc) or on per-slice repro.sim server subprocesses with "
         "crash recovery (subprocess); default: inproc",
     )
     parser.add_argument(
@@ -1449,6 +1527,7 @@ def main(argv: Optional[List[str]] = None) -> int:
         configuration = EngineConfiguration(
             fuzzer=fuzzer_configuration,
             shards=shards,
+            slices=args.slices,
             iterations=args.iterations,
             sync_epochs=args.epochs,
             max_workers=args.workers,
@@ -1507,14 +1586,15 @@ def main(argv: Optional[List[str]] = None) -> int:
         return 0
 
     print(f"\n{result.campaign.fuzzer_name} on {result.campaign.core}: "
-          f"{configuration.shards} shards x {result.epochs} epochs "
+          f"{result.slices} slices on {configuration.shards} shards x "
+          f"{result.epochs} epochs "
           f"({backend} backend, {configuration.sync_policy.kind} sync)")
     for key, value in result.summary().items():
         print(f"  {key:22s} {value}")
-    print("\nper shard-epoch:")
-    for row in result.shard_summaries:
+    print("\nper slice-epoch:")
+    for row in result.slice_summaries:
         print(
-            f"  shard {row['shard']} ({row['core']}) epoch {row['epoch']}: "
+            f"  slice {row['slice']} ({row['core']}) epoch {row['epoch']}: "
             f"{row['iterations']:4d} iters, +{row['new_global_points']} global points, "
             f"{row['reports']} reports, {row['wall_seconds']}s"
         )
@@ -1528,7 +1608,7 @@ def main(argv: Optional[List[str]] = None) -> int:
             )
             print(
                 f"  seed {row['donor_seed_id']} [{row['donor_core']}] -> "
-                f"shard {row['target_shard']} [{row['target_core']}] "
+                f"slice {row['target_slice']} [{row['target_core']}] "
                 f"epoch {row['epoch']}: {outcome}"
             )
     if result.worker_log:
@@ -1539,16 +1619,16 @@ def main(argv: Optional[List[str]] = None) -> int:
             print(
                 f"  {row['worker']:8s} tasks={row['tasks']:3d} "
                 f"epochs={row['epochs']:2d} "
-                f"shard-seconds={row['shard_seconds']:.2f} "
+                f"task-seconds={row['task_seconds']:.2f} "
                 f"reassigned-in={row['reassigned_tasks']}"
             )
     if result.sim_log:
         from repro.analysis import simulator_process_table
 
-        print("\nper-shard simulator processes:")
+        print("\nper-slice simulator processes:")
         for row in simulator_process_table(result.sim_log):
             print(
-                f"  shard {row['shard']} tasks={row['tasks']:3d} "
+                f"  slice {row['slice']} tasks={row['tasks']:3d} "
                 f"spawns={row['spawns']:2d} restarts={row['restarts']:2d} "
                 f"steps={row['steps']:4d} "
                 f"mean-step={row['mean_step_seconds']*1000:.1f}ms"
@@ -1565,7 +1645,7 @@ def main(argv: Optional[List[str]] = None) -> int:
                 core: matrix.to_dicts()
                 for core, matrix in sorted(result.core_coverage.items())
             },
-            "shard_summaries": result.shard_summaries,
+            "slice_summaries": result.slice_summaries,
             "transfers": result.transfers,
         }
         with open(args.json, "w", encoding="utf-8") as handle:

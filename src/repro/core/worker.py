@@ -133,7 +133,7 @@ def _serve_connection(
             log(
                 f"running batch of {len(tasks)}: "
                 + ", ".join(
-                    f"epoch {task.epoch} shard {task.shard_index}" for task in tasks
+                    f"epoch {task.epoch} slice {task.slice_index}" for task in tasks
                 )
             )
             try:

@@ -6,7 +6,7 @@ simulator; this package makes that boundary real.  A **simulator server**
 JSON-lines stdio protocol — ``LOAD`` a workload, ``STEP`` to the next
 simulator boundary, ``READ`` coverage/census state, ``SNAPSHOT``/``RESTORE``
 for crash recovery, ``QUIT`` — and a **fault-tolerant client**
-(:class:`~repro.sim.client.SubprocessSimulator`, pooled per shard by
+(:class:`~repro.sim.client.SubprocessSimulator`, pooled per slice by
 :class:`~repro.sim.client.SimProcessPool`) drives campaign steps against it.
 
 The reference server hosts the in-repo cycle-accurate model (the
@@ -23,7 +23,7 @@ server processes died, which the fault-injection tests assert.
 Select it from the campaign engine with ``--simulator subprocess`` (or
 ``EngineConfiguration.simulator = "subprocess"``); every execution backend —
 inline, process pool, async interleaver, distributed workers — then executes
-its shard steps against per-shard server processes.
+its slice steps against per-slice server processes.
 """
 
 from repro.sim.client import (

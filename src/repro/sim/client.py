@@ -7,12 +7,12 @@ Three layers:
   ``select``-based with a deadline, so a *hung* server (alive but silent) is
   detected exactly like a dead one: the process is killed and the request
   raises :class:`SimServerCrash`.
-* :class:`SubprocessSimulator` — the fault-tolerant driver of one shard's
+* :class:`SubprocessSimulator` — the fault-tolerant driver of one slice's
   workload.  It LOADs a task, STEPs it to completion, takes a SNAPSHOT every
   ``snapshot_interval`` steps, and when the server crashes or hangs it spawns
   a replacement, RESTOREs the last snapshot (verifying the state digest),
   silently re-steps the gap, and continues — the campaign never notices.
-* :class:`SimProcessPool` — spawns and reuses one simulator per shard slot;
+* :class:`SimProcessPool` — spawns and reuses one simulator per slice slot;
   :func:`run_task_on_default_pool` is the module-level entry point the
   execution backends dispatch ``ShardTask.simulator == "subprocess"`` work
   through (each OS process — pool worker, worker daemon — owns its own
@@ -229,7 +229,7 @@ def parse_response(line: bytes) -> Dict[str, object]:
 
 @dataclass
 class SimTaskStats:
-    """Per-task simulator-process accounting, reported in the shard payload.
+    """Per-task simulator-process accounting, reported in the slice payload.
 
     ``steps`` counts the timed STEP round trips (the workload-finishing one
     included) and ``step_seconds_total`` sums only their successful server
@@ -238,7 +238,7 @@ class SimTaskStats:
     per-step speed even on a task that needed restarts.
     """
 
-    shard_index: int
+    slice_index: int
     epoch: int
     spawns: int = 0     # server processes started while serving this task
     restarts: int = 0   # crash/hang recoveries (a subset of spawns)
@@ -247,7 +247,7 @@ class SimTaskStats:
 
     def to_row(self) -> Dict[str, object]:
         return {
-            "shard_index": self.shard_index,
+            "slice_index": self.slice_index,
             "epoch": self.epoch,
             "spawns": self.spawns,
             "restarts": self.restarts,
@@ -260,10 +260,10 @@ class SimTaskStats:
 
 
 class SubprocessSimulator:
-    """Fault-tolerant driver of shard workloads on one server process.
+    """Fault-tolerant driver of slice workloads on one server process.
 
     The server process persists across tasks (LOAD resets the session), so an
-    engine campaign pays the interpreter spawn once per shard, not once per
+    engine campaign pays the interpreter spawn once per slice, not once per
     epoch.  ``command_factory(spawn_index)`` overrides the argv per spawn —
     the fault drills use it to give only the *first* process a crash/hang
     flag.
@@ -326,7 +326,7 @@ class SubprocessSimulator:
     # -- the task driver --------------------------------------------------------------------
 
     def run_task(self, task: ShardTask) -> Dict[str, object]:
-        """LOAD + STEP a shard task to completion; returns its result payload
+        """LOAD + STEP a slice task to completion; returns its result payload
         (with a ``sim_stats`` row attached)."""
         self.begin_task(task)
         while self.advance() is not None:
@@ -336,7 +336,7 @@ class SubprocessSimulator:
     def begin_task(self, task: ShardTask) -> None:
         """LOAD a task onto the server (spawning one if needed)."""
         self._wire = shard_task_to_wire(task)
-        self._stats = SimTaskStats(shard_index=task.shard_index, epoch=task.epoch)
+        self._stats = SimTaskStats(slice_index=task.slice_index, epoch=task.epoch)
         self._loaded = False
         self._steps_done = 0
         self._snapshot = None
@@ -492,13 +492,13 @@ class SubprocessSimulator:
 
 
 class SimProcessPool:
-    """Per-shard simulator servers, spawned lazily and reused across epochs.
+    """Per-slice simulator servers, spawned lazily and reused across epochs.
 
     The pool keeps at most ``max_live_servers`` server processes alive
     (default: ``max(4, cpu_count)``): acquiring a new slot past the cap quits
     the least-recently-used *idle* server first, so slot affinity is kept
     while the process count stays bounded — a process-pool worker that is
-    handed a different shard every epoch accumulates closed slots, not idle
+    handed a different slice every epoch accumulates closed slots, not idle
     interpreters.  An evicted slot keeps its entry (and lifetime counters)
     and simply respawns on next use.
     """
@@ -524,7 +524,7 @@ class SimProcessPool:
         self._lock = threading.Lock()
 
     def simulator(self, slot: int) -> SubprocessSimulator:
-        """The simulator serving one shard slot (created on first use)."""
+        """The simulator serving one slice slot (created on first use)."""
         with self._lock:
             simulator = self._simulators.get(slot)
             if simulator is None:
@@ -559,7 +559,7 @@ class SimProcessPool:
             self._simulators[idle[0][1]].close()
 
     def run_task(self, task: ShardTask) -> Dict[str, object]:
-        return self.simulator(task.shard_index).run_task(task)
+        return self.simulator(task.slice_index).run_task(task)
 
     def processes(self) -> List[Dict[str, object]]:
         """A snapshot of the pool's server processes (slot, pid, liveness).

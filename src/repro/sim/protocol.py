@@ -38,7 +38,7 @@ type        fields
 LOADED      ``steps`` (0), ``digest``
 STEP        ``done``; while running: ``step`` (iteration, phase,
             simulations, end_of_iteration) and ``steps``; when the
-            workload finishes: ``payload`` (the shard's result dict,
+            workload finishes: ``payload`` (the slice's result dict,
             identical to :func:`repro.core.backends.run_shard_task`)
 STATE       ``loaded``, ``finished``, ``steps``, ``coverage``
             (``total`` + sorted ``per_module`` counts), ``history``,
@@ -103,7 +103,7 @@ def read_frame(stream: IO[str]) -> Optional[Dict[str, object]]:
 
 
 def state_digest(runner, steps: int) -> str:
-    """Deterministic digest of a shard runner's observable campaign state.
+    """Deterministic digest of a slice runner's observable campaign state.
 
     Covers everything the campaign's deterministic wire forms are built from
     — coverage points and history, the timing-free campaign result — plus the

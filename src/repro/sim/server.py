@@ -12,12 +12,12 @@ uses — each ``STEP`` runs to the next simulator boundary (a Phase-1 window
 batch of N un-instrumented simulations, or one differential dual-DUT
 exploration run on the :class:`~repro.swapmem.harness.DualCoreHarness`).
 Because the runner is a pure function of the loaded task, a server-driven
-shard is byte-identical to an in-process one, and ``RESTORE`` can rebuild any
+slice is byte-identical to an in-process one, and ``RESTORE`` can rebuild any
 session state by deterministic replay.
 
 The server is single-session and single-threaded on purpose: one campaign
-shard talks to one server process, and process-level parallelism comes from
-running many servers (one per shard — :class:`repro.sim.client.SimProcessPool`).
+slice talks to one server process, and process-level parallelism comes from
+running many servers (one per slice — :class:`repro.sim.client.SimProcessPool`).
 stdout carries protocol frames only; logging goes to stderr.
 
 Fault-injection flags for tests and recovery drills (a real deployment never

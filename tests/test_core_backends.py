@@ -23,7 +23,7 @@ BOOM = small_boom_config()
 
 def make_task(**overrides):
     defaults = dict(
-        shard_index=0,
+        slice_index=0,
         epoch=0,
         iterations=4,
         configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
@@ -89,7 +89,7 @@ class TestShardTaskDrivers:
                 break
         assert steps >= task.iterations
         direct = run_shard_task(make_task())
-        for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+        for key in ("slice_index", "epoch", "core", "points", "top_seeds"):
             assert payload[key] == direct[key]
         assert payload["result"]["coverage_history"] == direct["result"]["coverage_history"]
 
@@ -99,13 +99,13 @@ class TestShardTaskDrivers:
         fast2 = run_shard_task(make_task(iterations=2))
         assert slow["points"] == fast2["points"]
         assert slow["result"]["coverage_history"] == fast2["result"]["coverage_history"]
-        assert fast["shard_index"] == 0  # smoke: zero-latency default path still runs
+        assert fast["slice_index"] == 0  # smoke: zero-latency default path still runs
 
 
 class TestBackends:
     def run_tasks(self, backend):
         tasks = [
-            make_task(shard_index=index, configuration=FuzzerConfiguration(
+            make_task(slice_index=index, configuration=FuzzerConfiguration(
                 core=BOOM, entropy=31 + index, seed_id_base=10 + 100 * index))
             for index in range(3)
         ]
@@ -140,15 +140,15 @@ class TestBackends:
         payloads = backend.run_epoch([make_task()])
         assert backend._pool is None  # no worker spawned for one task
         backend.close()
-        assert payloads[0]["shard_index"] == 0
+        assert payloads[0]["slice_index"] == 0
 
     def test_process_pool_is_reused_across_epochs(self):
         backend = ProcessPoolBackend(max_workers=2)
         try:
-            backend.run_epoch([make_task(shard_index=0), make_task(shard_index=1)])
+            backend.run_epoch([make_task(slice_index=0), make_task(slice_index=1)])
             pool = backend._pool
             assert pool is not None
-            backend.run_epoch([make_task(shard_index=0), make_task(shard_index=1)])
+            backend.run_epoch([make_task(slice_index=0), make_task(slice_index=1)])
             assert backend._pool is pool
         finally:
             backend.close()
@@ -237,7 +237,7 @@ class TestShardCampaignRunner:
             assert (ours.iteration, ours.phase, ours.simulations) == (
                 theirs.iteration, theirs.phase, theirs.simulations
             )
-        for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+        for key in ("slice_index", "epoch", "core", "points", "top_seeds"):
             assert runner.payload[key] == generator_payload[key]
         assert runner.payload["result"]["coverage_history"] == (
             generator_payload["result"]["coverage_history"]

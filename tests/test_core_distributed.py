@@ -48,7 +48,7 @@ def deterministic_wire(result):
 
 def make_task(**overrides):
     defaults = dict(
-        shard_index=0,
+        slice_index=0,
         epoch=0,
         iterations=3,
         configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
@@ -96,7 +96,7 @@ class TestWireForms:
         task = make_task()
         direct = run_shard_task(make_task())
         rebuilt = run_shard_task(shard_task_from_wire(shard_task_to_wire(task)))
-        for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+        for key in ("slice_index", "epoch", "core", "points", "top_seeds"):
             assert rebuilt[key] == direct[key]
         assert rebuilt["result"]["coverage_history"] == direct["result"]["coverage_history"]
 
@@ -178,7 +178,7 @@ class TestDistributedBackend:
         try:
             start_worker_thread(backend.address)
             tasks = [
-                make_task(shard_index=index, configuration=FuzzerConfiguration(
+                make_task(slice_index=index, configuration=FuzzerConfiguration(
                     core=BOOM, entropy=31 + index, seed_id_base=10 + 100 * index))
                 for index in range(3)
             ]
@@ -187,7 +187,7 @@ class TestDistributedBackend:
             backend.close()
         direct = [run_shard_task(task) for task in tasks]
         for received, expected in zip(payloads, direct):
-            for key in ("shard_index", "epoch", "core", "points", "top_seeds"):
+            for key in ("slice_index", "epoch", "core", "points", "top_seeds"):
                 assert received[key] == expected[key]
 
     def test_workers_may_join_mid_epoch(self):
@@ -200,11 +200,11 @@ class TestDistributedBackend:
                 0.3, lambda: start_worker_thread(backend.address)
             )
             late_starter.start()
-            tasks = [make_task(shard_index=index, configuration=FuzzerConfiguration(
+            tasks = [make_task(slice_index=index, configuration=FuzzerConfiguration(
                 core=BOOM, entropy=40 + index, seed_id_base=10 + 100 * index))
                 for index in range(4)]
             payloads = backend.run_epoch(tasks)
-            assert [payload["shard_index"] for payload in payloads] == [0, 1, 2, 3]
+            assert [payload["slice_index"] for payload in payloads] == [0, 1, 2, 3]
         finally:
             backend.close()
 
@@ -229,7 +229,8 @@ class TestDistributedBackend:
         from repro.analysis import worker_utilization_table
 
         rows = worker_utilization_table(distributed.worker_log)
-        assert sum(row["tasks"] for row in rows) == 4  # 2 shards x 2 epochs
+        # One delivery per executed slice-epoch task (4 active slices x 2 epochs).
+        assert sum(row["tasks"] for row in rows) == 8
 
     def test_shared_backend_scopes_worker_log_per_campaign(self):
         # One connected fleet may serve several campaigns in a row; each
@@ -248,9 +249,9 @@ class TestDistributedBackend:
             )
         finally:
             backend.close()
-        assert len(first.worker_log) == 2
-        assert len(second.worker_log) == 2
-        assert len(backend.utilization_log) == 4  # the fleet log stays cumulative
+        assert len(first.worker_log) == 4  # one row per executed slice task
+        assert len(second.worker_log) == 4
+        assert len(backend.utilization_log) == 8  # the fleet log stays cumulative
 
     def test_heterogeneous_distributed_matches_inline(self):
         cores = ["boom", "xiangshan"]
@@ -348,7 +349,7 @@ class TestFaultTolerance:
             send_frame(client, {"type": "RESULT", "task_id": task_id, "payload": payload})
             runner.join(timeout=30)
             assert not runner.is_alive()
-            assert [p["shard_index"] for p in collected["payloads"]] == [0]
+            assert [p["slice_index"] for p in collected["payloads"]] == [0]
             assert len(backend.utilization_log) == 1
             client.close()
         finally:
@@ -482,3 +483,58 @@ class TestWorkerCrashRecovery:
             backend.close()
         assert deterministic_wire(campaign) == deterministic_wire(inline)
         assert campaign.worker_log  # the reconnected daemon delivered the work
+
+
+class TestElasticDistributedResume:
+    """Checkpoints are keyed by logical slice, so a distributed campaign can
+    resume on a fleet of a different size — byte-identical to both the
+    uninterrupted run and an inline resume."""
+
+    def cfg(self, shards, checkpoint_path):
+        from repro.core import EngineConfiguration
+
+        return EngineConfiguration(
+            fuzzer=FuzzerConfiguration(core=BOOM, entropy=9),
+            shards=shards,
+            iterations=12,
+            sync_epochs=3,
+            executor="inline",
+            checkpoint_path=checkpoint_path,
+        )
+
+    def test_resume_on_a_larger_fleet_is_byte_identical(self, tmp_path):
+        from repro.core import ParallelCampaignEngine
+
+        uninterrupted = run_parallel_campaign(
+            BOOM, shards=2, iterations=12, sync_epochs=3, entropy=9,
+            executor="inline",
+        )
+        checkpoint = str(tmp_path / "checkpoint.json")
+
+        # Phase 1: a 2-shard campaign on a fleet of one worker, halted after
+        # the first sync epoch.
+        first = DistributedBackend(listen="127.0.0.1:0", min_workers=1)
+        try:
+            start_worker_thread(first.address)
+            partial = ParallelCampaignEngine(self.cfg(2, checkpoint)).run(
+                max_epochs=1, backend=first
+            )
+            assert not partial.complete
+        finally:
+            first.close()
+
+        # Phase 2: resume the same checkpoint at twice the shards on a fleet
+        # with one more worker than before.
+        second = DistributedBackend(listen="127.0.0.1:0", min_workers=2)
+        try:
+            start_worker_thread(second.address)
+            start_worker_thread(second.address)
+            resumed = ParallelCampaignEngine.resume_from(
+                checkpoint, self.cfg(4, checkpoint)
+            ).run(backend=second)
+        finally:
+            second.close()
+        assert resumed.complete
+        assert resumed.shards == 4
+        assert deterministic_wire(resumed) == deterministic_wire(uninterrupted)
+        assert resumed.worker_log  # the new fleet actually ran the tasks

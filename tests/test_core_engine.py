@@ -1,5 +1,5 @@
 """Tests for the sharded parallel campaign engine, the shared corpus and the
-wire-format serialization that carries state between shard processes."""
+wire-format serialization that carries state between executor processes."""
 
 import pytest
 
@@ -141,24 +141,24 @@ class TestWireFormats:
 class TestSharedCorpus:
     def test_ranked_by_gain_with_deterministic_ties(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=5, shard_index=0, epoch=0)
-        corpus.add(make_seed(seed_id=2), gain=9, shard_index=1, epoch=0)
-        corpus.add(make_seed(seed_id=3), gain=5, shard_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=1), gain=5, slice_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=9, slice_index=1, epoch=0)
+        corpus.add(make_seed(seed_id=3), gain=5, slice_index=0, epoch=0)
         best = corpus.best(3)
         assert [entry.seed.seed_id for entry in best] == [2, 1, 3]
 
     def test_higher_gain_updates_existing_entry(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=2, shard_index=0, epoch=0)
-        corpus.add(make_seed(seed_id=1), gain=8, shard_index=0, epoch=1)
-        corpus.add(make_seed(seed_id=1), gain=4, shard_index=0, epoch=2)
+        corpus.add(make_seed(seed_id=1), gain=2, slice_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=1), gain=8, slice_index=0, epoch=1)
+        corpus.add(make_seed(seed_id=1), gain=4, slice_index=0, epoch=2)
         assert len(corpus) == 1
         assert corpus.best(1)[0].gain == 8
 
     def test_capacity_trim_keeps_top_gain(self):
         corpus = SharedCorpus(capacity=2)
         for seed_id, gain in ((1, 1), (2, 9), (3, 5)):
-            corpus.add(make_seed(seed_id=seed_id), gain=gain, shard_index=0, epoch=0)
+            corpus.add(make_seed(seed_id=seed_id), gain=gain, slice_index=0, epoch=0)
         assert len(corpus) == 2
         assert [entry.seed.seed_id for entry in corpus.best(2)] == [2, 3]
 
@@ -166,30 +166,30 @@ class TestSharedCorpus:
         # Regression: the freshly-offered entry can be the one trimmed away;
         # add() must still return it instead of raising KeyError.
         corpus = SharedCorpus(capacity=2)
-        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0)
-        corpus.add(make_seed(seed_id=2), gain=5, shard_index=0, epoch=0)
-        evicted = corpus.add(make_seed(seed_id=3), gain=1, shard_index=1, epoch=0)
+        corpus.add(make_seed(seed_id=1), gain=9, slice_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=5, slice_index=0, epoch=0)
+        evicted = corpus.add(make_seed(seed_id=3), gain=1, slice_index=1, epoch=0)
         assert evicted.seed.seed_id == 3
         assert len(corpus) == 2
         assert [entry.seed.seed_id for entry in corpus.best(2)] == [1, 2]
 
-    def test_exclude_shard_skips_own_seeds(self):
+    def test_exclude_slice_skips_own_seeds(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0)
-        corpus.add(make_seed(seed_id=2), gain=1, shard_index=1, epoch=0)
-        best = corpus.best(1, exclude_shard=0)
+        corpus.add(make_seed(seed_id=1), gain=9, slice_index=0, epoch=0)
+        corpus.add(make_seed(seed_id=2), gain=1, slice_index=1, epoch=0)
+        best = corpus.best(1, exclude_slice=0)
         assert best[0].seed.seed_id == 2
 
     def test_wire_roundtrip(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=3, shard_index=0, epoch=1)
+        corpus.add(make_seed(seed_id=1), gain=3, slice_index=0, epoch=1)
         rebuilt = SharedCorpus.from_dicts(corpus.to_dicts())
         assert rebuilt.best(1)[0].seed == corpus.best(1)[0].seed
 
     def test_wire_roundtrip_preserves_the_core_tag(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=3, shard_index=0, epoch=1, core="small-boom")
-        corpus.add(make_seed(seed_id=2), gain=5, shard_index=1, epoch=1, core="xiangshan-minimal")
+        corpus.add(make_seed(seed_id=1), gain=3, slice_index=0, epoch=1, core="small-boom")
+        corpus.add(make_seed(seed_id=2), gain=5, slice_index=1, epoch=1, core="xiangshan-minimal")
         rebuilt = SharedCorpus.from_dicts(corpus.to_dicts())
         assert [entry.core for entry in rebuilt.best(2)] == [
             "xiangshan-minimal",
@@ -200,14 +200,14 @@ class TestSharedCorpus:
     def test_core_tag_defaults_to_the_seed_realization(self):
         corpus = SharedCorpus()
         seed = Seed.from_dict({**make_seed(seed_id=4).to_dict(), "core": "small-boom"})
-        entry = corpus.add(seed, gain=1, shard_index=0, epoch=0)
+        entry = corpus.add(seed, gain=1, slice_index=0, epoch=0)
         assert entry.core == "small-boom"
 
     def test_best_filters_by_compatible_core(self):
         corpus = SharedCorpus()
-        corpus.add(make_seed(seed_id=1), gain=9, shard_index=0, epoch=0, core="small-boom")
-        corpus.add(make_seed(seed_id=2), gain=5, shard_index=1, epoch=0, core="xiangshan-minimal")
-        corpus.add(make_seed(seed_id=3), gain=1, shard_index=2, epoch=0, core="")
+        corpus.add(make_seed(seed_id=1), gain=9, slice_index=0, epoch=0, core="small-boom")
+        corpus.add(make_seed(seed_id=2), gain=5, slice_index=1, epoch=0, core="xiangshan-minimal")
+        corpus.add(make_seed(seed_id=3), gain=1, slice_index=2, epoch=0, core="")
         picked = corpus.best(3, core="xiangshan-minimal")
         # The foreign (boom) entry is filtered out; the untagged one ranks.
         assert [entry.seed.seed_id for entry in picked] == [2, 3]
@@ -215,14 +215,14 @@ class TestSharedCorpus:
     def test_eviction_drops_the_lowest_gain_first(self):
         corpus = SharedCorpus(capacity=3)
         for seed_id, gain in ((1, 4), (2, 8), (3, 6), (4, 7), (5, 5)):
-            corpus.add(make_seed(seed_id=seed_id), gain=gain, shard_index=0, epoch=0)
+            corpus.add(make_seed(seed_id=seed_id), gain=gain, slice_index=0, epoch=0)
         # Capacity 3: gains 4 then 5 were evicted, in that order.
         assert [entry.seed.seed_id for entry in corpus.best(3)] == [2, 4, 3]
 
     def test_eviction_ties_break_on_seed_id(self):
         corpus = SharedCorpus(capacity=2)
         for seed_id in (30, 10, 20):
-            corpus.add(make_seed(seed_id=seed_id), gain=5, shard_index=0, epoch=0)
+            corpus.add(make_seed(seed_id=seed_id), gain=5, slice_index=0, epoch=0)
         # All gains equal: the lowest seed ids survive, insertion order moot.
         assert [entry.seed.seed_id for entry in corpus.best(2)] == [10, 20]
 
@@ -234,7 +234,7 @@ class TestSharedCorpus:
 class TestShardTask:
     def test_shard_task_is_a_pure_function_of_its_payload(self):
         task = ShardTask(
-            shard_index=0,
+            slice_index=0,
             epoch=0,
             iterations=4,
             configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
@@ -248,7 +248,7 @@ class TestShardTask:
     def test_baseline_points_are_not_reported_back(self):
         baseline = [{"module": "dcache", "tainted_count": 1}]
         task = ShardTask(
-            shard_index=0,
+            slice_index=0,
             epoch=0,
             iterations=3,
             configuration=FuzzerConfiguration(core=BOOM, entropy=31),
@@ -272,7 +272,11 @@ class TestParallelCampaignEngine:
         )
         budgets = engine.epoch_budgets()
         assert sum(sum(epoch) for epoch in budgets) == 17
-        assert len(budgets) == 2 and all(len(epoch) == 3 for epoch in budgets)
+        # One budget entry per *logical slice* (default max(shards, 16)),
+        # not per physical shard.
+        slices = engine.configuration.slices
+        assert slices == 16
+        assert len(budgets) == 2 and all(len(epoch) == slices for epoch in budgets)
 
     def test_runs_full_budget_and_merges_supersets(self):
         result = run_parallel_campaign(
@@ -280,8 +284,8 @@ class TestParallelCampaignEngine:
         )
         assert result.campaign.iterations_run == 12
         assert len(result.coverage) > 0
-        for shard_index, points in result.shard_points.items():
-            assert points <= result.coverage.points, f"shard {shard_index} not a subset"
+        for slice_index, points in result.slice_points.items():
+            assert points <= result.coverage.points, f"slice {slice_index} not a subset"
         # The merged curve is the engine's epoch-by-epoch history: monotone.
         history = result.campaign.coverage_history
         assert history == sorted(history)
@@ -327,8 +331,8 @@ class TestParallelCampaignEngine:
                 redistribute_top=2,
             )
         )
-        engine.corpus.add(make_seed(seed_id=100), gain=9, shard_index=2, epoch=0)
-        engine.corpus.add(make_seed(seed_id=200), gain=5, shard_index=2, epoch=0)
+        engine.corpus.add(make_seed(seed_id=100), gain=9, slice_index=2, epoch=0)
+        engine.corpus.add(make_seed(seed_id=200), gain=5, slice_index=2, epoch=0)
         from repro.core.engine import EngineResult
         from repro.core.coverage import TaintCoverageMatrix
         from repro.core.report import CampaignResult
@@ -373,10 +377,10 @@ class TestParallelCampaignEngine:
                 == result.campaign.first_bug_iteration
             )
 
-    def test_shard_seed_ids_never_collide(self):
+    def test_slice_seed_ids_never_collide(self):
         bases = {
-            ParallelCampaignEngine.shard_seed_id_base(shard, epoch)
-            for shard in range(8)
+            ParallelCampaignEngine.slice_seed_id_base(index, epoch)
+            for index in range(8)
             for epoch in range(4)
         }
         assert len(bases) == 8 * 4
@@ -406,16 +410,51 @@ class TestParallelCampaignEngine:
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), step_latency=-0.1)
         with pytest.raises(ValueError, match="sync policy"):
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), sync_policy="eager")
-        # Shard-epoch seed-id bases must never reach the transfer namespace
-        # (shard 99 epoch 0 would land exactly on TRANSFER_SEED_ID_BASE).
+        # Slice-epoch seed-id bases must never reach the transfer namespace
+        # (slice 99 epoch 0 would land exactly on TRANSFER_SEED_ID_BASE).
         with pytest.raises(ValueError, match="seed-id namespace"):
             EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=100)
         EngineConfiguration(fuzzer=FuzzerConfiguration(core=BOOM), shards=98)
 
+    def test_seed_id_namespace_boundaries(self):
+        # Exactly-full epoch namespace: 100 epochs fill one slice's stride
+        # to the brim (100 * EPOCH_ID_STRIDE == SLICE_ID_STRIDE) and pass...
+        EngineConfiguration(
+            fuzzer=FuzzerConfiguration(core=BOOM),
+            shards=2, iterations=101, sync_epochs=100,
+        )
+        # ...while one more epoch spills into the next slice's stride.
+        with pytest.raises(ValueError, match="slice's seed-id stride"):
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM),
+                shards=2, iterations=102, sync_epochs=101,
+            )
+        # Exactly-full slice namespace: the highest slice-epoch base plus one
+        # stride lands exactly on TRANSFER_SEED_ID_BASE and passes...
+        EngineConfiguration(
+            fuzzer=FuzzerConfiguration(core=BOOM),
+            shards=2, slices=99, iterations=101, sync_epochs=100,
+        )
+        # ...while one more slice crosses into the transfer namespace.
+        with pytest.raises(ValueError, match="seed-id namespace"):
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM),
+                shards=2, slices=100, iterations=2, sync_epochs=1,
+            )
+        with pytest.raises(ValueError, match="slices must be positive"):
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM), shards=2, slices=0
+            )
+
     def test_rejects_bad_core_assignments(self):
         fuzzer = FuzzerConfiguration(core=BOOM)
-        with pytest.raises(ValueError, match="one core per shard"):
-            EngineConfiguration(fuzzer=fuzzer, shards=3, cores=["boom", "xiangshan"])
+        with pytest.raises(ValueError, match="than slices"):
+            EngineConfiguration(
+                fuzzer=fuzzer, shards=2, slices=2,
+                cores=["boom", "xiangshan", "boom-large"],
+            )
+        with pytest.raises(ValueError, match="at least one core"):
+            EngineConfiguration(fuzzer=fuzzer, shards=1, cores=[])
         with pytest.raises(ValueError, match="unknown core"):
             EngineConfiguration(fuzzer=fuzzer, shards=1, cores=["rocket"])
         with pytest.raises(ValueError, match="cannot interpret"):
@@ -428,12 +467,16 @@ class TestParallelCampaignEngine:
             shards=3,
             cores=["xiangshan", XIANGSHAN, FuzzerConfiguration(core=BOOM, entropy=99)],
         )
-        prototypes = configuration.shard_fuzzers()
-        assert [prototype.core.name for prototype in prototypes] == [
+        prototypes = configuration.slice_fuzzers()
+        # One prototype per logical slice, the cores rotation applied
+        # round-robin: slice s runs cores[s % len(cores)].
+        assert len(prototypes) == configuration.slices
+        assert [prototype.core.name for prototype in prototypes[:3]] == [
             "xiangshan-minimal",
             "xiangshan-minimal",
             "small-boom",
         ]
+        assert prototypes[3].core.name == prototypes[0].core.name
         # Name/config entries inherit the prototype's knobs; a full
         # FuzzerConfiguration is taken as-is.
         assert prototypes[0].entropy == 3
@@ -454,16 +497,16 @@ class TestHeterogeneousEngine:
     def test_coverage_is_merged_strictly_per_core(self):
         result = self.run_mixed()
         assert set(result.core_coverage) == {"small-boom", "xiangshan-minimal"}
-        for shard_index, points in result.shard_points.items():
-            core_name = result.shard_cores[shard_index]
+        for slice_index, points in result.slice_points.items():
+            core_name = result.slice_cores[slice_index]
             assert points <= result.core_coverage[core_name].points
         # Each matrix holds exactly its own shards' points: nothing leaked
         # across the core boundary during the merge.
         for core_name, matrix in result.core_coverage.items():
             own = set()
-            for index, name in result.shard_cores.items():
+            for index, name in result.slice_cores.items():
                 if name == core_name:
-                    own |= result.shard_points[index]
+                    own |= result.slice_points[index]
             assert matrix.points == own
 
     def test_single_coverage_property_is_refused_for_mixed_campaigns(self):
@@ -743,7 +786,7 @@ class TestCheckpointResume:
             assert resumed.core_coverage[core_name].history == matrix.history
         assert resumed.transfers == uninterrupted.transfers
         assert resumed.redistributed_seeds == uninterrupted.redistributed_seeds
-        assert resumed.shard_points == uninterrupted.shard_points
+        assert resumed.slice_points == uninterrupted.slice_points
         return resumed
 
     def test_homogeneous_round_trip_is_byte_identical(self, tmp_path):
@@ -810,22 +853,32 @@ class TestCheckpointResume:
                 ),
             )
 
-    def test_pre_window_rounds_checkpoints_still_resume(self, tmp_path):
-        # Checkpoints written before SyncPolicy.window_rounds existed carry a
-        # three-key sync_policy dict; they ran the single-round threshold, so
-        # resume must default the missing field to 1 instead of stranding
-        # them behind a bogus policy-mismatch error.
+    def test_format1_fixture_fails_with_a_clear_message(self):
+        # Committed fixture written by the format-1 (shard-keyed) engine: it
+        # must be rejected with an actionable format error, not a KeyError
+        # from deep inside restore().
+        import json
+        import os
+
+        fixture = os.path.join(
+            os.path.dirname(__file__), "data", "checkpoint_format1.json"
+        )
+        payload = json.loads(open(fixture, encoding="utf-8").read())
+        assert payload["format"] == 1
+        assert "shards" in payload["fingerprint"]  # genuinely shard-keyed
+        with pytest.raises(
+            ValueError,
+            match=r"checkpoint format 1, expected 2.*re-run.*or migrate",
+        ):
+            ParallelCampaignEngine.resume_from(fixture, self.cfg())
+
+    def test_fingerprint_pins_slices_not_shards(self, tmp_path):
+        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
         import json
 
-        ParallelCampaignEngine(self.cfg(tmp_path)).run(max_epochs=1)
-        path = tmp_path / "checkpoint.json"
-        payload = json.loads(path.read_text())
-        assert payload["fingerprint"]["sync_policy"].pop("window_rounds") == 1
-        path.write_text(json.dumps(payload))
-        resumed = ParallelCampaignEngine.resume_from(
-            str(path), self.cfg(tmp_path)
-        ).run()
-        assert resumed.complete
+        payload = json.loads((tmp_path / "checkpoint.json").read_text())
+        assert payload["fingerprint"]["slices"] == 16
+        assert "shards" not in payload["fingerprint"]
 
     def test_checkpoint_rejects_an_unknown_format(self, tmp_path):
         import json
@@ -847,7 +900,7 @@ class TestCheckpointResume:
         engine.run(max_epochs=1)
         path = tmp_path / "checkpoint.json"
         payload = json.loads(path.read_text())
-        assert payload["format"] == 1
+        assert payload["format"] == 2
         assert payload["next_epoch"] == 1
         assert not (tmp_path / "checkpoint.json.tmp").exists()
 
@@ -872,8 +925,8 @@ class TestTransferAwareRedistribution:
         fresh_group = Seed.fresh(
             seed_id=200, entropy=2, window_type=TransientWindowType.BRANCH_MISPREDICTION
         )
-        engine.corpus.add(high_gain, gain=9, shard_index=1, epoch=0)
-        engine.corpus.add(fresh_group, gain=5, shard_index=1, epoch=0)
+        engine.corpus.add(high_gain, gain=9, slice_index=1, epoch=0)
+        engine.corpus.add(fresh_group, gain=5, slice_index=1, epoch=0)
         engine._core_triggered = {BOOM.name: {group_of(high_gain.window_type)}}
         result = EngineResult(
             campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
@@ -899,11 +952,11 @@ class TestTransferAwareRedistribution:
         # tier, so plain gain order decides.
         engine.corpus.add(
             Seed.fresh(seed_id=100, entropy=1, window_type=TransientWindowType.LOAD_PAGE_FAULT),
-            gain=9, shard_index=1, epoch=0,
+            gain=9, slice_index=1, epoch=0,
         )
         engine.corpus.add(
             Seed.fresh(seed_id=200, entropy=2, window_type=TransientWindowType.BRANCH_MISPREDICTION),
-            gain=5, shard_index=1, epoch=0,
+            gain=5, slice_index=1, epoch=0,
         )
         result = EngineResult(
             campaign=CampaignResult(fuzzer_name="dejavuzz", core=BOOM.name),
@@ -952,3 +1005,109 @@ class TestFeedbackKnobPlumbing:
         ids1 = {seed.seed_id for seed, _ in shard1.top_seeds(10)}
         assert ids0 and ids1
         assert not ids0 & ids1
+
+
+class TestElasticResume:
+    """A checkpoint written at N physical shards resumes at any other shard
+    count byte-identically: every deterministic derivation (entropy streams,
+    seed-id bases, core assignment, corpus attribution) is keyed by logical
+    slice, and the fingerprint pins ``slices``, never ``shards``."""
+
+    def cfg(self, shards, tmp_path=None, cores=None, executor="inline",
+            **overrides):
+        defaults = dict(
+            fuzzer=FuzzerConfiguration(core=BOOM, entropy=13),
+            shards=shards,
+            iterations=24,
+            sync_epochs=3,
+            executor=executor,
+            cores=cores,
+        )
+        if tmp_path is not None:
+            defaults["checkpoint_path"] = str(tmp_path / "checkpoint.json")
+        defaults.update(overrides)
+        return EngineConfiguration(**defaults)
+
+    def checkpoint_then_resume(self, tmp_path, resume_shards, cores=None,
+                               executor="inline", resume_executor=None,
+                               **overrides):
+        uninterrupted = ParallelCampaignEngine(
+            self.cfg(4, cores=cores, executor=executor, **overrides)
+        ).run()
+        partial = ParallelCampaignEngine(
+            self.cfg(4, tmp_path, cores=cores, executor=executor, **overrides)
+        ).run(max_epochs=1)
+        assert not partial.complete
+        resumed = ParallelCampaignEngine.resume_from(
+            str(tmp_path / "checkpoint.json"),
+            self.cfg(
+                resume_shards, tmp_path, cores=cores,
+                executor=resume_executor or executor, **overrides,
+            ),
+        ).run()
+        assert resumed.complete
+        assert resumed.shards == resume_shards
+        assert resumed.slices == uninterrupted.slices
+        assert resumed.campaign.to_dict(
+            include_timing=False
+        ) == uninterrupted.campaign.to_dict(include_timing=False)
+        assert resumed.slice_points == uninterrupted.slice_points
+        assert resumed.slice_cores == uninterrupted.slice_cores
+        assert resumed.transfers == uninterrupted.transfers
+        return resumed
+
+    @pytest.mark.parametrize("resume_shards", [8, 2, 1])
+    def test_inline_resume_at_other_shard_counts(self, tmp_path, resume_shards):
+        self.checkpoint_then_resume(tmp_path, resume_shards)
+
+    def test_process_pool_resume_at_double_the_shards(self, tmp_path):
+        self.checkpoint_then_resume(tmp_path, 8, executor="process")
+
+    def test_async_resume_at_half_the_shards(self, tmp_path):
+        self.checkpoint_then_resume(
+            tmp_path, 2, executor="async", async_concurrency=2
+        )
+
+    def test_resume_crosses_executors_and_shard_counts_at_once(self, tmp_path):
+        # The checkpoint pins neither the executor nor the shard count:
+        # checkpoint under the inline executor at 4 shards, resume on the
+        # process pool at 8.
+        self.checkpoint_then_resume(
+            tmp_path, 8, executor="inline", resume_executor="process"
+        )
+
+    def test_heterogeneous_cores_survive_resharding(self, tmp_path):
+        cores = ["boom", "xiangshan", "boom-large"]
+        for resume_shards in (8, 2):
+            resumed = self.checkpoint_then_resume(
+                tmp_path / f"at{resume_shards}", resume_shards, cores=cores
+            )
+            # Slice->core binding is round-robin over the cores rotation and
+            # must not move when the physical shard count changes.
+            assert [resumed.slice_cores[index] for index in range(3)] == [
+                "small-boom", "xiangshan-minimal", "large-boom",
+            ]
+            assert set(resumed.core_coverage) == {
+                "small-boom", "xiangshan-minimal", "large-boom",
+            }
+
+    def test_explicit_slices_knob_is_honoured_across_resume(self, tmp_path):
+        uninterrupted = ParallelCampaignEngine(
+            self.cfg(4, slices=6)
+        ).run()
+        assert uninterrupted.slices == 6
+        ParallelCampaignEngine(self.cfg(4, tmp_path, slices=6)).run(max_epochs=1)
+        resumed = ParallelCampaignEngine.resume_from(
+            str(tmp_path / "checkpoint.json"), self.cfg(2, tmp_path, slices=6)
+        ).run()
+        assert resumed.slices == 6
+        assert resumed.campaign.to_dict(
+            include_timing=False
+        ) == uninterrupted.campaign.to_dict(include_timing=False)
+
+    def test_resume_with_a_different_slice_count_is_rejected(self, tmp_path):
+        ParallelCampaignEngine(self.cfg(4, tmp_path)).run(max_epochs=1)
+        with pytest.raises(ValueError, match="slices"):
+            ParallelCampaignEngine.resume_from(
+                str(tmp_path / "checkpoint.json"), self.cfg(4, tmp_path, slices=8)
+            )

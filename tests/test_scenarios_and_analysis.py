@@ -158,13 +158,13 @@ class TestAnalysisHelpers:
         from repro.analysis import worker_utilization_table
 
         log = [
-            {"worker": "w001", "name": "hostB:9", "epoch": 0, "shard": 1,
+            {"worker": "w001", "name": "hostB:9", "epoch": 0, "slice": 1,
              "wall_seconds": 0.4, "reassigned": False},
-            {"worker": "w000", "name": "hostA:7", "epoch": 0, "shard": 0,
+            {"worker": "w000", "name": "hostA:7", "epoch": 0, "slice": 0,
              "wall_seconds": 0.5, "reassigned": False},
-            {"worker": "w000", "name": "hostA:7", "epoch": 1, "shard": 1,
+            {"worker": "w000", "name": "hostA:7", "epoch": 1, "slice": 1,
              "wall_seconds": 0.25, "reassigned": True},
-            {"worker": "w000", "name": "hostA:7", "epoch": 1, "shard": 0,
+            {"worker": "w000", "name": "hostA:7", "epoch": 1, "slice": 0,
              "wall_seconds": 0.25, "reassigned": False},
         ]
         rows = worker_utilization_table(log)
@@ -172,34 +172,34 @@ class TestAnalysisHelpers:
         w0 = rows[0]
         assert w0["tasks"] == 3
         assert w0["epochs"] == 2
-        assert w0["shard_seconds"] == pytest.approx(1.0)
+        assert w0["task_seconds"] == pytest.approx(1.0)
         assert w0["reassigned_tasks"] == 1  # inherited from the dead worker
         assert rows[1] == {
             "worker": "w001", "name": "hostB:9", "tasks": 1, "epochs": 1,
-            "shard_seconds": 0.4, "reassigned_tasks": 0,
+            "task_seconds": 0.4, "reassigned_tasks": 0,
         }
         assert worker_utilization_table([]) == []
 
-    def test_simulator_process_table_aggregates_per_shard(self):
+    def test_simulator_process_table_aggregates_per_slice(self):
         from repro.analysis import simulator_process_table
 
         log = [
-            {"shard_index": 1, "epoch": 0, "spawns": 1, "restarts": 0,
+            {"slice_index": 1, "epoch": 0, "spawns": 1, "restarts": 0,
              "steps": 10, "step_seconds_total": 0.5, "mean_step_seconds": 0.05},
-            {"shard_index": 0, "epoch": 0, "spawns": 1, "restarts": 0,
+            {"slice_index": 0, "epoch": 0, "spawns": 1, "restarts": 0,
              "steps": 8, "step_seconds_total": 0.4, "mean_step_seconds": 0.05},
-            {"shard_index": 0, "epoch": 1, "spawns": 1, "restarts": 1,
+            {"slice_index": 0, "epoch": 1, "spawns": 1, "restarts": 1,
              "steps": 12, "step_seconds_total": 0.2, "mean_step_seconds": 0.0167},
         ]
         rows = simulator_process_table(log)
-        assert [row["shard"] for row in rows] == [0, 1]
-        shard0 = rows[0]
-        assert shard0["tasks"] == 2
-        assert shard0["spawns"] == 2
-        assert shard0["restarts"] == 1  # the epoch-1 crash recovery
-        assert shard0["steps"] == 20
-        assert shard0["step_seconds_total"] == pytest.approx(0.6)
-        assert shard0["mean_step_seconds"] == pytest.approx(0.03)
+        assert [row["slice"] for row in rows] == [0, 1]
+        slice0 = rows[0]
+        assert slice0["tasks"] == 2
+        assert slice0["spawns"] == 2
+        assert slice0["restarts"] == 1  # the epoch-1 crash recovery
+        assert slice0["steps"] == 20
+        assert slice0["step_seconds_total"] == pytest.approx(0.6)
+        assert slice0["mean_step_seconds"] == pytest.approx(0.03)
         assert rows[1]["tasks"] == 1 and rows[1]["restarts"] == 0
         assert simulator_process_table([]) == []
 

@@ -25,7 +25,7 @@ BOOM = small_boom_config()
 
 def make_task(**overrides):
     defaults = dict(
-        shard_index=0,
+        slice_index=0,
         epoch=0,
         iterations=3,
         configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),

@@ -33,7 +33,7 @@ BOOM = small_boom_config()
 
 def make_task(**overrides):
     defaults = dict(
-        shard_index=0,
+        slice_index=0,
         epoch=0,
         iterations=4,
         configuration=FuzzerConfiguration(core=BOOM, entropy=31, seed_id_base=10),
@@ -48,7 +48,7 @@ def deterministic_payload(payload):
     accounting dropped)."""
     result = CampaignResult.from_dict(payload["result"]).to_dict(include_timing=False)
     return {
-        "shard_index": payload["shard_index"],
+        "slice_index": payload["slice_index"],
         "epoch": payload["epoch"],
         "core": payload["core"],
         "result": result,
@@ -165,9 +165,9 @@ class TestSimProcessPool:
     def test_pool_spawns_one_server_per_slot_and_reuses_it(self):
         pool = SimProcessPool()
         try:
-            first = pool.run_task(make_task(shard_index=0))
-            second = pool.run_task(make_task(shard_index=1, epoch=0))
-            again = pool.run_task(make_task(shard_index=0, epoch=1))
+            first = pool.run_task(make_task(slice_index=0))
+            second = pool.run_task(make_task(slice_index=1, epoch=0))
+            again = pool.run_task(make_task(slice_index=0, epoch=1))
             rows = pool.processes()
         finally:
             pool.close()
@@ -181,15 +181,15 @@ class TestSimProcessPool:
     def test_pool_caps_live_servers_with_lru_eviction(self):
         pool = SimProcessPool(max_live_servers=2)
         try:
-            pool.run_task(make_task(shard_index=0))
-            pool.run_task(make_task(shard_index=1))
-            pool.run_task(make_task(shard_index=2))
+            pool.run_task(make_task(slice_index=0))
+            pool.run_task(make_task(slice_index=1))
+            pool.run_task(make_task(slice_index=2))
             rows = {row["slot"]: row for row in pool.processes()}
             # Slot 0 was the least recently used idle server: evicted.
             assert not rows[0]["alive"]
             assert rows[1]["alive"] and rows[2]["alive"]
             # An evicted slot keeps its entry and respawns on next use.
-            payload = pool.run_task(make_task(shard_index=0, epoch=1))
+            payload = pool.run_task(make_task(slice_index=0, epoch=1))
             rows = {row["slot"]: row for row in pool.processes()}
             assert rows[0]["alive"] and rows[0]["spawns"] == 2
             assert sum(1 for row in rows.values() if row["alive"]) <= 2
@@ -258,8 +258,8 @@ class TestEngineIntegration:
         ):
             campaign = self.run_campaign(executor, "subprocess", **overrides)
             assert deterministic_wire(campaign) == wire, executor
-            # shards x epochs accounting rows, all crash-free.
-            assert len(campaign.sim_log) == self.SHARDS * self.EPOCHS
+            # One accounting row per executed slice-epoch task, all crash-free.
+            assert len(campaign.sim_log) == len(campaign.slice_summaries)
             assert all(row["restarts"] == 0 for row in campaign.sim_log)
             assert campaign.summary()["simulator_processes"]["restarts"] == 0
         close_default_pool()
@@ -315,7 +315,7 @@ class TestEngineIntegration:
             backend.close()
         assert deterministic_wire(campaign) == deterministic_wire(reference)
         # The worker ran the tasks, so sim accounting still reached the merge.
-        assert len(campaign.sim_log) == self.SHARDS * self.EPOCHS
+        assert len(campaign.sim_log) == len(campaign.slice_summaries)
         close_default_pool()
 
     def test_configuration_rejects_unknown_simulator(self):
