@@ -24,7 +24,11 @@ from bench_utils import format_table, save_results
 from repro.core import DejaVuzzFuzzer, FuzzerConfiguration, run_parallel_campaign
 from repro.uarch import small_boom_config
 
-TOTAL_ITERATIONS = 48
+# Sized so the campaign work dominates the fixed pool-boot cost: the
+# orchestration-overhead bound below compares wall clocks, and a budget that
+# a single shard finishes in ~a second would measure interpreter spawn time
+# instead of scaling (the hot path got ~2.5x faster; the budget grew with it).
+TOTAL_ITERATIONS = 96
 SHARDS = 4
 SYNC_EPOCHS = 2
 ENTROPY = 1234

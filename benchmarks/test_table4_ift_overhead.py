@@ -47,6 +47,18 @@ def build_core_like_netlist(name: str, memories: int, depth: int, width: int = 6
     return builder.build()
 
 
+def _best_of(pass_factory, module, rounds=3):
+    """Run the pass a few times and keep the fastest — single compile times
+    are a handful of milliseconds, so one scheduler preemption on a loaded
+    host can otherwise invert the ordering the test asserts."""
+    best = None
+    for _ in range(rounds):
+        candidate = pass_factory().run(module)
+        if best is None or candidate.stats.compile_seconds < best.stats.compile_seconds:
+            best = candidate
+    return best
+
+
 def measure_compile_times():
     designs = {
         "BOOM": build_core_like_netlist("boom_like", memories=4, depth=64),
@@ -55,8 +67,8 @@ def measure_compile_times():
     rows = []
     results = {}
     for core_label, module in designs.items():
-        cellift = CellIFTPass().run(module)
-        diffift = DiffIFTPass().run(module)
+        cellift = _best_of(CellIFTPass, module)
+        diffift = _best_of(DiffIFTPass, module)
         results[core_label] = (cellift.stats, diffift.stats)
         rows.append(
             [

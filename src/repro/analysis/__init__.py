@@ -12,6 +12,7 @@ from repro.analysis.results import (
     cross_core_transfer_table,
     sync_round_table,
     checkpoint_summary,
+    profile_hotspot_table,
     simulator_process_table,
     worker_utilization_table,
 )
@@ -28,6 +29,7 @@ __all__ = [
     "cross_core_transfer_table",
     "sync_round_table",
     "checkpoint_summary",
+    "profile_hotspot_table",
     "simulator_process_table",
     "worker_utilization_table",
 ]

@@ -301,6 +301,44 @@ def simulator_process_table(
     return finished
 
 
+def profile_hotspot_table(
+    profile_log: Iterable[Dict[str, object]],
+    top: int = 10,
+) -> List[Dict[str, object]]:
+    """Merge per-slice cProfile reports into one campaign-wide hotspot table.
+
+    ``profile_log`` is :attr:`repro.core.engine.EngineResult.profile_log`:
+    one entry per profiled slice-epoch task (``{slice_index, epoch, top:
+    [{function, calls, tottime, cumtime}]}``).  Rows are summed by function
+    across all profiled tasks and returned sorted by cumulative time, largest
+    first.  Like the other timing logs this is diagnostics only — it never
+    appears in deterministic wire forms or checkpoints.
+
+    A caveat inherent to merging top-N truncations: a function just below
+    every task's cut-off is absent here too, so treat the table as "where the
+    hot tasks spent their time", not an exact whole-campaign profile.
+    """
+    merged: Dict[str, Dict[str, object]] = {}
+    for entry in profile_log:
+        for row in entry.get("top", []):
+            name = str(row["function"])
+            bucket = merged.setdefault(
+                name,
+                {"function": name, "calls": 0, "tottime": 0.0, "cumtime": 0.0},
+            )
+            bucket["calls"] += int(row.get("calls", 0))
+            bucket["tottime"] = round(
+                bucket["tottime"] + float(row.get("tottime", 0.0)), 6
+            )
+            bucket["cumtime"] = round(
+                bucket["cumtime"] + float(row.get("cumtime", 0.0)), 6
+            )
+    ordered = sorted(
+        merged.values(), key=lambda row: (-row["cumtime"], row["function"])
+    )
+    return ordered[: top if top and top > 0 else len(ordered)]
+
+
 def cross_core_transfer_table(
     transfers: Iterable[Dict[str, object]]
 ) -> List[Dict[str, object]]:

@@ -98,6 +98,13 @@ class ShardTask:
     # drives the steps against a repro.sim server process (real turnaround
     # latency, crash/hang recovery via restart-and-replay).
     simulator: str = "inproc"
+    # When positive, the serial drivers wrap the slice-epoch in cProfile and
+    # attach the top-N functions by cumulative time to the result payload
+    # (``payload["profile"]``).  Diagnostics only — like sim_log/worker_log
+    # it never enters the deterministic wire forms or checkpoints.  Ignored
+    # by the async driver (per-task profilers cannot nest on one thread) and
+    # by the subprocess simulator (the work runs out of process).
+    profile: int = 0
 
 
 class ShardCampaignRunner:
@@ -193,6 +200,31 @@ def iterate_shard_task(
         yield step
 
 
+def profile_rows(profiler, top: int) -> List[Dict[str, object]]:
+    """The top-``top`` functions of a cProfile run, by cumulative time.
+
+    Each row is JSON-safe (``{function, calls, tottime, cumtime}``) so the
+    payload can cross any backend's wire protocol unchanged.
+    """
+    import pstats
+
+    stats = pstats.Stats(profiler)
+    stats.sort_stats("cumulative")
+    rows: List[Dict[str, object]] = []
+    for func in stats.fcn_list[:top]:
+        filename, line, name = func
+        _, ncalls, tottime, cumtime, _ = stats.stats[func]
+        rows.append(
+            {
+                "function": f"{filename}:{line}({name})",
+                "calls": int(ncalls),
+                "tottime": round(tottime, 6),
+                "cumtime": round(cumtime, 6),
+            }
+        )
+    return rows
+
+
 def run_shard_task(task: ShardTask) -> Dict[str, object]:
     """Execute one slice-epoch to completion in the current process.
 
@@ -202,20 +234,41 @@ def run_shard_task(task: ShardTask) -> Dict[str, object]:
     like a synchronous RTL-simulator call would block the worker.  With
     ``task.simulator == "subprocess"`` the steps run against a per-slice
     simulator server process instead, and the blocking waits are the real
-    protocol round trips.
+    protocol round trips.  ``task.profile > 0`` wraps the drive loop in
+    cProfile and attaches the hottest functions to the payload (injected
+    latency shows up as ``time.sleep`` rows — profile at zero latency for
+    clean compute numbers).
     """
     if task.simulator == "subprocess":
         from repro.sim.client import run_task_on_default_pool
 
         return run_task_on_default_pool(task)
-    runner = iterate_shard_task(task)
-    while True:
-        try:
-            step = next(runner)
-        except StopIteration as stop:
-            return stop.value
-        if task.step_latency > 0:
-            time.sleep(task.step_latency * step.simulations)
+    profiler = None
+    if task.profile > 0:
+        import cProfile
+
+        profiler = cProfile.Profile()
+        profiler.enable()
+    try:
+        runner = iterate_shard_task(task)
+        while True:
+            try:
+                step = next(runner)
+            except StopIteration as stop:
+                payload = stop.value
+                break
+            if task.step_latency > 0:
+                time.sleep(task.step_latency * step.simulations)
+    finally:
+        if profiler is not None:
+            profiler.disable()
+    if profiler is not None:
+        payload["profile"] = {
+            "slice_index": task.slice_index,
+            "epoch": task.epoch,
+            "top": profile_rows(profiler, task.profile),
+        }
+    return payload
 
 
 async def run_shard_task_async(

@@ -207,6 +207,7 @@ def fuzzer_configuration_to_wire(
         "max_cycles_per_packet": configuration.max_cycles_per_packet,
         "window_mutations_per_trigger": configuration.window_mutations_per_trigger,
         "low_gain_limit": configuration.low_gain_limit,
+        "sim_cache": configuration.sim_cache,
         "seed_id_base": configuration.seed_id_base,
         "name": configuration.name,
     }
@@ -220,6 +221,8 @@ def fuzzer_configuration_from_wire(
     data["layout"] = MemoryLayout(**data["layout"])
     data["taint_mode"] = TaintTrackingMode(data["taint_mode"])
     data["training_mode"] = TrainingMode(data["training_mode"])
+    # Older coordinators do not send the cache flag; caching is the default.
+    data.setdefault("sim_cache", True)
     return FuzzerConfiguration(**data)
 
 
@@ -234,6 +237,7 @@ def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
         "report_top_seeds": task.report_top_seeds,
         "step_latency": task.step_latency,
         "simulator": task.simulator,
+        "profile": task.profile,
     }
 
 
@@ -248,6 +252,7 @@ def shard_task_from_wire(payload: Dict[str, object]) -> ShardTask:
         report_top_seeds=int(payload.get("report_top_seeds", 4)),
         step_latency=float(payload.get("step_latency", 0.0)),
         simulator=str(payload.get("simulator", "inproc")),
+        profile=int(payload.get("profile", 0)),
     )
 
 

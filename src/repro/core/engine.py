@@ -278,6 +278,16 @@ class EngineConfiguration:
     # the same token in HELLO or they are rejected.  Not part of the
     # checkpoint fingerprint — authentication is transport, not campaign.
     auth_token: Optional[str] = None
+    # When positive, every slice task profiles itself with cProfile and
+    # reports its top-N hottest functions (EngineResult.profile_log).
+    # Diagnostics only — never checkpointed, never in deterministic wire
+    # forms; honored by the serial drivers (inline/process/distributed
+    # workers), ignored under the async driver and subprocess simulator.
+    profile: int = 0
+    # Phase-1 simulation memoization for every slice; results are identical
+    # either way (the cache is keyed on full schedule content + secret), so
+    # this exists for A/B determinism diffing and worst-case-memory runs.
+    sim_cache: bool = True
     # Fixed-count or stall-triggered synchronisation; accepts "fixed"/"stall"
     # shorthand or a full SyncPolicy.
     sync_policy: Union[str, SyncPolicy] = "fixed"
@@ -330,6 +340,8 @@ class EngineConfiguration:
             raise ValueError(
                 f"step_latency must be non-negative, got {self.step_latency}"
             )
+        if self.profile < 0:
+            raise ValueError(f"profile must be non-negative, got {self.profile}")
         self.sync_policy = SyncPolicy.normalize(self.sync_policy)
         planned = self.planned_epochs()
         # Seed ids are the corpus's global identity: epoch bases must stay
@@ -462,6 +474,11 @@ class EngineResult:
     # feed it to repro.analysis.simulator_process_table.  Like worker_log,
     # timing-adjacent diagnostics outside the deterministic wire forms.
     sim_log: List[Dict[str, object]] = field(default_factory=list)
+    # EngineConfiguration.profile > 0 only: one row per profiled slice-epoch
+    # ({slice_index, epoch, top: [{function, calls, tottime, cumtime}]});
+    # feed it to repro.analysis.profile_hotspot_table.  Timing diagnostics —
+    # never checkpointed, never in the deterministic wire forms.
+    profile_log: List[Dict[str, object]] = field(default_factory=list)
     # False when run(max_epochs=...) halted mid-campaign; the checkpoint holds
     # the state needed to resume.
     complete: bool = True
@@ -934,6 +951,9 @@ class CampaignScheduler:
             prototype,
             entropy=self.slice_entropy(slice_index, epoch),
             seed_id_base=self.slice_seed_id_base(slice_index, epoch),
+            # The engine-level flag can only disable caching: a per-core
+            # prototype that already opted out stays opted out.
+            sim_cache=prototype.sim_cache and self.configuration.sim_cache,
         )
         return ShardTask(
             slice_index=slice_index,
@@ -945,6 +965,7 @@ class CampaignScheduler:
             report_top_seeds=self.configuration.report_top_seeds,
             step_latency=self.configuration.step_latency,
             simulator=self.configuration.simulator,
+            profile=self.configuration.profile,
         )
 
     def _merge_epoch(
@@ -1009,6 +1030,10 @@ class CampaignScheduler:
                 # Subprocess-simulator accounting rides along in the payload;
                 # diagnostics only, so it never feeds the deterministic state.
                 result.sim_log.append(dict(sim_stats))
+            profile = payload.get("profile")
+            if profile:
+                # cProfile hotspots ride along the same way (profile > 0).
+                result.profile_log.append(dict(profile))
             result.slice_summaries.append(
                 {
                     "slice": slice_index,
@@ -1491,6 +1516,21 @@ def build_parser() -> argparse.ArgumentParser:
         default=3,
         help="consecutive low-gain attempts before a seed is discarded",
     )
+    parser.add_argument(
+        "--profile",
+        type=int,
+        default=0,
+        metavar="N",
+        help="profile every slice task with cProfile and report the top N "
+        "functions by cumulative time (diagnostics only; serial drivers "
+        "honor it, the async driver and subprocess simulator ignore it)",
+    )
+    parser.add_argument(
+        "--no-sim-cache",
+        action="store_true",
+        help="disable the Phase-1 simulation memo on every slice (results "
+        "are byte-identical either way; use for A/B determinism diffing)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump the merged result as JSON")
     return parser
 
@@ -1545,6 +1585,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             checkpoint_path=args.checkpoint,
             listen=args.listen,
             cores=core_names,
+            profile=args.profile,
+            sim_cache=not args.no_sim_cache,
         )
         if args.resume:
             engine = ParallelCampaignEngine.resume_from(args.resume, configuration)
@@ -1632,6 +1674,15 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"spawns={row['spawns']:2d} restarts={row['restarts']:2d} "
                 f"steps={row['steps']:4d} "
                 f"mean-step={row['mean_step_seconds']*1000:.1f}ms"
+            )
+    if result.profile_log:
+        from repro.analysis import profile_hotspot_table
+
+        print(f"\nhot functions across {len(result.profile_log)} profiled slice task(s):")
+        for row in profile_hotspot_table(result.profile_log, top=args.profile):
+            print(
+                f"  {row['cumtime']:8.3f}s cum  {row['tottime']:8.3f}s self  "
+                f"{row['calls']:9d} calls  {row['function']}"
             )
 
     if args.json:

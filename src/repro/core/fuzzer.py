@@ -47,6 +47,9 @@ class FuzzerConfiguration:
     max_cycles_per_packet: int = 600
     window_mutations_per_trigger: int = 6
     low_gain_limit: int = 3
+    # Phase-1 simulation memoization ((schedule content, secret) -> run result);
+    # transparent to results — disable only for A/B determinism diffing.
+    sim_cache: bool = True
     # Namespace for seed ids: parallel shards use disjoint bases so their seeds
     # never collide in a shared corpus (seed ids also feed per-seed rng streams).
     seed_id_base: int = 0
@@ -96,6 +99,7 @@ class DejaVuzzFuzzer:
             training_mode=configuration.training_mode,
             training_candidates=configuration.training_candidates,
             max_cycles_per_packet=configuration.max_cycles_per_packet,
+            sim_cache=configuration.sim_cache,
         )
         self.phase2 = TransientExecutionExploration(
             configuration.core,

@@ -11,8 +11,9 @@ triggering are permanently discarded.
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.generation.seeds import Seed
 from repro.generation.training import TrainingDeriver, TrainingMode
@@ -24,6 +25,92 @@ from repro.swapmem.scheduler import SwapRunner, SwapRunResult
 from repro.uarch.config import CoreConfig, TaintTrackingMode
 from repro.uarch.processor import Processor
 from repro.utils.rng import DeterministicRng
+
+
+def _freeze(value) -> object:
+    """Convert a metadata value into a hashable, content-equal form."""
+    if isinstance(value, dict):
+        return tuple(sorted((key, _freeze(item)) for key, item in value.items()))
+    if isinstance(value, (list, tuple)):
+        return tuple(_freeze(item) for item in value)
+    if isinstance(value, (set, frozenset)):
+        return tuple(sorted(_freeze(item) for item in value))
+    return value
+
+
+def schedule_fingerprint(schedule: SwapSchedule) -> Tuple:
+    """A content fingerprint of a schedule, independent of packet *names*.
+
+    Training packets carry rng-derived name suffixes, so two leave-one-out
+    candidates with identical instruction content would never collide on a
+    name-based key.  The fingerprint therefore covers everything the
+    simulator actually observes — packet kind/entry/instructions/labels/
+    metadata in schedule order plus the secret-protection flag — and nothing
+    it does not (names).
+    """
+    return (
+        schedule.protect_secret_before_transient,
+        tuple(
+            (
+                packet.kind.value,
+                packet.entry_offset,
+                tuple(packet.instructions),
+                tuple(sorted(packet.labels.items())),
+                _freeze(packet.metadata),
+            )
+            for packet in schedule.packets
+        ),
+    )
+
+
+class SimulationCache:
+    """Bounded LRU memo of ``(schedule fingerprint, secret) -> SwapRunResult``.
+
+    Simulation is a pure function of the schedule content and the secret (the
+    DUT instance is constructed fresh and consumes no rng), so identical
+    candidates — notably the leave-one-out re-simulations of the training
+    reduction loop — can reuse a prior run's result object verbatim.
+    """
+
+    def __init__(self, capacity: int = 128) -> None:
+        if capacity <= 0:
+            raise ValueError("simulation cache capacity must be positive")
+        self.capacity = capacity
+        self.hits = 0
+        self.misses = 0
+        self.evictions = 0
+        self._entries: "OrderedDict[Tuple, SwapRunResult]" = OrderedDict()
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    def get(self, key: Tuple) -> Optional[SwapRunResult]:
+        entry = self._entries.get(key)
+        if entry is None:
+            self.misses += 1
+            return None
+        self._entries.move_to_end(key)
+        self.hits += 1
+        return entry
+
+    def put(self, key: Tuple, value: SwapRunResult) -> None:
+        self._entries[key] = value
+        self._entries.move_to_end(key)
+        while len(self._entries) > self.capacity:
+            self._entries.popitem(last=False)
+            self.evictions += 1
+
+    def clear(self) -> None:
+        self._entries.clear()
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "hits": self.hits,
+            "misses": self.misses,
+            "evictions": self.evictions,
+            "entries": len(self._entries),
+            "capacity": self.capacity,
+        }
 
 
 @dataclass
@@ -81,6 +168,11 @@ class Phase1Result:
 class TransientWindowTriggering:
     """Phase 1 of the DejaVuzz workflow."""
 
+    # A/B escape hatch: forces every simulation through the uncached path
+    # without touching instance configuration (the CI determinism diff and
+    # the byte-identity tests flip this).
+    force_disable_sim_cache = False
+
     def __init__(
         self,
         config: CoreConfig,
@@ -88,6 +180,8 @@ class TransientWindowTriggering:
         training_mode: TrainingMode = TrainingMode.DERIVED,
         training_candidates: int = 3,
         max_cycles_per_packet: int = 600,
+        sim_cache: bool = True,
+        sim_cache_capacity: int = 128,
     ) -> None:
         self.config = config
         self.layout = layout
@@ -95,6 +189,9 @@ class TransientWindowTriggering:
         self.training_deriver = TrainingDeriver(layout, mode=training_mode)
         self.training_candidates = training_candidates
         self.max_cycles_per_packet = max_cycles_per_packet
+        self.simulation_cache: Optional[SimulationCache] = (
+            SimulationCache(capacity=sim_cache_capacity) if sim_cache else None
+        )
 
     # -- Step 1.1: trigger generation ------------------------------------------------
 
@@ -159,22 +256,49 @@ class TransientWindowTriggering:
         Remove one trigger-training packet at a time (in schedule order) and
         re-simulate; if the window still triggers without it, discard it
         permanently, otherwise keep it.
+
+        A surviving-packet list is maintained in place, so each candidate is
+        one ``del``/``insert`` and a single list copy — packets already proven
+        removable are never filtered over again (``without_packet`` would
+        rebuild the schedule from the full chained-filter each trial).
         """
         current = schedule
         simulations = 0
         last_run = baseline_run
-        for packet in list(schedule.training_packets()):
-            candidate = current.without_packet(packet.name)
+        surviving = list(schedule.packets)
+        for packet in schedule.training_packets():
+            index = surviving.index(packet)
+            del surviving[index]
+            candidate = SwapSchedule(
+                packets=list(surviving),
+                protect_secret_before_transient=schedule.protect_secret_before_transient,
+                name=schedule.name,
+            )
             run_result = self._simulate(candidate, secret)
             simulations += 1
             if run_result.window_triggered():
                 current = candidate
                 last_run = run_result
+            else:
+                surviving.insert(index, packet)
         return current, simulations, last_run
 
     # -- simulation helper ----------------------------------------------------------------
 
     def _simulate(self, schedule: SwapSchedule, secret: int) -> SwapRunResult:
+        """One simulation of a schedule, memoized on (content, secret) when enabled."""
+        cache = self.simulation_cache
+        if cache is None or TransientWindowTriggering.force_disable_sim_cache:
+            return self._simulate_uncached(schedule, secret)
+        key = (schedule_fingerprint(schedule), secret)
+        cached = cache.get(key)
+        if cached is not None:
+            return cached
+        result = self._simulate_uncached(schedule, secret)
+        cache.put(key, result)
+        return result
+
+    def _simulate_uncached(self, schedule: SwapSchedule, secret: int) -> SwapRunResult:
         """One un-instrumented RTL simulation of a schedule (fresh DUT instance)."""
         swap_memory = SwapMemory(self.layout, secret=secret)
         processor = Processor(

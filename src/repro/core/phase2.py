@@ -10,7 +10,7 @@ transient window, and produces the feedback signal that drives mutation.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Optional, Tuple
+from typing import Dict, Optional, Tuple
 
 from repro.core.coverage import CoverageFeedback, TaintCoverageMatrix
 from repro.core.phase1 import Phase1Result
@@ -125,8 +125,21 @@ class TransientExecutionExploration:
         if window_range is None or not census_log:
             return False
         start, end = window_range
-        in_window = [census.total_bits() for census in census_log if start <= census.cycle <= end]
-        before = [census.total_bits() for census in census_log if census.cycle < start]
+        # Repeated censuses share one element_counts dict (the census fast
+        # path), so bit totals are memoized per unique dict rather than
+        # recomputed per cycle.
+        totals: Dict[int, int] = {}
+
+        def total_bits(census) -> int:
+            key = id(census.element_counts)
+            bits = totals.get(key)
+            if bits is None:
+                bits = census.total_bits()
+                totals[key] = bits
+            return bits
+
+        in_window = [total_bits(census) for census in census_log if start <= census.cycle <= end]
+        before = [total_bits(census) for census in census_log if census.cycle < start]
         if not in_window:
             return False
         baseline = before[-1] if before else 0

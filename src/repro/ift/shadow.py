@@ -11,7 +11,7 @@ values, and the shadow circuit is evaluated for taints.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, List, Optional, Tuple
 
 from repro.ift import policies
 from repro.ift.policies import TaintMode
@@ -23,13 +23,54 @@ from repro.utils.bitops import mask, popcount, to_unsigned
 
 @dataclass
 class ShadowState:
-    """Taint values for every signal and memory entry of one design."""
+    """Taint values for every signal and memory entry of one design.
+
+    Retained as the free-standing dict-backed representation for callers that
+    build shadow state by hand; the simulator itself uses the packed
+    :class:`PackedShadowState` (same ``taint_of``/``memory_taints`` surface).
+    """
 
     signal_taints: Dict[str, int] = field(default_factory=dict)
     memory_taints: Dict[str, List[int]] = field(default_factory=dict)
 
     def taint_of(self, signal: str) -> int:
         return self.signal_taints.get(signal, 0)
+
+
+class PackedShadowState:
+    """Signal taints packed into one flat vector indexed by signal slot.
+
+    Every signal of the module gets a fixed slot (declaration order), so the
+    per-cycle taint evaluation writes ``vector[slot]`` instead of churning a
+    per-signal dict.  The slot index is built once per module and shared by
+    ``reset`` (the vector is re-zeroed, the index is immutable).
+    """
+
+    __slots__ = ("_index", "_taints", "memory_taints")
+
+    def __init__(self, module: Module, index: Optional[Dict[str, int]] = None) -> None:
+        self._index: Dict[str, int] = (
+            index
+            if index is not None
+            else {name: slot for slot, name in enumerate(module.signals)}
+        )
+        self._taints: List[int] = [0] * len(self._index)
+        self.memory_taints: Dict[str, List[int]] = {
+            name: [0] * memory.depth for name, memory in module.memories.items()
+        }
+
+    def taint_of(self, signal: str) -> int:
+        slot = self._index.get(signal)
+        return self._taints[slot] if slot is not None else 0
+
+    def set_taint(self, signal: str, taint: int) -> None:
+        self._taints[self._index[signal]] = taint
+
+    @property
+    def signal_taints(self) -> Dict[str, int]:
+        """The packed vector expanded to a name-keyed dict (inspection only)."""
+        taints = self._taints
+        return {name: taints[slot] for name, slot in self._index.items()}
 
 
 class TaintSimulator:
@@ -57,32 +98,29 @@ class TaintSimulator:
         if mode is TaintMode.CELLIFT and num_instances != 1:
             raise ValueError("CellIFT instruments a single DUT instance")
         self.instances = [NetlistSimulator(module) for _ in range(num_instances)]
-        self.shadow = ShadowState()
-        self._init_shadow()
+        # The evaluation order and sequential-cell list are identical across
+        # instances and cycles; the public accessors copy per call, so cache
+        # them once for the per-cycle loops.
+        self._evaluation_order = self.instances[0]._order
+        self._sequential_cells = module.sequential_cells()
+        self.shadow = PackedShadowState(module)
         self.cycle = 0
         self.taint_history: List[int] = []
 
     # -- setup -----------------------------------------------------------------
 
-    def _init_shadow(self) -> None:
-        for name in self.module.signals:
-            self.shadow.signal_taints[name] = 0
-        for name, memory in self.module.memories.items():
-            self.shadow.memory_taints[name] = [0] * memory.depth
-
     def reset(self) -> None:
         for instance in self.instances:
             instance.reset()
-        self.shadow = ShadowState()
-        self._init_shadow()
+        self.shadow = PackedShadowState(self.module, index=self.shadow._index)
         self.cycle = 0
         self.taint_history = []
 
     def taint_signal(self, name: str, taint: Optional[int] = None) -> None:
         """Mark a signal (typically an input or register) as a taint source."""
         width = self.module.width_of(name)
-        self.shadow.signal_taints[name] = (
-            mask(width) if taint is None else to_unsigned(taint, width)
+        self.shadow.set_taint(
+            name, mask(width) if taint is None else to_unsigned(taint, width)
         )
 
     def taint_memory(self, name: str, index: int, taint: Optional[int] = None) -> None:
@@ -153,36 +191,55 @@ class TaintSimulator:
         return self.instances[0].state.value(signal)
 
     def _evaluate_combinational_taints(self) -> None:
-        taints = self.shadow.signal_taints
-        for cell in self.instances[0].evaluation_order:
-            taints[cell.output] = evaluate_cell_taint(
+        shadow = self.shadow
+        taints = shadow._taints
+        index = shadow._index
+        taint_of = shadow.taint_of
+        memory_taints = shadow.memory_taints
+        value_of = self._value
+        diff_of = self._diff
+        module = self.module
+        mode = self.mode
+        for cell in self._evaluation_order:
+            taints[index[cell.output]] = evaluate_cell_taint(
                 cell=cell,
-                module=self.module,
-                value_of=self._value,
-                taint_of=lambda s: taints.get(s, 0),
-                memory_taints=self.shadow.memory_taints,
-                diff_of=self._diff,
-                mode=self.mode,
+                module=module,
+                value_of=value_of,
+                taint_of=taint_of,
+                memory_taints=memory_taints,
+                diff_of=diff_of,
+                mode=mode,
             )
 
-    def _compute_sequential_taints(self) -> Dict[str, int]:
-        taints = self.shadow.signal_taints
-        next_taints: Dict[str, int] = {}
-        for cell in self.module.sequential_cells():
-            width = self.module.width_of(cell.output)
+    def _compute_sequential_taints(self) -> List[Tuple[int, int]]:
+        """Next-state register taints as ``(signal slot, taint)`` pairs."""
+        shadow = self.shadow
+        taint_of = shadow.taint_of
+        index = shadow._index
+        next_taints: List[Tuple[int, int]] = []
+        for cell in self._sequential_cells:
             if cell.cell_type is CellType.REG:
-                next_taints[cell.output] = taints.get(cell.port("d"), 0) & mask(width)
+                width = self.module.width_of(cell.output)
+                next_taints.append(
+                    (index[cell.output], taint_of(cell.port("d")) & mask(width))
+                )
             elif cell.cell_type is CellType.REG_EN:
-                next_taints[cell.output] = policies.register_enable_taint(
-                    en=self._value(cell.port("en")),
-                    d=self._value(cell.port("d")),
-                    q=self._value(cell.output),
-                    en_t=taints.get(cell.port("en"), 0),
-                    d_t=taints.get(cell.port("d"), 0),
-                    q_t=taints.get(cell.output, 0),
-                    width=width,
-                    en_diff=self._diff(cell.port("en")),
-                    mode=self.mode,
+                width = self.module.width_of(cell.output)
+                next_taints.append(
+                    (
+                        index[cell.output],
+                        policies.register_enable_taint(
+                            en=self._value(cell.port("en")),
+                            d=self._value(cell.port("d")),
+                            q=self._value(cell.output),
+                            en_t=taint_of(cell.port("en")),
+                            d_t=taint_of(cell.port("d")),
+                            q_t=taint_of(cell.output),
+                            width=width,
+                            en_diff=self._diff(cell.port("en")),
+                            mode=self.mode,
+                        ),
+                    )
                 )
             elif cell.cell_type is CellType.MEM_WRITE:
                 self._apply_memory_write_taint(cell)
@@ -190,23 +247,25 @@ class TaintSimulator:
 
     def _apply_memory_write_taint(self, cell: Cell) -> None:
         memory = self.module.memories[cell.memory]
-        taints = self.shadow.signal_taints
+        taint_of = self.shadow.taint_of
         address = self._value(cell.port("addr")) % memory.depth
         entry_taints = self.shadow.memory_taints[cell.memory]
         entry_taints[address] = policies.memory_write_taint(
             wen=self._value(cell.port("wen")),
-            wdata_t=taints.get(cell.port("data"), 0),
+            wdata_t=taint_of(cell.port("data")),
             entry_taint=entry_taints[address],
-            wen_t=taints.get(cell.port("wen"), 0),
-            addr_t=taints.get(cell.port("addr"), 0),
+            wen_t=taint_of(cell.port("wen")),
+            addr_t=taint_of(cell.port("addr")),
             width=memory.width,
             wen_diff=self._diff(cell.port("wen")),
             addr_diff=self._diff(cell.port("addr")),
             mode=self.mode,
         )
 
-    def _commit_sequential_taints(self, next_taints: Dict[str, int]) -> None:
-        self.shadow.signal_taints.update(next_taints)
+    def _commit_sequential_taints(self, next_taints: List[Tuple[int, int]]) -> None:
+        taints = self.shadow._taints
+        for slot, taint in next_taints:
+            taints[slot] = taint
 
     # -- measurement -------------------------------------------------------------------
 

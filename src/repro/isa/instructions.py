@@ -153,93 +153,69 @@ class Instruction:
     comment: str = ""
     tags: frozenset = field(default_factory=frozenset)
 
+    # Classification is precomputed once at construction (instances are
+    # immutable) instead of being exposed as properties: the processor's
+    # per-cycle stages read ``iclass`` / ``is_control_flow`` / ``reads()``
+    # hundreds of thousands of times per campaign and the attribute lookups
+    # dominate the property-call overhead.  The names below are plain
+    # instance attributes set via ``object.__setattr__`` (the dataclass is
+    # frozen); they are not fields, so equality/hash/replace are unaffected.
+
     def __post_init__(self) -> None:
-        if self.mnemonic not in OPCODE_TABLE:
+        info = OPCODE_TABLE.get(self.mnemonic)
+        if info is None:
             raise ValueError(f"unknown mnemonic: {self.mnemonic!r}")
-        for name, value in (("rd", self.rd), ("rs1", self.rs1), ("rs2", self.rs2)):
+        rd, rs1, rs2 = self.rd, self.rs1, self.rs2
+        for name, value in (("rd", rd), ("rs1", rs1), ("rs2", rs2)):
             if not 0 <= value < 32:
                 raise ValueError(f"{name} out of range for {self.mnemonic}: {value}")
-
-    @property
-    def info(self) -> OpcodeInfo:
-        return OPCODE_TABLE[self.mnemonic]
-
-    @property
-    def iclass(self) -> InstructionClass:
-        return self.info.iclass
-
-    @property
-    def is_branch(self) -> bool:
-        return self.iclass is InstructionClass.BRANCH
-
-    @property
-    def is_jump(self) -> bool:
-        return self.iclass is InstructionClass.JUMP
-
-    @property
-    def is_indirect_jump(self) -> bool:
-        return self.mnemonic == "jalr"
-
-    @property
-    def is_return(self) -> bool:
-        """``ret`` in RISC-V is ``jalr x0, 0(ra)``; calls use ``rd == ra``."""
-        return self.mnemonic == "jalr" and self.rd == 0 and self.rs1 == 1 and self.imm == 0
-
-    @property
-    def is_call(self) -> bool:
-        return self.is_jump and self.rd == 1
-
-    @property
-    def is_control_flow(self) -> bool:
-        return self.is_branch or self.is_jump
-
-    @property
-    def is_load(self) -> bool:
-        return self.iclass is InstructionClass.LOAD
-
-    @property
-    def is_store(self) -> bool:
-        return self.iclass is InstructionClass.STORE
-
-    @property
-    def is_memory(self) -> bool:
-        return self.is_load or self.is_store
-
-    @property
-    def is_fp(self) -> bool:
-        return self.iclass in (InstructionClass.FP, InstructionClass.FP_DIV)
-
-    @property
-    def is_system(self) -> bool:
-        return self.iclass is InstructionClass.SYSTEM
-
-    @property
-    def is_illegal(self) -> bool:
-        return self.iclass is InstructionClass.ILLEGAL
-
-    @property
-    def may_fault(self) -> bool:
-        """True when this class of instruction can raise an architectural trap."""
-        return self.is_memory or self.is_illegal or self.mnemonic in ("ecall", "ebreak")
-
-    @property
-    def is_nop(self) -> bool:
-        return self.mnemonic == "addi" and self.rd == 0 and self.rs1 == 0 and self.imm == 0
+        iclass = info.iclass
+        setattr_ = object.__setattr__
+        setattr_(self, "info", info)
+        setattr_(self, "iclass", iclass)
+        is_branch = iclass is InstructionClass.BRANCH
+        is_jump = iclass is InstructionClass.JUMP
+        setattr_(self, "is_branch", is_branch)
+        setattr_(self, "is_jump", is_jump)
+        is_indirect = self.mnemonic == "jalr"
+        setattr_(self, "is_indirect_jump", is_indirect)
+        # ``ret`` in RISC-V is ``jalr x0, 0(ra)``; calls use ``rd == ra``.
+        setattr_(self, "is_return", is_indirect and rd == 0 and rs1 == 1 and self.imm == 0)
+        setattr_(self, "is_call", is_jump and rd == 1)
+        setattr_(self, "is_control_flow", is_branch or is_jump)
+        is_load = iclass is InstructionClass.LOAD
+        is_store = iclass is InstructionClass.STORE
+        setattr_(self, "is_load", is_load)
+        setattr_(self, "is_store", is_store)
+        setattr_(self, "is_memory", is_load or is_store)
+        setattr_(self, "is_fp", iclass in (InstructionClass.FP, InstructionClass.FP_DIV))
+        setattr_(self, "is_system", iclass is InstructionClass.SYSTEM)
+        is_illegal = iclass is InstructionClass.ILLEGAL
+        setattr_(self, "is_illegal", is_illegal)
+        setattr_(
+            self,
+            "may_fault",
+            is_load or is_store or is_illegal or self.mnemonic in ("ecall", "ebreak"),
+        )
+        setattr_(
+            self,
+            "is_nop",
+            self.mnemonic == "addi" and rd == 0 and rs1 == 0 and self.imm == 0,
+        )
+        setattr_(self, "_writes", rd if info.writes_rd and rd != 0 else None)
+        if info.reads_rs1:
+            reads = (rs1, rs2) if info.reads_rs2 else (rs1,)
+        else:
+            reads = (rs2,) if info.reads_rs2 else ()
+        setattr_(self, "_reads", reads)
 
     def writes(self) -> Optional[int]:
         """Return the destination register index, or None."""
-        if self.info.writes_rd and self.rd != 0:
-            return self.rd
-        return None
+        return self._writes
 
     def reads(self) -> tuple:
         """Return the tuple of source register indices actually read."""
-        sources = []
-        if self.info.reads_rs1:
-            sources.append(self.rs1)
-        if self.info.reads_rs2:
-            sources.append(self.rs2)
-        return tuple(sources)
+        return self._reads
 
     def with_imm(self, imm: int) -> "Instruction":
         return replace(self, imm=imm)

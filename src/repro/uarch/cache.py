@@ -16,7 +16,7 @@ from typing import Dict, List, Optional, Set, Tuple
 from repro.uarch.config import CacheConfig
 
 
-@dataclass
+@dataclass(slots=True)
 class CacheAccessResult:
     """Outcome of a cache access."""
 
@@ -38,29 +38,56 @@ class SetAssociativeCache:
         self.tainted_lines: Set[int] = set()
         self.accesses = 0
         self.misses = 0
+        # Monotonic counter bumped when the tainted-line set changes size;
+        # the processor's census fast path sums it.
+        self.taint_version = 0
+        # Power-of-two geometries index with shift/mask on the hot path.
+        line_bytes = config.line_bytes
+        self._line_shift = (
+            line_bytes.bit_length() - 1 if line_bytes & (line_bytes - 1) == 0 else None
+        )
+        set_count = config.sets
+        self._set_mask = set_count - 1 if set_count & (set_count - 1) == 0 else None
 
     def _line_address(self, address: int) -> int:
+        if self._line_shift is not None:
+            return address >> self._line_shift
         return address // self.config.line_bytes
 
+    def _set_index_of_line(self, line: int) -> int:
+        if self._set_mask is not None:
+            return line & self._set_mask
+        return line % self.config.sets
+
     def _set_index(self, address: int) -> int:
-        return self._line_address(address) % self.config.sets
+        return self._set_index_of_line(self._line_address(address))
 
     def lookup(self, address: int) -> bool:
         """Non-destructive presence check."""
         line = self._line_address(address)
-        return line in self.sets[self._set_index(address)]
+        return line in self.sets[self._set_index_of_line(line)]
 
     def access(self, address: int, fill_on_miss: bool = True, tainted: bool = False) -> CacheAccessResult:
         """Access the cache, optionally filling the line on a miss."""
         self.accesses += 1
         line = self._line_address(address)
-        set_index = self._set_index(address)
+        set_index = self._set_index_of_line(line)
         ways = self.sets[set_index]
+        if ways and ways[0] == line:
+            # Already most recently used (sequential fetch within a line):
+            # skip the remove/insert reordering.
+            if tainted and line not in self.tainted_lines:
+                self.tainted_lines.add(line)
+                self.taint_version += 1
+            return CacheAccessResult(
+                hit=True, latency=self.config.hit_latency, set_index=set_index
+            )
         if line in ways:
             ways.remove(line)
             ways.insert(0, line)
-            if tainted:
+            if tainted and line not in self.tainted_lines:
                 self.tainted_lines.add(line)
+                self.taint_version += 1
             return CacheAccessResult(
                 hit=True, latency=self.config.hit_latency, set_index=set_index
             )
@@ -69,10 +96,13 @@ class SetAssociativeCache:
         if fill_on_miss:
             if len(ways) >= self.config.ways:
                 evicted = ways.pop()
-                self.tainted_lines.discard(evicted)
+                if evicted in self.tainted_lines:
+                    self.tainted_lines.discard(evicted)
+                    self.taint_version += 1
             ways.insert(0, line)
-            if tainted:
+            if tainted and line not in self.tainted_lines:
                 self.tainted_lines.add(line)
+                self.taint_version += 1
         return CacheAccessResult(
             hit=False,
             latency=self.config.miss_latency,
@@ -86,6 +116,8 @@ class SetAssociativeCache:
 
     def flush(self) -> None:
         self.sets = [[] for _ in range(self.config.sets)]
+        if self.tainted_lines:
+            self.taint_version += 1
         self.tainted_lines = set()
 
     def resident_lines(self) -> Set[int]:
@@ -129,11 +161,17 @@ class LineFillBuffer:
         self.slots: List[Optional[MshrEntry]] = [None] * entries
         # Stale data remembered per slot after the MSHR invalidates it.
         self.stale_taint: List[bool] = [False] * entries
+        # Monotonic counter bumped when a slot's census contribution (tainted
+        # live data or tainted stale data) changes; the census fast path sums it.
+        self.taint_version = 0
 
     def allocate(self, line_address: int, cycle: int, tainted: bool = False) -> Optional[int]:
         """Allocate a slot for a refill; returns the slot index or None when full."""
         for index, slot in enumerate(self.slots):
             if slot is None or not slot.valid:
+                contributed = slot is not None and (slot.tainted or self.stale_taint[index])
+                if contributed != tainted:
+                    self.taint_version += 1
                 self.slots[index] = MshrEntry(
                     line_address=line_address, valid=True, tainted=tainted, allocated_cycle=cycle
                 )
@@ -147,6 +185,8 @@ class LineFillBuffer:
         if slot is None:
             return
         slot.valid = False
+        if (slot.tainted or self.stale_taint[slot_index]) != slot.tainted:
+            self.taint_version += 1
         self.stale_taint[slot_index] = slot.tainted
 
     def valid_mask(self) -> int:
@@ -173,6 +213,8 @@ class LineFillBuffer:
         ]
 
     def reset(self) -> None:
+        if self.tainted_slots():
+            self.taint_version += 1
         self.slots = [None] * self.entries
         self.stale_taint = [False] * self.entries
 
@@ -255,6 +297,13 @@ class MemoryHierarchy:
         if self.l2 is not None:
             self.l2.flush()
         self.lfb.reset()
+
+    @property
+    def taint_version(self) -> int:
+        version = self.icache.taint_version + self.dcache.taint_version + self.lfb.taint_version
+        if self.l2 is not None:
+            version += self.l2.taint_version
+        return version
 
     def tainted_counts(self) -> Dict[str, int]:
         counts = {

@@ -26,7 +26,7 @@ class SquashReason(enum.Enum):
     FENCE = "fence"
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RobEnqueueEvent:
     cycle: int
     rob_index: int
@@ -35,7 +35,7 @@ class RobEnqueueEvent:
     mnemonic: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RobCommitEvent:
     cycle: int
     rob_index: int
@@ -44,7 +44,7 @@ class RobCommitEvent:
     mnemonic: str
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RobSquashEvent:
     cycle: int
     reason: SquashReason
@@ -53,7 +53,7 @@ class RobSquashEvent:
     squashed_sequences: Tuple[int, ...]
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class TrapCommitEvent:
     cycle: int
     sequence: int
@@ -62,7 +62,7 @@ class TrapCommitEvent:
     tval: int
 
 
-@dataclass(frozen=True)
+@dataclass(frozen=True, slots=True)
 class RedirectEvent:
     cycle: int
     source_pc: int

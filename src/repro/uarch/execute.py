@@ -50,13 +50,23 @@ class ExecutionPorts:
 
     def request(self, instruction: Instruction, cycle: int) -> PortGrant:
         """Try to claim an issue port this cycle."""
-        port = self.port_class(instruction)
+        return PortGrant(granted=self.try_claim(instruction, cycle), delay=0)
+
+    def try_claim(self, instruction: Instruction, cycle: int) -> bool:
+        """Allocation-free form of :meth:`request` for the per-cycle hot path."""
+        if instruction.is_memory:
+            port = "mem"
+        elif instruction.is_fp:
+            port = "fp"
+        else:
+            port = "int"
         usage = self._port_usage[port]
-        if usage.get(cycle, 0) >= self._limits[port]:
+        count = usage.get(cycle, 0)
+        if count >= self._limits[port]:
             self.contention_cycles[port] += 1
-            return PortGrant(granted=False, delay=1)
-        usage[cycle] = usage.get(cycle, 0) + 1
-        return PortGrant(granted=True)
+            return False
+        usage[cycle] = count + 1
+        return True
 
     def claim_divider(self, cycle: int, latency: int, floating_point: bool) -> int:
         """Claim the (non-pipelined) divider; returns the actual start cycle."""
@@ -72,10 +82,11 @@ class ExecutionPorts:
 
     def drop_usage_before(self, cycle: int) -> None:
         """Garbage-collect per-cycle usage maps (keeps memory bounded)."""
+        threshold = cycle - 4
         for usage in self._port_usage.values():
-            stale = [c for c in usage if c < cycle - 4]
-            for c in stale:
-                del usage[c]
+            if len(usage) > 8:
+                for c in [c for c in usage if c < threshold]:
+                    del usage[c]
 
     def reset(self) -> None:
         self._port_usage = {"int": {}, "mem": {}, "fp": {}}

@@ -49,6 +49,9 @@ class LoadStoreUnit:
         self.store_queue: List[StoreQueueEntry] = []
         self.tainted_load_slots: Set[int] = set()
         self.tainted_store_slots: Set[int] = set()
+        # Monotonic counter bumped whenever a tainted slot is added or
+        # removed; the processor's census fast path sums it.
+        self.taint_version = 0
         # Spectre-Reload (B5): load pipeline and load queue share one
         # write-back port; at most one load completion per cycle when True.
         self.writeback_port_shared = writeback_port_shared
@@ -77,8 +80,9 @@ class LoadStoreUnit:
                 entry.nbytes = nbytes
                 entry.value = value
                 entry.tainted = tainted
-                if tainted:
+                if tainted and sequence not in self.tainted_store_slots:
                     self.tainted_store_slots.add(sequence)
+                    self.taint_version += 1
                 return entry
         return None
 
@@ -100,8 +104,9 @@ class LoadStoreUnit:
             forwarded_from_store=forwarded_from_store,
         )
         self.load_queue.append(entry)
-        if tainted_address:
+        if tainted_address and sequence not in self.tainted_load_slots:
             self.tainted_load_slots.add(sequence)
+            self.taint_version += 1
         return entry
 
     # -- forwarding and ordering -----------------------------------------------------
@@ -172,12 +177,20 @@ class LoadStoreUnit:
     def squash_younger_than(self, sequence: int) -> None:
         self.load_queue = [entry for entry in self.load_queue if entry.sequence <= sequence]
         self.store_queue = [entry for entry in self.store_queue if entry.sequence <= sequence]
-        self.tainted_load_slots = {s for s in self.tainted_load_slots if s <= sequence}
-        self.tainted_store_slots = {s for s in self.tainted_store_slots if s <= sequence}
+        kept_loads = {s for s in self.tainted_load_slots if s <= sequence}
+        kept_stores = {s for s in self.tainted_store_slots if s <= sequence}
+        if len(kept_loads) != len(self.tainted_load_slots) or len(kept_stores) != len(
+            self.tainted_store_slots
+        ):
+            self.taint_version += 1
+        self.tainted_load_slots = kept_loads
+        self.tainted_store_slots = kept_stores
 
     def squash_all(self) -> None:
         self.load_queue = []
         self.store_queue = []
+        if self.tainted_load_slots or self.tainted_store_slots:
+            self.taint_version += 1
         self.tainted_load_slots = set()
         self.tainted_store_slots = set()
 
@@ -186,13 +199,17 @@ class LoadStoreUnit:
             if entry.sequence == sequence:
                 entry.committed = True
                 self.store_queue.pop(index)
-                self.tainted_store_slots.discard(sequence)
+                if sequence in self.tainted_store_slots:
+                    self.tainted_store_slots.discard(sequence)
+                    self.taint_version += 1
                 return entry
         return None
 
     def retire_load(self, sequence: int) -> None:
         self.load_queue = [entry for entry in self.load_queue if entry.sequence != sequence]
-        self.tainted_load_slots.discard(sequence)
+        if sequence in self.tainted_load_slots:
+            self.tainted_load_slots.discard(sequence)
+            self.taint_version += 1
 
     # -- inspection -------------------------------------------------------------------------
 

@@ -32,6 +32,9 @@ class BranchHistoryTable:
         self._default = self._max // 2  # weakly not-taken
         self.counters: List[int] = [self._default] * entries
         self.tainted: Set[int] = set()
+        # Monotonic counter bumped when the tainted-entry set changes size;
+        # the processor's census fast path sums it.
+        self.taint_version = 0
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.entries
@@ -45,14 +48,17 @@ class BranchHistoryTable:
         counter = self.counters[index]
         counter = min(counter + 1, self._max) if taken else max(counter - 1, 0)
         self.counters[index] = counter
-        if tainted:
+        if tainted and index not in self.tainted:
             self.tainted.add(index)
+            self.taint_version += 1
 
     def is_trained_taken(self, pc: int) -> bool:
         return self.counters[self._index(pc)] > self._max // 2
 
     def reset(self) -> None:
         self.counters = [self._default] * self.entries
+        if self.tainted:
+            self.taint_version += 1
         self.tainted = set()
 
     def state_fingerprint(self) -> Tuple[int, ...]:
@@ -70,6 +76,7 @@ class BranchTargetBuffer:
         self.tags: List[Optional[int]] = [None] * entries
         self.targets: List[int] = [0] * entries
         self.tainted: Set[int] = set()
+        self.taint_version = 0
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.entries
@@ -85,14 +92,19 @@ class BranchTargetBuffer:
         self.tags[index] = pc
         self.targets[index] = target
         if tainted:
-            self.tainted.add(index)
+            if index not in self.tainted:
+                self.tainted.add(index)
+                self.taint_version += 1
         elif index in self.tainted:
             self.tainted.discard(index)
+            self.taint_version += 1
 
     def invalidate(self, pc: int) -> None:
         index = self._index(pc)
         self.tags[index] = None
-        self.tainted.discard(index)
+        if index in self.tainted:
+            self.tainted.discard(index)
+            self.taint_version += 1
 
     def entry_for(self, pc: int) -> Optional[int]:
         index = self._index(pc)
@@ -103,6 +115,8 @@ class BranchTargetBuffer:
     def reset(self) -> None:
         self.tags = [None] * self.entries
         self.targets = [0] * self.entries
+        if self.tainted:
+            self.taint_version += 1
         self.tainted = set()
 
     def state_fingerprint(self) -> Tuple[Tuple[Optional[int], int], ...]:
@@ -137,14 +151,18 @@ class ReturnAddressStack:
         self.stack: List[int] = [0] * entries
         self.top_of_stack = 0
         self.tainted: Set[int] = set()
+        self.taint_version = 0
 
     def push(self, return_address: int, tainted: bool = False) -> None:
         self.top_of_stack = (self.top_of_stack + 1) % self.entries
         self.stack[self.top_of_stack] = return_address
         if tainted:
-            self.tainted.add(self.top_of_stack)
-        else:
+            if self.top_of_stack not in self.tainted:
+                self.tainted.add(self.top_of_stack)
+                self.taint_version += 1
+        elif self.top_of_stack in self.tainted:
             self.tainted.discard(self.top_of_stack)
+            self.taint_version += 1
 
     def pop(self) -> int:
         value = self.stack[self.top_of_stack]
@@ -170,14 +188,20 @@ class ReturnAddressStack:
         self.top_of_stack = snapshot.top_of_stack
         if self.restore_below_tos:
             self.stack = list(snapshot.full_stack)
+            if self.tainted:
+                self.taint_version += 1
             self.tainted = set()
         else:
             self.stack[self.top_of_stack] = snapshot.top_entry
-            self.tainted.discard(self.top_of_stack)
+            if self.top_of_stack in self.tainted:
+                self.tainted.discard(self.top_of_stack)
+                self.taint_version += 1
 
     def reset(self) -> None:
         self.stack = [0] * self.entries
         self.top_of_stack = 0
+        if self.tainted:
+            self.taint_version += 1
         self.tainted = set()
 
     def state_fingerprint(self) -> Tuple[int, ...]:
@@ -197,6 +221,7 @@ class LoopPredictor:
         self.current_counts: Dict[int, int] = {}
         self.confidence: Dict[int, int] = {}
         self.tainted: Set[int] = set()
+        self.taint_version = 0
 
     def _index(self, pc: int) -> int:
         return (pc >> 2) % self.entries
@@ -213,8 +238,9 @@ class LoopPredictor:
 
     def train(self, pc: int, taken: bool, tainted: bool = False) -> None:
         index = self._index(pc)
-        if tainted:
+        if tainted and index not in self.tainted:
             self.tainted.add(index)
+            self.taint_version += 1
         if taken:
             self.current_counts[index] = self.current_counts.get(index, 0) + 1
             return
@@ -230,6 +256,8 @@ class LoopPredictor:
         self.trip_counts = {}
         self.current_counts = {}
         self.confidence = {}
+        if self.tainted:
+            self.taint_version += 1
         self.tainted = set()
 
     def state_fingerprint(self) -> Tuple[Tuple[int, int, int], ...]:
@@ -281,6 +309,15 @@ class BranchPredictorUnit:
             self.btb.state_fingerprint(),
             self.ras.state_fingerprint(),
             self.loop.state_fingerprint(),
+        )
+
+    @property
+    def taint_version(self) -> int:
+        return (
+            self.bht.taint_version
+            + self.btb.taint_version
+            + self.ras.taint_version
+            + self.loop.taint_version
         )
 
     def tainted_counts(self) -> Dict[str, int]:

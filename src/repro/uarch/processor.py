@@ -56,7 +56,7 @@ from repro.uarch.execute import ExecutionPorts, base_latency, is_divider_op
 from repro.uarch.lsu import LoadStoreUnit
 from repro.uarch.predictors import BranchPredictorUnit
 from repro.uarch.rob import ReorderBuffer, RobEntry
-from repro.uarch.taint import DiffOracle, TaintState
+from repro.uarch.taint import DiffOracle, TaintCensus, TaintState
 from repro.uarch.tlb import Tlb
 from repro.utils.bitops import is_aligned, mask, sign_extend, to_signed, to_unsigned
 
@@ -64,6 +64,9 @@ from repro.utils.bitops import is_aligned, mask, sign_extend, to_signed, to_unsi
 PHYSICAL_ADDRESS_BITS = 39
 # Width to which the buggy XiangShan load path truncates illegal addresses (B1).
 TRUNCATED_ADDRESS_BITS = 32
+
+# Instructions that serialize the frontend at dispatch.
+_SERIALIZING_MNEMONICS = frozenset(("ecall", "ebreak", "mret", "fence", "fence.i"))
 
 FetchSource = Callable[[int], Optional[Instruction]]
 TrapHook = Callable[[TrapCause, int, int], Optional[int]]
@@ -104,6 +107,11 @@ class SimulationOutcome:
 class Processor:
     """One simulated out-of-order core instance."""
 
+    # A/B knob for the census dirty-flag fast path: when True every cycle
+    # recomputes the full census even if no taint_version counter moved, so
+    # tests can diff the fast path against the ground truth.
+    force_census_recompute = False
+
     def __init__(
         self,
         config: CoreConfig,
@@ -115,6 +123,14 @@ class Processor:
         self.config = config
         self.memory = memory if memory is not None else SimMemory()
         self.taint = TaintState(mode=taint_mode, diff_oracle=diff_oracle)
+        # Census fast-path state: the taint_version sum at the last full
+        # census (-1 forces a full computation on the first taint-enabled
+        # cycle).  ``_taint_enabled`` is cached because the mode is fixed for
+        # the processor's lifetime and ``step_cycle`` checks it every cycle.
+        self._census_version = -1
+        self._taint_enabled = taint_mode is not TaintTrackingMode.NONE
+        # Per-mnemonic base-latency memo (base_latency is pure in the config).
+        self._latency_cache: Dict[str, int] = {}
         self.trap_vector = trap_vector
         self.trap_hook: Optional[TrapHook] = None
 
@@ -143,6 +159,12 @@ class Processor:
         self._results: Dict[int, Tuple[int, bool]] = {}
         self._halt_reason: Optional[str] = None
         self._stop_pcs: Set[int] = set()
+        # Idle fast-forward bookkeeping (see _fast_forward): whether the last
+        # cycle's fetch attempt found no instruction at fetch_pc, and whether
+        # any issue-port request was denied (a denied request retries on the
+        # very next cycle, so the clock cannot jump past it).
+        self._fetch_returned_none = False
+        self._port_denied = False
         # Phantom-BTB (B3) race bookkeeping: the cycle and corrected target of
         # the most recent indirect-jump misprediction resolution.
         self._indirect_correction: Optional[Tuple[int, int, bool]] = None
@@ -182,13 +204,15 @@ class Processor:
         self._halt_reason = None
         target_commits = max_commits if max_commits is not None else float("inf")
         start_cycle = self.cycle
-        while self.cycle - start_cycle < max_cycles:
+        limit_cycle = start_cycle + max_cycles
+        while self.cycle < limit_cycle:
             self.step_cycle()
             if self._halt_reason is not None:
                 break
             if self.committed_instructions >= target_commits:
                 self._halt_reason = "max_commits"
                 break
+            self._fast_forward(limit_cycle)
         return SimulationOutcome(
             cycles=self.cycle - start_cycle,
             committed_instructions=self.committed_instructions,
@@ -209,20 +233,84 @@ class Processor:
         self._resolve_stage()
         self._commit_stage()
         if self._halt_reason is not None:
-            self._record_census()
+            if self._taint_enabled:
+                self._record_census()
             return
         self._execute_stage()
         self._fetch_stage()
-        self.ports.drop_usage_before(self.cycle)
-        self._record_census()
+        if self.cycle & 15 == 0:
+            # Pruning is pure GC (claims only ever reference the current
+            # cycle), so amortising it over 16 cycles is free.
+            self.ports.drop_usage_before(self.cycle)
+        if self._taint_enabled:
+            self._record_census()
+
+    def _fast_forward(self, limit_cycle: int) -> None:
+        """Jump the clock over cycles in which no pipeline stage can act.
+
+        Every stage's next possible action is keyed to a known future cycle:
+        resolution/commit/operand readiness all wait on an entry's
+        ``complete_cycle``, a trapping head waits for its exception-commit
+        delay, and a stalled fetch waits for ``fetch_stall_until``.  When, in
+        addition, fetch cannot deliver an instruction next cycle and no
+        issue-port request was denied this cycle (a denied request retries on
+        the next cycle), every intermediate cycle is provably inert — the
+        skipped cycles only need repeat censuses so the per-cycle taint
+        series stays bit-identical with the unskipped execution.
+        """
+        if self._port_denied:
+            return
+        cycle = self.cycle
+        wake: Optional[int] = None
+        if (
+            self._fetch_source is not None
+            and not self.fetch_serialized
+            and not self.rob.is_full
+        ):
+            if self.fetch_stall_until > cycle + 1:
+                wake = self.fetch_stall_until
+            elif not self._fetch_returned_none:
+                return  # fetch delivers an instruction next cycle
+        head = self.rob.head()
+        if head is not None and head.head_arrival_cycle is None:
+            return  # the head's arrival cycle is assigned next cycle
+        for entry in self.rob.entries:
+            if entry.executed:
+                complete = entry.complete_cycle
+                if complete is None:
+                    return
+                if complete > cycle and (wake is None or complete < wake):
+                    wake = complete
+            # Unexecuted entries wait on a producer's completion (covered by
+            # the producer's complete_cycle) or on an issue-port retry
+            # (excluded by the _port_denied guard above).
+        if head is not None and head.executed and head.exception is not None:
+            ready = max(
+                head.complete_cycle,
+                head.head_arrival_cycle + self.config.exception_commit_delay,
+            )
+            if ready > cycle and (wake is None or ready < wake):
+                wake = ready
+        target = limit_cycle if wake is None else min(wake, limit_cycle)
+        if target <= cycle + 1:
+            return
+        if self._taint_enabled:
+            log = self.taint.census_log
+            shared_counts = log[-1].element_counts
+            log.extend(
+                TaintCensus(cycle=skipped, element_counts=shared_counts)
+                for skipped in range(cycle + 1, target)
+            )
+        self.cycle = target - 1
 
     # -- commit stage ------------------------------------------------------------------------
 
     def _commit_stage(self) -> None:
+        entries = self.rob.entries
         for _ in range(self.config.commit_width):
-            head = self.rob.head()
-            if head is None:
+            if not entries:
                 return
+            head = entries[0]
             if head.head_arrival_cycle is None:
                 head.head_arrival_cycle = self.cycle
             if not head.is_ready_to_commit(self.cycle, self.config.exception_commit_delay):
@@ -236,7 +324,7 @@ class Processor:
         instruction = entry.instruction
         self.rob.pop_head()
         entry.committed = True
-        self.trace.record_commit(
+        self.trace.commits.append(
             RobCommitEvent(
                 cycle=self.cycle,
                 rob_index=0,
@@ -316,11 +404,27 @@ class Processor:
     # -- resolve stage -----------------------------------------------------------------------
 
     def _resolve_stage(self) -> None:
-        for entry in list(self.rob.entries):
-            if not entry.executed or entry.complete_cycle is None or entry.complete_cycle > self.cycle:
-                continue
-            if entry.instruction.is_control_flow and not entry.mispredicted:
-                self._resolve_control_flow(entry)
+        # Resolution is rare relative to cycles: collect the (usually empty)
+        # set of completing control-flow entries first, then resolve them in
+        # order against the same snapshot semantics as before.
+        cycle = self.cycle
+        candidates = None
+        for entry in self.rob.entries:
+            if (
+                entry.executed
+                and entry.complete_cycle is not None
+                and entry.complete_cycle <= cycle
+                and not entry.mispredicted
+                and entry.instruction.is_control_flow
+            ):
+                if candidates is None:
+                    candidates = [entry]
+                else:
+                    candidates.append(entry)
+        if candidates is None:
+            return
+        for entry in candidates:
+            self._resolve_control_flow(entry)
             if self._halt_reason is not None:
                 return
 
@@ -424,32 +528,41 @@ class Processor:
     # -- execute stage ------------------------------------------------------------------------
 
     def _execute_stage(self) -> None:
-        for entry in list(self.rob.entries):
+        self._port_denied = False
+        entries = self.rob.entries
+        if not entries:
+            return
+        cycle = self.cycle
+        try_claim = self.ports.try_claim
+        # Execution never adds or removes RoB entries (squashes happen at
+        # resolve/commit), so the list is iterated without a defensive copy.
+        for entry in entries:
             if entry.executed:
                 continue
             if not self._operands_ready(entry):
                 continue
-            grant = self.ports.request(entry.instruction, self.cycle)
-            if not grant.granted:
+            if not try_claim(entry.instruction, cycle):
+                self._port_denied = True
                 continue
             self._execute_entry(entry)
             if self._halt_reason is not None:
                 return
 
     def _operands_ready(self, entry: RobEntry) -> bool:
-        for source in entry.instruction.reads():
-            if source == 0:
-                continue
-            producer = getattr(entry, "_producers", {}).get(source)
-            if producer is None:
-                continue
-            if producer not in self._results:
+        producers = entry._producers
+        if not producers:
+            return True
+        results = self._results
+        cycle = self.cycle
+        find = self.rob.find
+        for producer in producers.values():
+            if producer not in results:
                 return False
-            producing_entry = self.rob.find(producer)
+            producing_entry = find(producer)
             if producing_entry is not None and (
                 not producing_entry.executed
                 or producing_entry.complete_cycle is None
-                or producing_entry.complete_cycle > self.cycle
+                or producing_entry.complete_cycle > cycle
             ):
                 return False
         return True
@@ -457,13 +570,25 @@ class Processor:
     def _operand_value(self, entry: RobEntry, source: int) -> Tuple[int, bool]:
         if source == 0:
             return 0, False
-        producer = getattr(entry, "_producers", {}).get(source)
+        producers = entry._producers
+        producer = producers.get(source) if producers else None
         if producer is not None and producer in self._results:
             return self._results[producer]
         return self.registers[source], self.taint.register_is_tainted(source)
 
     def _execute_entry(self, entry: RobEntry) -> None:
         instruction = entry.instruction
+        cycle = self.cycle
+        if instruction.is_nop:
+            # The dominant instruction in generated stimuli (dummy windows,
+            # alignment padding): zero result, fall-through, no taint.
+            entry.sources_tainted = False
+            entry.dispatch_cycle = cycle
+            entry.result = 0
+            entry.actual_next_pc = entry.pc + 4
+            entry.executed = True
+            entry.complete_cycle = cycle + max(self.config.alu_latency, 1)
+            return
         rs1_value, rs1_tainted = self._operand_value(entry, instruction.rs1)
         rs2_value, rs2_tainted = self._operand_value(entry, instruction.rs2)
         sources_tainted = (rs1_tainted and instruction.info.reads_rs1) or (
@@ -471,7 +596,11 @@ class Processor:
         )
         entry.sources_tainted = sources_tainted
         entry.dispatch_cycle = self.cycle
-        latency = base_latency(instruction, self.config)
+        latency_cache = self._latency_cache
+        latency = latency_cache.get(instruction.mnemonic)
+        if latency is None:
+            latency = base_latency(instruction, self.config)
+            latency_cache[instruction.mnemonic] = latency
 
         if instruction.is_illegal:
             entry.exception = TrapCause.ILLEGAL_INSTRUCTION
@@ -508,8 +637,9 @@ class Processor:
         entry.result_tainted = sources_tainted or entry.result_tainted
         entry.executed = True
         entry.complete_cycle = self.cycle + max(latency, 1)
-        if instruction.writes() is not None:
-            entry.dest_reg = instruction.writes()
+        destination = instruction._writes
+        if destination is not None:
+            entry.dest_reg = destination
             self._results[entry.sequence] = (entry.result, entry.result_tainted)
         if entry.result_tainted or entry.sources_tainted:
             self.rob.mark_tainted(entry.sequence)
@@ -688,11 +818,19 @@ class Processor:
         if self.fetch_serialized:
             return
         fetched = 0
-        while fetched < self.config.fetch_width and not self.rob.is_full:
-            instruction = self._fetch_source(self.fetch_pc)
+        fetch_width = self.config.fetch_width
+        fetch_source = self._fetch_source
+        icache_access = self.hierarchy.icache.access
+        rob_entries = self.rob.entries
+        rob_capacity = self.rob.capacity
+        while fetched < fetch_width and len(rob_entries) < rob_capacity:
+            instruction = fetch_source(self.fetch_pc)
             if instruction is None:
+                if fetched == 0:
+                    self._fetch_returned_none = True
                 return
-            icache_result = self.hierarchy.instruction_access(self.fetch_pc)
+            self._fetch_returned_none = False
+            icache_result = icache_access(self.fetch_pc)
             if not icache_result.hit:
                 self.fetch_stall_until = self.cycle + icache_result.latency
             entry = self._dispatch(instruction)
@@ -706,7 +844,11 @@ class Processor:
 
     def _dispatch(self, instruction: Instruction) -> RobEntry:
         sequence = self.rob.allocate_sequence()
-        predicted_next_pc, ras_snapshot = self._predict(instruction, self.fetch_pc)
+        if instruction.is_control_flow:
+            predicted_next_pc, ras_snapshot = self._predict(instruction, self.fetch_pc)
+        else:
+            # Straight-line instructions always predict fall-through.
+            predicted_next_pc, ras_snapshot = self.fetch_pc + 4, None
         entry = RobEntry(
             sequence=sequence,
             pc=self.fetch_pc,
@@ -715,23 +857,27 @@ class Processor:
             predicted_next_pc=predicted_next_pc,
             ras_snapshot=ras_snapshot,
         )
-        producers: Dict[int, int] = {}
-        for source in instruction.reads():
-            if source != 0 and source in self._last_writer:
-                producers[source] = self._last_writer[source]
-        entry._producers = producers  # type: ignore[attr-defined]
+        producers: Optional[Dict[int, int]] = None
+        last_writer = self._last_writer
+        for source in instruction._reads:
+            if source != 0 and source in last_writer:
+                if producers is None:
+                    producers = {}
+                producers[source] = last_writer[source]
+        entry._producers = producers
         self.rob.enqueue(entry)
-        self.trace.record_enqueue(
+        self.trace.enqueues.append(
             RobEnqueueEvent(
                 cycle=self.cycle,
-                rob_index=len(self.rob) - 1,
+                rob_index=len(self.rob.entries) - 1,
                 sequence=sequence,
                 pc=self.fetch_pc,
                 mnemonic=instruction.mnemonic,
             )
         )
-        if instruction.writes() is not None:
-            self._last_writer[instruction.writes()] = sequence
+        destination = instruction._writes
+        if destination is not None:
+            self._last_writer[destination] = sequence
         if instruction.is_illegal and not self.config.illegal_instruction_opens_window:
             # The frontend refuses to speculate past an illegal instruction
             # (BOOM behaviour): no transient window opens.
@@ -739,7 +885,7 @@ class Processor:
             entry.executed = True
             entry.complete_cycle = self.cycle + 1
             self.fetch_serialized = True
-        if instruction.mnemonic in ("ecall", "ebreak", "mret", "fence", "fence.i"):
+        if instruction.mnemonic in _SERIALIZING_MNEMONICS:
             # System instructions serialize the frontend: fetch does not run
             # past them until they resolve (redirect or trap).
             self.fetch_serialized = True
@@ -790,7 +936,35 @@ class Processor:
                 self._last_writer[destination] = entry.sequence
 
     def _record_census(self) -> None:
-        if not self.taint.enabled:
+        taint = self.taint
+        if not taint.enabled:
+            return
+        # The per-structure counters are summed inline (the hierarchy and
+        # predictor ``taint_version`` properties would add five attribute +
+        # property dispatches per cycle).
+        hierarchy = self.hierarchy
+        predictors = self.predictors
+        version = (
+            taint.taint_version
+            + self.rob.taint_version
+            + hierarchy.icache.taint_version
+            + hierarchy.dcache.taint_version
+            + hierarchy.lfb.taint_version
+            + self.tlb.taint_version
+            + predictors.bht.taint_version
+            + predictors.btb.taint_version
+            + predictors.ras.taint_version
+            + predictors.loop.taint_version
+            + self.lsu.taint_version
+        )
+        if hierarchy.l2 is not None:
+            version += hierarchy.l2.taint_version
+        if (
+            version == self._census_version
+            and taint.census_log
+            and not Processor.force_census_recompute
+        ):
+            taint.record_census_repeat(self.cycle)
             return
         counts: Dict[str, int] = {"rob": self.rob.tainted_entry_count()}
         counts.update(self.hierarchy.tainted_counts())
@@ -798,6 +972,7 @@ class Processor:
         counts.update(self.predictors.tainted_counts())
         counts.update(self.lsu.tainted_counts())
         self.taint.record_census(self.cycle, counts)
+        self._census_version = version
 
     def _contention_summary(self) -> Dict[str, int]:
         summary = dict(self.ports.contention_cycles)

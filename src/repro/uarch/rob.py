@@ -3,13 +3,13 @@
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import List, Optional, Set
+from typing import Dict, List, Optional, Set
 
 from repro.isa.instructions import Instruction
 from repro.isa.simulator import TrapCause
 
 
-@dataclass
+@dataclass(slots=True)
 class RobEntry:
     """One in-flight instruction."""
 
@@ -50,6 +50,10 @@ class RobEntry:
     # exception-type transient windows are measured from this point.
     head_arrival_cycle: Optional[int] = None
 
+    # Sequence numbers of the in-flight producers of each source register
+    # (dispatch-time renaming snapshot); filled in by the dispatch stage.
+    _producers: Optional[Dict[int, int]] = None
+
     @property
     def in_flight(self) -> bool:
         return not self.squashed and not self.committed
@@ -76,6 +80,11 @@ class ReorderBuffer:
         self.entries: List[RobEntry] = []
         self.tainted_entries: Set[int] = set()
         self._next_sequence = 0
+        # O(1) sequence -> entry lookup for the operand-wakeup hot path.
+        self._by_sequence: Dict[int, RobEntry] = {}
+        # Monotonic counter bumped whenever the tainted in-flight entry count
+        # can have changed; the processor's census fast path sums it.
+        self.taint_version = 0
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -94,16 +103,23 @@ class ReorderBuffer:
         return sequence
 
     def enqueue(self, entry: RobEntry) -> RobEntry:
-        if self.is_full:
+        entries = self.entries
+        if len(entries) >= self.capacity:
             raise RuntimeError("RoB overflow: caller must check is_full before enqueueing")
-        self.entries.append(entry)
+        entries.append(entry)
+        self._by_sequence[entry.sequence] = entry
         return entry
 
     def head(self) -> Optional[RobEntry]:
         return self.entries[0] if self.entries else None
 
     def pop_head(self) -> RobEntry:
-        return self.entries.pop(0)
+        entry = self.entries.pop(0)
+        del self._by_sequence[entry.sequence]
+        if entry.sequence in self.tainted_entries:
+            self.tainted_entries.discard(entry.sequence)
+            self.taint_version += 1
+        return entry
 
     def younger_than(self, sequence: int) -> List[RobEntry]:
         return [entry for entry in self.entries if entry.sequence > sequence]
@@ -112,26 +128,45 @@ class ReorderBuffer:
         """Remove and return all entries younger than ``sequence`` (exclusive)."""
         squashed = [entry for entry in self.entries if entry.sequence > sequence]
         self.entries = [entry for entry in self.entries if entry.sequence <= sequence]
+        tainted_removed = False
         for entry in squashed:
             entry.squashed = True
-            self.tainted_entries.discard(entry.sequence)
+            del self._by_sequence[entry.sequence]
+            if entry.sequence in self.tainted_entries:
+                self.tainted_entries.discard(entry.sequence)
+                tainted_removed = True
+        if tainted_removed:
+            self.taint_version += 1
         return squashed
 
     def remove_all(self) -> List[RobEntry]:
         squashed = self.entries
         self.entries = []
+        self._by_sequence = {}
+        tainted_removed = False
         for entry in squashed:
             entry.squashed = True
+            if entry.sequence in self.tainted_entries:
+                tainted_removed = True
         self.tainted_entries = set()
+        if tainted_removed:
+            self.taint_version += 1
         return squashed
 
     def mark_tainted(self, sequence: int) -> None:
-        self.tainted_entries.add(sequence)
+        if sequence not in self.tainted_entries:
+            self.tainted_entries.add(sequence)
+            self.taint_version += 1
 
     def taint_all_inflight(self) -> None:
         """Taint every in-flight entry (the CellIFT rollback explosion)."""
+        added = False
         for entry in self.entries:
-            self.tainted_entries.add(entry.sequence)
+            if entry.sequence not in self.tainted_entries:
+                self.tainted_entries.add(entry.sequence)
+                added = True
+        if added:
+            self.taint_version += 1
 
     def tainted_entry_count(self) -> int:
         inflight = {entry.sequence for entry in self.entries}
@@ -141,7 +176,4 @@ class ReorderBuffer:
         return len(self.entries)
 
     def find(self, sequence: int) -> Optional[RobEntry]:
-        for entry in self.entries:
-            if entry.sequence == sequence:
-                return entry
-        return None
+        return self._by_sequence.get(sequence)

@@ -47,7 +47,7 @@ BIT_WEIGHTS: Dict[str, int] = {
 }
 
 
-@dataclass
+@dataclass(slots=True)
 class TaintCensus:
     """Tainted element and bit counts per module at one cycle."""
 
@@ -67,7 +67,7 @@ class TaintCensus:
         return {module: count for module, count in self.element_counts.items() if count}
 
 
-@dataclass
+@dataclass(slots=True)
 class ControlEvent:
     """A recorded secret-influenced (or potentially influenced) decision."""
 
@@ -91,13 +91,22 @@ class TaintState:
     ) -> None:
         self.mode = mode
         self.diff_oracle = diff_oracle
-        self.register_taint: List[bool] = [False] * 32
-        self.tainted_addresses: Set[int] = set()
+        # Register taint is one bit per architectural register, packed into a
+        # 32-bit mask; memory byte taint is packed into 64-byte occupancy
+        # words keyed by ``address >> 6`` (a word is dropped when it empties,
+        # so the common no-taint case stays an empty-dict check).
+        self._register_mask: int = 0
+        self._addr_words: Dict[int, int] = {}
         self.control_log: List[ControlEvent] = []
         self.census_log: List[TaintCensus] = []
         # Count of extra structure-wide taints injected by control-taint
         # explosions (CellIFT mode); keyed by module name.
         self.control_taint_overlays: Dict[str, int] = {}
+        # Monotonic counter bumped whenever the census-visible taint state
+        # (register mask or overlays) changes; the processor sums these
+        # counters across all structures to skip recomputing an unchanged
+        # census.  Never reset backwards — a repeated value would alias.
+        self.taint_version: int = 0
 
     # -- configuration ------------------------------------------------------------
 
@@ -106,43 +115,108 @@ class TaintState:
         return self.mode is not TaintTrackingMode.NONE
 
     def reset(self) -> None:
-        self.register_taint = [False] * 32
-        self.tainted_addresses = set()
+        self._register_mask = 0
+        self._addr_words = {}
         self.control_log = []
         self.census_log = []
         self.control_taint_overlays = {}
+        self.taint_version += 1
 
     # -- data taint ------------------------------------------------------------------
 
+    @property
+    def register_taint(self) -> List[bool]:
+        """The register-taint mask unpacked to a per-register list (inspection)."""
+        mask_value = self._register_mask
+        return [bool((mask_value >> index) & 1) for index in range(32)]
+
+    @property
+    def tainted_addresses(self) -> Set[int]:
+        """The packed byte-taint words expanded to an address set (inspection)."""
+        addresses: Set[int] = set()
+        for word, bits in self._addr_words.items():
+            base = word << 6
+            while bits:
+                low = bits & -bits
+                addresses.add(base + low.bit_length() - 1)
+                bits ^= low
+        return addresses
+
     def taint_address_range(self, base: int, size: int) -> None:
         """Mark a memory region (the secret) as the taint source."""
-        for offset in range(size):
-            self.tainted_addresses.add(base + offset)
+        words = self._addr_words
+        address = base
+        end = base + size
+        while address < end:
+            word = address >> 6
+            low = address & 63
+            span = min(end - address, 64 - low)
+            words[word] = words.get(word, 0) | (((1 << span) - 1) << low)
+            address += span
 
     def address_tainted(self, address: int, nbytes: int = 1) -> bool:
-        return any((address + offset) in self.tainted_addresses for offset in range(nbytes))
+        words = self._addr_words
+        if not words:
+            return False
+        if nbytes == 1:
+            bits = words.get(address >> 6)
+            return bits is not None and (bits >> (address & 63)) & 1 != 0
+        end = address + nbytes
+        while address < end:
+            word = address >> 6
+            low = address & 63
+            span = min(end - address, 64 - low)
+            bits = words.get(word)
+            if bits and bits & (((1 << span) - 1) << low):
+                return True
+            address += span
+        return False
 
     def taint_memory_write(self, address: int, nbytes: int, tainted: bool) -> None:
         if not self.enabled:
             return
-        for offset in range(nbytes):
+        words = self._addr_words
+        if not tainted and not words:
+            return
+        end = address + nbytes
+        while address < end:
+            word = address >> 6
+            low = address & 63
+            span = min(end - address, 64 - low)
+            chunk = ((1 << span) - 1) << low
             if tainted:
-                self.tainted_addresses.add(address + offset)
+                words[word] = words.get(word, 0) | chunk
             else:
-                self.tainted_addresses.discard(address + offset)
+                bits = words.get(word)
+                if bits:
+                    bits &= ~chunk
+                    if bits:
+                        words[word] = bits
+                    else:
+                        del words[word]
+            address += span
 
     def set_register_taint(self, index: int, tainted: bool) -> None:
         if index != 0 and self.enabled:
-            self.register_taint[index] = tainted
+            bit = 1 << index
+            mask_value = self._register_mask
+            if tainted:
+                updated = mask_value | bit
+            else:
+                updated = mask_value & ~bit
+            if updated != mask_value:
+                self._register_mask = updated
+                self.taint_version += 1
 
     def register_is_tainted(self, index: int) -> bool:
-        return index != 0 and self.register_taint[index]
+        return (self._register_mask >> index) & 1 != 0
 
     def any_register_tainted(self, indices) -> bool:
-        return any(self.register_is_tainted(index) for index in indices)
+        mask_value = self._register_mask
+        return any((mask_value >> index) & 1 for index in indices)
 
     def tainted_register_count(self) -> int:
-        return sum(1 for tainted in self.register_taint if tainted)
+        return self._register_mask.bit_count()
 
     # -- control taint ------------------------------------------------------------------
 
@@ -164,12 +238,16 @@ class TaintState:
         if not self.enabled or elements <= 0:
             return
         self.control_taint_overlays[module] = self.control_taint_overlays.get(module, 0) + elements
+        self.taint_version += 1
 
     def clear_control_overlay(self, module: Optional[str] = None) -> None:
         if module is None:
+            if self.control_taint_overlays:
+                self.taint_version += 1
             self.control_taint_overlays = {}
-        else:
-            self.control_taint_overlays.pop(module, None)
+        elif module in self.control_taint_overlays:
+            del self.control_taint_overlays[module]
+            self.taint_version += 1
 
     # -- census --------------------------------------------------------------------------
 
@@ -184,15 +262,41 @@ class TaintState:
         self.census_log.append(census)
         return census
 
+    def record_census_repeat(self, cycle: int) -> TaintCensus:
+        """Archive a census identical to the previous one (dirty-flag fast path).
+
+        The processor calls this when no structure's ``taint_version`` counter
+        moved since the last census: the element counts are necessarily the
+        same, so the new census shares the previous ``element_counts`` dict
+        (censuses are never mutated after recording).
+        """
+        previous = self.census_log[-1]
+        census = TaintCensus(cycle=cycle, element_counts=previous.element_counts)
+        self.census_log.append(census)
+        return census
+
     def taint_sum_series(self) -> List[int]:
-        """Tainted state bits per recorded cycle (the Figure 6 y-axis)."""
-        return [census.total_bits() for census in self.census_log]
+        """Tainted state bits per recorded cycle (the Figure 6 y-axis).
+
+        Repeated censuses share one ``element_counts`` dict, so the bit total
+        is memoized per unique dict rather than recomputed per cycle.
+        """
+        totals: Dict[int, int] = {}
+        series: List[int] = []
+        for census in self.census_log:
+            key = id(census.element_counts)
+            bits = totals.get(key)
+            if bits is None:
+                bits = census.total_bits()
+                totals[key] = bits
+            series.append(bits)
+        return series
 
     def final_census(self) -> Optional[TaintCensus]:
         return self.census_log[-1] if self.census_log else None
 
     def max_taint_bits(self) -> int:
-        return max((census.total_bits() for census in self.census_log), default=0)
+        return max(self.taint_sum_series(), default=0)
 
     # -- differential support ------------------------------------------------------------------
 

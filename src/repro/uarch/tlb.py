@@ -31,6 +31,9 @@ class Tlb:
         self.tainted_pages: Set[int] = set()
         self.accesses = 0
         self.misses = 0
+        # Monotonic counter bumped when the tainted-page set changes size;
+        # the processor's census fast path sums it.
+        self.taint_version = 0
 
     def _page(self, address: int) -> int:
         return address >> PAGE_SHIFT
@@ -44,21 +47,27 @@ class Tlb:
         if page in self.pages:
             self.pages.remove(page)
             self.pages.insert(0, page)
-            if tainted:
+            if tainted and page not in self.tainted_pages:
                 self.tainted_pages.add(page)
+                self.taint_version += 1
             return TlbAccessResult(hit=True, latency=self.hit_latency, page=page)
         self.misses += 1
         if fill_on_miss:
             if len(self.pages) >= self.entries:
                 evicted = self.pages.pop()
-                self.tainted_pages.discard(evicted)
+                if evicted in self.tainted_pages:
+                    self.tainted_pages.discard(evicted)
+                    self.taint_version += 1
             self.pages.insert(0, page)
-            if tainted:
+            if tainted and page not in self.tainted_pages:
                 self.tainted_pages.add(page)
+                self.taint_version += 1
         return TlbAccessResult(hit=False, latency=self.miss_latency, page=page)
 
     def flush(self) -> None:
         self.pages = []
+        if self.tainted_pages:
+            self.taint_version += 1
         self.tainted_pages = set()
 
     def resident_pages(self) -> Set[int]:

@@ -31,12 +31,12 @@ def bits(value: int, hi: int, lo: int) -> int:
 
 def to_unsigned(value: int, width: int) -> int:
     """Reinterpret ``value`` as an unsigned ``width``-bit integer."""
-    return value & mask(width)
+    return value & ((1 << width) - 1)
 
 
 def to_signed(value: int, width: int) -> int:
     """Reinterpret the low ``width`` bits of ``value`` as a signed integer."""
-    value = to_unsigned(value, width)
+    value &= (1 << width) - 1
     if value & (1 << (width - 1)):
         return value - (1 << width)
     return value

@@ -1,0 +1,337 @@
+"""Tests for the hot-path caches: Phase-1 simulation memo, assembly cache,
+golden-model verify memo, census dirty-flagging and the profile plumbing.
+
+The shared contract under test: every cache is *transparent* — the same
+campaign run with every cache force-disabled produces byte-identical
+deterministic wire forms.
+"""
+
+import pytest
+
+from repro.core.backends import (
+    AsyncBackend,
+    InlineBackend,
+    ProcessPoolBackend,
+    ShardTask,
+    run_shard_task,
+)
+from repro.core.distributed import shard_task_from_wire, shard_task_to_wire
+from repro.core.engine import EngineConfiguration, ParallelCampaignEngine
+from repro.core.fuzzer import FuzzerConfiguration, run_quick_campaign
+from repro.core.phase1 import (
+    SimulationCache,
+    TransientWindowTriggering,
+    schedule_fingerprint,
+)
+from repro.analysis import profile_hotspot_table
+from dataclasses import replace
+
+from repro.generation.seeds import Seed
+from repro.generation.window_types import TransientWindowType
+from repro.generation.trigger import TriggerGenerator
+from repro.isa.assembler import Assembler, AssemblyCache
+from repro.isa.instructions import make_instruction, nop
+from repro.swapmem.packets import SwapSchedule
+from repro.uarch.boom import small_boom_config
+from repro.uarch.processor import Processor
+
+BOOM = small_boom_config()
+
+
+def deterministic_dict(iterations=6, entropy=11, **overrides):
+    result = run_quick_campaign(BOOM, iterations, entropy=entropy, **overrides)
+    return result.to_dict(include_timing=False)
+
+
+def make_seed(seed_id=7, entropy=13):
+    return Seed(
+        seed_id=seed_id,
+        entropy=entropy,
+        window_type=TransientWindowType.BRANCH_MISPREDICTION,
+    )
+
+
+class TestSimulationCacheTransparency:
+    def test_cache_on_off_campaigns_are_byte_identical(self):
+        cached = deterministic_dict()
+        uncached = deterministic_dict(sim_cache=False)
+        assert cached == uncached
+
+    def test_force_disable_flag_is_byte_identical(self):
+        cached = deterministic_dict()
+        TransientWindowTriggering.force_disable_sim_cache = True
+        try:
+            forced = deterministic_dict()
+        finally:
+            TransientWindowTriggering.force_disable_sim_cache = False
+        assert cached == forced
+
+    def test_identical_schedules_hit_the_cache(self):
+        phase1 = TransientWindowTriggering(BOOM)
+        seed = make_seed()
+        first = phase1.run(seed)
+        hits_before = phase1.simulation_cache.hits
+        second = phase1.run(seed)
+        assert phase1.simulation_cache.hits > hits_before
+        assert first.triggered == second.triggered
+        assert first.simulations_used == second.simulations_used
+
+    def test_fingerprint_ignores_packet_names(self):
+        phase1 = TransientWindowTriggering(BOOM)
+        _, schedule = phase1.generate_schedule(make_seed())
+        renamed = SwapSchedule(
+            packets=[
+                replace(packet, name=f"x_{index}")
+                for index, packet in enumerate(schedule.packets)
+            ],
+            protect_secret_before_transient=schedule.protect_secret_before_transient,
+            name="other-name",
+        )
+        assert schedule_fingerprint(schedule) == schedule_fingerprint(renamed)
+
+
+class TestSimulationCacheBounds:
+    def test_eviction_at_capacity_boundary(self):
+        cache = SimulationCache(capacity=2)
+        cache.put(("a",), "ra")
+        cache.put(("b",), "rb")
+        assert cache.get(("a",)) == "ra"  # refresh a: b is now LRU
+        cache.put(("c",), "rc")
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        assert cache.get(("b",)) is None  # the LRU entry was evicted
+        assert cache.get(("a",)) == "ra"
+        assert cache.get(("c",)) == "rc"
+        stats = cache.stats()
+        assert stats["entries"] == 2
+        assert stats["capacity"] == 2
+        assert stats["misses"] == 1  # only the lookup of the evicted key
+
+    def test_rejects_non_positive_capacity(self):
+        with pytest.raises(ValueError):
+            SimulationCache(capacity=0)
+
+
+class TestAssemblyCache:
+    def test_cached_assembly_matches_uncached(self):
+        instructions = (
+            nop(),
+            make_instruction("addi", rd=5, rs1=0, imm=1),
+            make_instruction("addi", rd=6, rs1=5, imm=2),
+        )
+        cache = AssemblyCache()
+        cached = Assembler(base=0x8000_0000, cache=cache).assemble_instructions(
+            list(instructions)
+        )
+        plain = Assembler(base=0x8000_0000).assemble_instructions(list(instructions))
+        assert cached.entry == plain.entry
+        assert [list(s.instructions) for s in cached.sections] == [
+            list(s.instructions) for s in plain.sections
+        ]
+        again = Assembler(base=0x8000_0000, cache=cache).assemble_instructions(
+            list(instructions)
+        )
+        assert again is cached  # shared by reference on a hit
+        assert cache.hits == 1
+
+    def test_eviction_at_capacity_boundary(self):
+        cache = AssemblyCache(capacity=2)
+        assembler = Assembler(base=0x8000_0000, cache=cache)
+        programs = [
+            assembler.assemble_instructions([make_instruction("addi", rd=5, rs1=0, imm=imm)])
+            for imm in (1, 2, 3)
+        ]
+        assert len(cache) == 2
+        assert cache.evictions == 1
+        # The first program's key was evicted: assembling it again misses.
+        misses_before = cache.misses
+        rebuilt = assembler.assemble_instructions(
+            [make_instruction("addi", rd=5, rs1=0, imm=1)]
+        )
+        assert cache.misses == misses_before + 1
+        assert rebuilt is not programs[0]
+        assert [list(s.instructions) for s in rebuilt.sections] == [
+            list(s.instructions) for s in programs[0].sections
+        ]
+
+    def test_enabled_flag_bypasses_lookup(self):
+        cache = AssemblyCache()
+        assembler = Assembler(base=0x8000_0000, cache=cache)
+        assembler.assemble_instructions([nop()])
+        cache.enabled = False
+        try:
+            hits_before = cache.hits
+            assembler.assemble_instructions([nop()])
+            assert cache.hits == hits_before
+        finally:
+            cache.enabled = True
+
+
+class TestTrainingReduction:
+    def test_reduction_matches_without_packet_reference(self):
+        """The in-place surviving-list reduction equals the naive chained
+        ``without_packet`` reference, run by run."""
+        phase1 = TransientWindowTriggering(BOOM, sim_cache=False)
+        for seed_id in (3, 7, 21):
+            seed = make_seed(seed_id=seed_id)
+            spec, schedule = phase1.generate_schedule(seed)
+            baseline = phase1._simulate(schedule, seed.secret_value)
+            if not baseline.window_triggered():
+                continue
+            reduced, simulations, _ = phase1._reduce_training(
+                schedule, seed.secret_value, baseline
+            )
+            # Reference implementation: rebuild via chained without_packet.
+            reference = schedule
+            reference_simulations = 0
+            for packet in schedule.training_packets():
+                candidate = reference.without_packet(packet.name)
+                run = phase1._simulate(candidate, seed.secret_value)
+                reference_simulations += 1
+                if run.window_triggered():
+                    reference = candidate
+            assert [p.name for p in reduced.packets] == [
+                p.name for p in reference.packets
+            ]
+            assert simulations == reference_simulations
+
+    def test_verify_memo_matches_uncached_verdicts(self):
+        generator = TriggerGenerator()
+        specs = [generator.generate(make_seed(seed_id=i)) for i in range(4)]
+        cached = [generator.verify_with_golden_model(spec) for spec in specs]
+        assert generator.verify_misses >= len(specs)
+        hits_before = generator.verify_hits
+        repeat = [generator.verify_with_golden_model(spec) for spec in specs]
+        assert generator.verify_hits >= hits_before + len(specs)
+        TriggerGenerator.force_disable_verify_cache = True
+        try:
+            uncached = [generator.verify_with_golden_model(spec) for spec in specs]
+        finally:
+            TriggerGenerator.force_disable_verify_cache = False
+        assert cached == repeat == uncached
+
+
+class TestCensusDirtyFlag:
+    def test_force_recompute_is_byte_identical(self):
+        baseline = deterministic_dict(iterations=4, entropy=5)
+        Processor.force_census_recompute = True
+        try:
+            recomputed = deterministic_dict(iterations=4, entropy=5)
+        finally:
+            Processor.force_census_recompute = False
+        assert baseline == recomputed
+
+
+class TestBackendsCacheEquivalence:
+    @staticmethod
+    def _normalize(payload):
+        entry = {k: v for k, v in payload.items() if k != "wall_seconds"}
+        entry["result"] = dict(
+            entry["result"], elapsed_seconds=0.0, first_bug_seconds=None
+        )
+        for report in entry["result"]["reports"]:
+            report["wall_clock_seconds"] = 0.0
+        return entry
+
+    def _tasks(self, sim_cache):
+        return [
+            ShardTask(
+                slice_index=index,
+                epoch=0,
+                iterations=3,
+                configuration=FuzzerConfiguration(
+                    core=BOOM,
+                    entropy=41 + index,
+                    seed_id_base=100 * index,
+                    sim_cache=sim_cache,
+                ),
+            )
+            for index in range(2)
+        ]
+
+    def test_cache_on_off_identical_across_backends(self):
+        reference = [
+            self._normalize(p) for p in InlineBackend().run_epoch(self._tasks(True))
+        ]
+        for backend in (
+            InlineBackend(),
+            ProcessPoolBackend(max_workers=2),
+            AsyncBackend(concurrency=2),
+        ):
+            try:
+                payloads = backend.run_epoch(self._tasks(False))
+            finally:
+                backend.close()
+            assert [self._normalize(p) for p in payloads] == reference
+
+
+class TestProfilePlumbing:
+    def test_profiled_task_payload_carries_hotspots(self):
+        task = ShardTask(
+            slice_index=0,
+            epoch=0,
+            iterations=2,
+            configuration=FuzzerConfiguration(core=BOOM, entropy=17),
+            profile=5,
+        )
+        payload = run_shard_task(task)
+        profile = payload["profile"]
+        assert profile["slice_index"] == 0
+        assert 0 < len(profile["top"]) <= 5
+        for row in profile["top"]:
+            assert set(row) == {"function", "calls", "tottime", "cumtime"}
+
+    def test_profile_never_changes_results(self):
+        def run(profile):
+            task = ShardTask(
+                slice_index=0,
+                epoch=0,
+                iterations=2,
+                configuration=FuzzerConfiguration(core=BOOM, entropy=17),
+                profile=profile,
+            )
+            payload = run_shard_task(task)
+            payload.pop("profile", None)
+            payload.pop("wall_seconds", None)
+            payload["result"] = dict(
+                payload["result"], elapsed_seconds=0.0, first_bug_seconds=None
+            )
+            for report in payload["result"]["reports"]:
+                report["wall_clock_seconds"] = 0.0
+            return payload
+
+        assert run(0) == run(3)
+
+    def test_engine_collects_profile_log(self):
+        configuration = EngineConfiguration(
+            fuzzer=FuzzerConfiguration(core=BOOM),
+            shards=2,
+            iterations=6,
+            sync_epochs=1,
+            executor="inline",
+            profile=4,
+        )
+        result = ParallelCampaignEngine(configuration).run()
+        assert result.profile_log
+        rows = profile_hotspot_table(result.profile_log, top=4)
+        assert rows
+        assert rows == sorted(rows, key=lambda row: -row["cumtime"])
+
+    def test_wire_roundtrip_defaults(self):
+        task = ShardTask(
+            slice_index=1,
+            epoch=2,
+            iterations=3,
+            configuration=FuzzerConfiguration(core=BOOM, sim_cache=False),
+            profile=7,
+        )
+        wire = shard_task_to_wire(task)
+        back = shard_task_from_wire(wire)
+        assert back.profile == 7
+        assert back.configuration.sim_cache is False
+        # Payloads from an older coordinator lack the new keys entirely.
+        del wire["profile"]
+        del wire["configuration"]["sim_cache"]
+        legacy = shard_task_from_wire(wire)
+        assert legacy.profile == 0
+        assert legacy.configuration.sim_cache is True
