@@ -14,6 +14,7 @@ from repro.analysis.results import (
     checkpoint_summary,
     profile_hotspot_table,
     simulator_process_table,
+    window_batch_table,
     worker_utilization_table,
 )
 
@@ -31,5 +32,6 @@ __all__ = [
     "checkpoint_summary",
     "profile_hotspot_table",
     "simulator_process_table",
+    "window_batch_table",
     "worker_utilization_table",
 ]

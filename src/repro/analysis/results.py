@@ -269,9 +269,15 @@ def simulator_process_table(
     crash/hang recoveries, protocol steps, and the mean per-step wall clock.
     Like the worker log, this is timing-adjacent diagnostics and never part
     of the deterministic campaign wire forms.
+
+    ``sim_log`` also carries the batch-evaluation rows every run reports
+    (see :func:`window_batch_table`); entries without process counters
+    (no ``spawns`` key) are skipped here.
     """
     rows: Dict[int, Dict[str, object]] = {}
     for entry in sim_log:
+        if "spawns" not in entry:
+            continue
         index = int(entry["slice_index"])
         row = rows.setdefault(
             index,
@@ -299,6 +305,56 @@ def simulator_process_table(
         )
         finished.append(row)
     return finished
+
+
+def window_batch_table(
+    sim_log: Iterable[Dict[str, object]]
+) -> List[Dict[str, object]]:
+    """Aggregate the batch-evaluation counters into one row per slice.
+
+    ``sim_log`` is :attr:`repro.core.engine.EngineResult.sim_log`: every
+    slice-epoch task reports one row of window-batching diagnostics
+    (``{slice_index, epoch, window_batches, batch_simulations, max_batch,
+    speculated, lookahead_hits}`` plus ``dut_constructions``/``dut_reuses``
+    when the DUT pool is enabled).  Each output row sums a slice's story
+    across the campaign: how many window batches ran, the physical
+    simulations they performed, the widest batch, how many candidates were
+    evaluated speculatively, and how many committed rounds were absorbed by
+    an earlier batch (``lookahead_hits``).  The companion of
+    :func:`profile_hotspot_table` for the batching layer — diagnostics only,
+    never part of the deterministic campaign wire forms.
+
+    Entries that carry no batching counters (possible for logs recorded by
+    older engines) are skipped.
+    """
+    rows: Dict[int, Dict[str, object]] = {}
+    for entry in sim_log:
+        if "window_batches" not in entry:
+            continue
+        index = int(entry["slice_index"])
+        row = rows.setdefault(
+            index,
+            {
+                "slice": index,
+                "tasks": 0,
+                "batches": 0,
+                "batch_simulations": 0,
+                "max_batch": 0,
+                "speculated": 0,
+                "lookahead_hits": 0,
+                "dut_constructions": 0,
+                "dut_reuses": 0,
+            },
+        )
+        row["tasks"] += 1
+        row["batches"] += int(entry.get("window_batches", 0))
+        row["batch_simulations"] += int(entry.get("batch_simulations", 0))
+        row["max_batch"] = max(row["max_batch"], int(entry.get("max_batch", 0)))
+        row["speculated"] += int(entry.get("speculated", 0))
+        row["lookahead_hits"] += int(entry.get("lookahead_hits", 0))
+        row["dut_constructions"] += int(entry.get("dut_constructions", 0))
+        row["dut_reuses"] += int(entry.get("dut_reuses", 0))
+    return [dict(rows[index]) for index in sorted(rows)]
 
 
 def profile_hotspot_table(

@@ -180,6 +180,14 @@ class ShardCampaignRunner:
                 for seed, gain in self.fuzzer.top_seeds(task.report_top_seeds)
             ],
             "wall_seconds": time.perf_counter() - self.started,
+            # Diagnostics only (window batching / DUT pool counters); the
+            # subprocess simulator client merges its process counters into the
+            # same row.  Never enters deterministic wire forms or checkpoints.
+            "sim_stats": dict(
+                self.fuzzer.batch_stats(),
+                slice_index=task.slice_index,
+                epoch=task.epoch,
+            ),
         }
 
 

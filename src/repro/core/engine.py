@@ -288,6 +288,16 @@ class EngineConfiguration:
     # either way (the cache is keyed on full schedule content + secret), so
     # this exists for A/B determinism diffing and worst-case-memory runs.
     sim_cache: bool = True
+    # Phase-1 DUT reuse for every slice: warm Processor/SwapMemory pairs are
+    # reset and rearmed between simulations instead of reconstructed.  Byte-
+    # transparent (reset restores the constructed state exactly), so — like
+    # sim_cache — it exists for A/B diffing and never enters checkpoints.
+    dut_pool: bool = True
+    # Speculative trigger lookahead: on a window miss, the next K-1 mutated
+    # candidates are evaluated in the same simulator batch and replayed from
+    # the simulation cache when the committed loop reaches them.  1 = off.
+    # Byte-transparent: campaign results are identical for any value.
+    window_lookahead: int = 1
     # Fixed-count or stall-triggered synchronisation; accepts "fixed"/"stall"
     # shorthand or a full SyncPolicy.
     sync_policy: Union[str, SyncPolicy] = "fixed"
@@ -342,6 +352,10 @@ class EngineConfiguration:
             )
         if self.profile < 0:
             raise ValueError(f"profile must be non-negative, got {self.profile}")
+        if self.window_lookahead < 1:
+            raise ValueError(
+                f"window_lookahead must be at least 1, got {self.window_lookahead}"
+            )
         self.sync_policy = SyncPolicy.normalize(self.sync_policy)
         planned = self.planned_epochs()
         # Seed ids are the corpus's global identity: epoch bases must stay
@@ -469,9 +483,14 @@ class EngineResult:
     # repro.analysis.worker_utilization_table.  Timing-adjacent diagnostics —
     # never part of the deterministic wire forms, never checkpointed.
     worker_log: List[Dict[str, object]] = field(default_factory=list)
-    # Subprocess simulator only: one row per slice-epoch ({slice_index,
-    # epoch, spawns, restarts, steps, step_seconds_total, mean_step_seconds});
-    # feed it to repro.analysis.simulator_process_table.  Like worker_log,
+    # One row per slice-epoch of simulation diagnostics.  Every run reports
+    # the batch-evaluation counters ({slice_index, epoch, window_batches,
+    # batch_simulations, max_batch, speculated, lookahead_hits, and — when
+    # the DUT pool is on — dut_constructions/dut_reuses}); runs under the
+    # subprocess simulator additionally merge in the process counters
+    # ({spawns, restarts, steps, step_seconds_total, mean_step_seconds}).
+    # Feed it to repro.analysis.window_batch_table and (for the process
+    # rows) repro.analysis.simulator_process_table.  Like worker_log,
     # timing-adjacent diagnostics outside the deterministic wire forms.
     sim_log: List[Dict[str, object]] = field(default_factory=list)
     # EngineConfiguration.profile > 0 only: one row per profiled slice-epoch
@@ -531,10 +550,13 @@ class EngineResult:
                 "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             }
         )
-        if self.sim_log:
+        # Only subprocess-simulator rows carry process counters; the batch
+        # rows reported by every run do not make this a subprocess campaign.
+        process_rows = [row for row in self.sim_log if "spawns" in row]
+        if process_rows:
             summary["simulator_processes"] = {
-                "spawns": sum(int(row.get("spawns", 0)) for row in self.sim_log),
-                "restarts": sum(int(row.get("restarts", 0)) for row in self.sim_log),
+                "spawns": sum(int(row.get("spawns", 0)) for row in process_rows),
+                "restarts": sum(int(row.get("restarts", 0)) for row in process_rows),
             }
         return summary
 
@@ -954,6 +976,11 @@ class CampaignScheduler:
             # The engine-level flag can only disable caching: a per-core
             # prototype that already opted out stays opted out.
             sim_cache=prototype.sim_cache and self.configuration.sim_cache,
+            dut_pool=prototype.dut_pool and self.configuration.dut_pool,
+            # Lookahead widens, never narrows: either level can raise it.
+            window_lookahead=max(
+                prototype.window_lookahead, self.configuration.window_lookahead
+            ),
         )
         return ShardTask(
             slice_index=slice_index,
@@ -1531,6 +1558,22 @@ def build_parser() -> argparse.ArgumentParser:
         help="disable the Phase-1 simulation memo on every slice (results "
         "are byte-identical either way; use for A/B determinism diffing)",
     )
+    parser.add_argument(
+        "--no-dut-pool",
+        action="store_true",
+        help="construct a fresh Processor/SwapMemory per simulation instead "
+        "of resetting pooled ones (results are byte-identical either way; "
+        "use for A/B determinism diffing)",
+    )
+    parser.add_argument(
+        "--window-lookahead",
+        type=int,
+        default=1,
+        metavar="K",
+        help="on a window miss, speculatively evaluate the next K-1 mutated "
+        "candidates in the same simulator batch (default: 1 = off; results "
+        "are byte-identical for any K)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump the merged result as JSON")
     return parser
 
@@ -1587,6 +1630,8 @@ def main(argv: Optional[List[str]] = None) -> int:
             cores=core_names,
             profile=args.profile,
             sim_cache=not args.no_sim_cache,
+            dut_pool=not args.no_dut_pool,
+            window_lookahead=args.window_lookahead,
         )
         if args.resume:
             engine = ParallelCampaignEngine.resume_from(args.resume, configuration)
@@ -1665,16 +1710,30 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"reassigned-in={row['reassigned_tasks']}"
             )
     if result.sim_log:
-        from repro.analysis import simulator_process_table
+        from repro.analysis import simulator_process_table, window_batch_table
 
-        print("\nper-slice simulator processes:")
-        for row in simulator_process_table(result.sim_log):
-            print(
-                f"  slice {row['slice']} tasks={row['tasks']:3d} "
-                f"spawns={row['spawns']:2d} restarts={row['restarts']:2d} "
-                f"steps={row['steps']:4d} "
-                f"mean-step={row['mean_step_seconds']*1000:.1f}ms"
-            )
+        batch_rows = window_batch_table(result.sim_log)
+        if batch_rows:
+            print("\nper-slice window batching:")
+            for row in batch_rows:
+                print(
+                    f"  slice {row['slice']} batches={row['batches']:4d} "
+                    f"sims={row['batch_simulations']:4d} "
+                    f"max-batch={row['max_batch']:2d} "
+                    f"speculated={row['speculated']:3d} "
+                    f"lookahead-hits={row['lookahead_hits']:3d} "
+                    f"dut-reuses={row['dut_reuses']}/{row['dut_constructions'] + row['dut_reuses']}"
+                )
+        process_rows = simulator_process_table(result.sim_log)
+        if process_rows:
+            print("\nper-slice simulator processes:")
+            for row in process_rows:
+                print(
+                    f"  slice {row['slice']} tasks={row['tasks']:3d} "
+                    f"spawns={row['spawns']:2d} restarts={row['restarts']:2d} "
+                    f"steps={row['steps']:4d} "
+                    f"mean-step={row['mean_step_seconds']*1000:.1f}ms"
+                )
     if result.profile_log:
         from repro.analysis import profile_hotspot_table
 

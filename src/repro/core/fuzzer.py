@@ -50,6 +50,17 @@ class FuzzerConfiguration:
     # Phase-1 simulation memoization ((schedule content, secret) -> run result);
     # transparent to results — disable only for A/B determinism diffing.
     sim_cache: bool = True
+    # Reuse one warm DUT (Processor.reset + SwapMemory.rearm) across Phase-1
+    # simulations instead of constructing a fresh pair per run; byte-equivalent
+    # to fresh construction — disable only for A/B determinism diffing.
+    dut_pool: bool = True
+    # Speculative trigger lookahead: on a Phase-1 window miss, the next K-1
+    # mutate_trigger candidates are precomputed and evaluated in the same
+    # simulator batch, so the retry loop replays from memoized results — one
+    # simulator boundary per batch instead of one per failed candidate.  1
+    # (the default) is the legacy one-candidate-per-round behavior; results
+    # are byte-identical for any K.
+    window_lookahead: int = 1
     # Namespace for seed ids: parallel shards use disjoint bases so their seeds
     # never collide in a shared corpus (seed ids also feed per-seed rng streams).
     seed_id_base: int = 0
@@ -87,6 +98,10 @@ class DejaVuzzFuzzer:
     """The three-phase fuzzing campaign driver."""
 
     def __init__(self, configuration: FuzzerConfiguration) -> None:
+        if configuration.window_lookahead < 1:
+            raise ValueError(
+                f"window_lookahead must be >= 1, got {configuration.window_lookahead}"
+            )
         self.configuration = configuration
         self.rng = DeterministicRng(configuration.entropy, "fuzzer")
         self.mutator = Mutator(
@@ -100,6 +115,7 @@ class DejaVuzzFuzzer:
             training_candidates=configuration.training_candidates,
             max_cycles_per_packet=configuration.max_cycles_per_packet,
             sim_cache=configuration.sim_cache,
+            dut_pool=configuration.dut_pool,
         )
         self.phase2 = TransientExecutionExploration(
             configuration.core,
@@ -118,6 +134,9 @@ class DejaVuzzFuzzer:
         self._gain_history: List[int] = []
         self._seed_gains: Dict[int, int] = {}
         self._seeds_by_id: Dict[int, Seed] = {}
+        # Campaign rounds whose window miss replayed from a speculatively
+        # memoized result (no simulator boundary of their own).
+        self.lookahead_hits = 0
 
     # -- campaign loop ----------------------------------------------------------------------
 
@@ -187,25 +206,45 @@ class DejaVuzzFuzzer:
         current_phase1: Optional[Phase1Result] = None
         window_mutations = 0
         consecutive_low_gain = 0
+        # Window-miss rounds already charged to an earlier speculative batch:
+        # they replay from the simulation memo and yield no boundary of their
+        # own (``window_lookahead`` > 1 only; always 0 in legacy mode).
+        pending_absorbed = 0
 
         for iteration in range(iterations):
             if current_phase1 is None or not current_phase1.triggered:
-                current_phase1 = self._acquire_window(current_seed, result)
+                absorbed = pending_absorbed > 0
+                if absorbed:
+                    pending_absorbed -= 1
+                lookahead = 0
+                if not absorbed and configuration.window_lookahead > 1:
+                    # Never speculate past the iteration budget: candidates
+                    # beyond it would be simulated but never replayed.
+                    lookahead = min(
+                        configuration.window_lookahead - 1,
+                        iterations - iteration - 1,
+                    )
+                current_phase1, batch_simulations, missed_candidates = (
+                    self._acquire_window(current_seed, result, lookahead=lookahead)
+                )
                 window_mutations = 0
                 consecutive_low_gain = 0
-                phase1_simulations = (
-                    current_phase1.simulations_used if current_phase1 is not None else 0
-                )
-                if current_phase1 is None or not current_phase1.triggered:
+                if not current_phase1.triggered:
                     # Could not trigger a window with this seed: move to a new one.
                     result.coverage_history.append(len(self.coverage))
                     result.iterations_run = iteration + 1
                     current_seed = self.mutator.mutate_trigger(current_seed)
                     current_phase1 = None
+                    if absorbed:
+                        # This round's simulations were charged by the batch
+                        # that speculated it; no boundary to yield.
+                        self.lookahead_hits += 1
+                        continue
+                    pending_absorbed = missed_candidates
                     yield CampaignStep(
                         iteration=iteration,
                         phase="window",
-                        simulations=phase1_simulations,
+                        simulations=batch_simulations,
                         end_of_iteration=True,
                         result=result,
                     )
@@ -213,7 +252,7 @@ class DejaVuzzFuzzer:
                 yield CampaignStep(
                     iteration=iteration,
                     phase="window",
-                    simulations=phase1_simulations,
+                    simulations=batch_simulations,
                     end_of_iteration=False,
                     result=result,
                 )
@@ -311,9 +350,38 @@ class DejaVuzzFuzzer:
         ]
         return unexplored or list(TransientWindowType)
 
-    def _acquire_window(self, seed: Seed, result: CampaignResult) -> Optional[Phase1Result]:
-        """Run Phase 1, recording training statistics for triggered windows."""
-        phase1_result = self.phase1.run(seed)
+    def _lookahead_candidates(self, seed: Seed, count: int):
+        """Lazily yield the next ``count`` trigger candidates after ``seed``.
+
+        Mutation happens on a fork of the mutator (cloned rng state + copied
+        seed-id counter), so speculation never advances the committed
+        mutator: when the real loop later calls ``mutate_trigger`` it replays
+        the identical chain, seed ids included.  The window-miss path mutates
+        without coverage arguments, which is what makes the chain a pure
+        function of ``seed`` and the mutator state at fork time.
+        """
+        if count <= 0:
+            return
+        fork = self.mutator.fork()
+        candidate = seed
+        for _ in range(count):
+            candidate = fork.mutate_trigger(candidate)
+            yield candidate
+
+    def _acquire_window(
+        self, seed: Seed, result: CampaignResult, lookahead: int = 0
+    ) -> tuple:
+        """Run one Phase-1 batch, recording training statistics on a trigger.
+
+        Returns ``(phase1_result, batch_simulations, missed_candidates)``
+        from the batch evaluator; ``lookahead`` extends a missed batch with
+        that many speculative follow-up candidates.
+        """
+        phase1_result, batch_simulations, missed_candidates = (
+            self.phase1.batch_evaluator.evaluate(
+                seed, lookahead=self._lookahead_candidates(seed, lookahead)
+            )
+        )
         if phase1_result.triggered:
             group = group_of(seed.window_type)
             result.triggered_windows[group] = result.triggered_windows.get(group, 0) + 1
@@ -323,7 +391,22 @@ class DejaVuzzFuzzer:
             result.effective_training_overhead.setdefault(group, []).append(
                 phase1_result.effective_training_overhead
             )
-        return phase1_result
+        return phase1_result, batch_simulations, missed_candidates
+
+    def batch_stats(self) -> Dict[str, int]:
+        """Diagnostics-only window-batching counters for ``sim_stats`` rows.
+
+        Never part of deterministic wire forms or checkpoints — purely
+        observability (the ``analysis.window_batch_table`` input).
+        """
+        stats = dict(self.phase1.batch_evaluator.stats())
+        stats["lookahead_hits"] = self.lookahead_hits
+        pool = self.phase1.dut_pool
+        if pool is not None:
+            stats.update(
+                dut_constructions=pool.constructions, dut_reuses=pool.reuses
+            )
+        return stats
 
     def _average_gain(self) -> float:
         if not self._gain_history:

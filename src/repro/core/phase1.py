@@ -11,6 +11,7 @@ triggering are permanently discarded.
 
 from __future__ import annotations
 
+import hashlib
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -38,6 +39,45 @@ def _freeze(value) -> object:
     return value
 
 
+def _packet_fingerprint(packet) -> bytes:
+    """A per-packet content digest, memoized on the packet object itself.
+
+    Packets are immutable once scheduled, so the digest never needs
+    invalidating.  The leave-one-out reduction loop fingerprints T schedules
+    sharing the same T packets; the memo means each packet is serialized once
+    for its lifetime.  The memoized value is a SHA-256 digest rather than the
+    content tuple: cache keys are dict keys, and hashing a nested tuple walks
+    every ``Instruction`` on *every* get/put, while hashing a short ``bytes``
+    object is a single cheap pass.  The canonical form spells each
+    instruction out field by field (with sorted tags) so equal content always
+    serializes identically — no reliance on ``repr`` of unordered sets.
+    """
+    cached = getattr(packet, "_content_fingerprint", None)
+    if cached is None:
+        canonical = (
+            packet.kind.value,
+            packet.entry_offset,
+            tuple(
+                (
+                    ins.mnemonic,
+                    ins.rd,
+                    ins.rs1,
+                    ins.rs2,
+                    ins.imm,
+                    ins.target_label,
+                    ins.comment,
+                    tuple(sorted(ins.tags)),
+                )
+                for ins in packet.instructions
+            ),
+            tuple(sorted(packet.labels.items())),
+            _freeze(packet.metadata),
+        )
+        cached = hashlib.sha256(repr(canonical).encode()).digest()
+        object.__setattr__(packet, "_content_fingerprint", cached)
+    return cached
+
+
 def schedule_fingerprint(schedule: SwapSchedule) -> Tuple:
     """A content fingerprint of a schedule, independent of packet *names*.
 
@@ -50,16 +90,7 @@ def schedule_fingerprint(schedule: SwapSchedule) -> Tuple:
     """
     return (
         schedule.protect_secret_before_transient,
-        tuple(
-            (
-                packet.kind.value,
-                packet.entry_offset,
-                tuple(packet.instructions),
-                tuple(sorted(packet.labels.items())),
-                _freeze(packet.metadata),
-            )
-            for packet in schedule.packets
-        ),
+        tuple(_packet_fingerprint(packet) for packet in schedule.packets),
     )
 
 
@@ -111,6 +142,55 @@ class SimulationCache:
             "entries": len(self._entries),
             "capacity": self.capacity,
         }
+
+
+class DutPool:
+    """A warm DUT — one ``(SwapMemory, Processor)`` pair per ``(core, layout)``.
+
+    Construction of a processor (hierarchy, port map, predictors, packed-taint
+    slot index) dominates short Phase-1 simulations; checking a pooled pair
+    out resets it in place (``Processor.reset`` + ``SwapMemory.rearm``), which
+    is byte-equivalent to a fresh pair but touches only the mutated state.
+    Phase 1 runs serially within a shard, so a single warm pair suffices; a
+    re-entrant checkout falls back to a fresh, unpooled pair.
+    """
+
+    def __init__(self, config: CoreConfig, layout: MemoryLayout) -> None:
+        self.config = config
+        self.layout = layout
+        self.constructions = 0
+        self.reuses = 0
+        self._swap_memory: Optional[SwapMemory] = None
+        self._processor: Optional[Processor] = None
+        self._checked_out = False
+
+    def _fresh_pair(self, secret: int) -> Tuple[SwapMemory, Processor]:
+        self.constructions += 1
+        swap_memory = SwapMemory(self.layout, secret=secret)
+        processor = Processor(
+            self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
+        )
+        return swap_memory, processor
+
+    def checkout(self, secret: int) -> Tuple[SwapMemory, Processor]:
+        """Borrow a DUT armed with ``secret``; pair with :meth:`checkin`."""
+        if self._checked_out:
+            return self._fresh_pair(secret)
+        if self._processor is None:
+            self._swap_memory, self._processor = self._fresh_pair(secret)
+        else:
+            self._processor.reset()
+            self._swap_memory.rearm(secret)
+            self.reuses += 1
+        self._checked_out = True
+        return self._swap_memory, self._processor
+
+    def checkin(self, processor: Processor) -> None:
+        if processor is self._processor:
+            self._checked_out = False
+
+    def stats(self) -> Dict[str, int]:
+        return {"constructions": self.constructions, "reuses": self.reuses}
 
 
 @dataclass
@@ -165,6 +245,68 @@ class Phase1Result:
         )
 
 
+class WindowBatchEvaluator:
+    """One simulator pass over a batch of candidate schedules.
+
+    A head seed's batch is its initial trigger simulation plus every
+    leave-one-out training-reduction candidate, all evaluated eagerly against
+    the owning phase's (pooled) DUT and fed into its
+    :class:`SimulationCache`.  When the head misses, the caller may extend
+    the batch with speculative follow-up candidates — the fuzzer's
+    ``window_lookahead`` — whose memoized results the committed retry loop
+    later replays without re-entering the simulator.
+    """
+
+    def __init__(self, phase1: "TransientWindowTriggering") -> None:
+        self.phase1 = phase1
+        self.batches = 0
+        self.simulations = 0
+        self.max_batch = 0
+        self.speculated = 0
+
+    def evaluate(self, seed: Seed, lookahead=(), secret: Optional[int] = None) -> Tuple:
+        """Evaluate ``seed`` and, on a miss, the ``lookahead`` candidates.
+
+        Returns ``(head_result, batch_simulations, missed_candidates)``.
+        ``lookahead`` is consumed lazily and only when the head missed, and
+        speculation stops at the first candidate that triggers (the committed
+        loop takes over from there, replaying its cached reduction).  The
+        batch charges only the head and the *missed* speculative candidates:
+        a triggered speculative candidate is charged by its own later
+        committed round.  Speculation is skipped when the simulation cache is
+        unavailable — without the memo the replayed rounds could not reuse
+        the speculative results.
+        """
+        phase1 = self.phase1
+        head = phase1.run(seed, secret=secret)
+        batch = head.simulations_used
+        missed_candidates = 0
+        cache_usable = (
+            phase1.simulation_cache is not None
+            and not TransientWindowTriggering.force_disable_sim_cache
+        )
+        if not head.triggered and cache_usable:
+            for candidate in lookahead:
+                speculative = phase1.run(candidate, secret=secret)
+                self.speculated += 1
+                if speculative.triggered:
+                    break
+                batch += speculative.simulations_used
+                missed_candidates += 1
+        self.batches += 1
+        self.simulations += batch
+        self.max_batch = max(self.max_batch, batch)
+        return head, batch, missed_candidates
+
+    def stats(self) -> Dict[str, int]:
+        return {
+            "window_batches": self.batches,
+            "batch_simulations": self.simulations,
+            "max_batch": self.max_batch,
+            "speculated": self.speculated,
+        }
+
+
 class TransientWindowTriggering:
     """Phase 1 of the DejaVuzz workflow."""
 
@@ -172,6 +314,9 @@ class TransientWindowTriggering:
     # without touching instance configuration (the CI determinism diff and
     # the byte-identity tests flip this).
     force_disable_sim_cache = False
+    # Same A/B escape hatch for the warm-DUT pool: every simulation builds a
+    # fresh SwapMemory/Processor pair, as the pre-pool code did.
+    force_disable_dut_pool = False
 
     def __init__(
         self,
@@ -182,6 +327,7 @@ class TransientWindowTriggering:
         max_cycles_per_packet: int = 600,
         sim_cache: bool = True,
         sim_cache_capacity: int = 128,
+        dut_pool: bool = True,
     ) -> None:
         self.config = config
         self.layout = layout
@@ -192,6 +338,10 @@ class TransientWindowTriggering:
         self.simulation_cache: Optional[SimulationCache] = (
             SimulationCache(capacity=sim_cache_capacity) if sim_cache else None
         )
+        # Instance-local (never module-global): shard campaign runners promise
+        # that no module-global state is read or mutated.
+        self.dut_pool: Optional[DutPool] = DutPool(config, layout) if dut_pool else None
+        self.batch_evaluator = WindowBatchEvaluator(self)
 
     # -- Step 1.1: trigger generation ------------------------------------------------
 
@@ -299,12 +449,22 @@ class TransientWindowTriggering:
         return result
 
     def _simulate_uncached(self, schedule: SwapSchedule, secret: int) -> SwapRunResult:
-        """One un-instrumented RTL simulation of a schedule (fresh DUT instance)."""
-        swap_memory = SwapMemory(self.layout, secret=secret)
-        processor = Processor(
-            self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
-        )
-        runner = SwapRunner(
-            processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
-        )
-        return runner.run()
+        """One un-instrumented RTL simulation of a schedule (warm or fresh DUT)."""
+        pool = self.dut_pool
+        if pool is None or TransientWindowTriggering.force_disable_dut_pool:
+            swap_memory = SwapMemory(self.layout, secret=secret)
+            processor = Processor(
+                self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
+            )
+            runner = SwapRunner(
+                processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
+            )
+            return runner.run()
+        swap_memory, processor = pool.checkout(secret)
+        try:
+            runner = SwapRunner(
+                processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
+            )
+            return runner.run()
+        finally:
+            pool.checkin(processor)

@@ -2,7 +2,6 @@
 
 from __future__ import annotations
 
-import itertools
 from typing import Dict, Iterable, List, Optional, Set
 
 from repro.generation.seeds import EncodeStrategy, Seed
@@ -36,11 +35,27 @@ class Mutator:
 
     def __init__(self, rng: DeterministicRng, seed_id_base: int = 0) -> None:
         self.rng = rng
-        self._seed_ids = itertools.count(seed_id_base)
+        self._next_seed_id = seed_id_base
 
     def allocate_seed_id(self) -> int:
         """Hand out the next campaign-local seed id."""
-        return next(self._seed_ids)
+        seed_id = self._next_seed_id
+        self._next_seed_id += 1
+        return seed_id
+
+    def fork(self) -> "Mutator":
+        """A mutator that will produce this one's exact future mutations.
+
+        Both the rng state and the seed-id counter are copied, so a forked
+        mutator's ``mutate_*`` calls yield the very seeds (ids included) the
+        original will later allocate.  Speculative evaluation (the fuzzer's
+        ``window_lookahead``) mutates on a fork so the committed loop replays
+        identically.
+        """
+        fork = Mutator.__new__(Mutator)
+        fork.rng = self.rng.clone()
+        fork._next_seed_id = self._next_seed_id
+        return fork
 
     def mutate_window(self, seed: Seed, uncovered_modules: Optional[Iterable[str]] = None) -> Seed:
         """Regenerate the window section: new encode strategies / length / masking.

@@ -95,6 +95,15 @@ class SimMemory:
         self._permissions: Dict[int, Permission] = {}
         self._default = default_value & 0xFF
 
+    def reset(self) -> None:
+        """Drop every page and mapping, restoring construction state in place.
+
+        Existing references to this memory (e.g. a pooled processor's
+        ``memory`` attribute) stay valid — only the contents vanish.
+        """
+        self._pages = {}
+        self._permissions = {}
+
     def map_page(self, address: int, permission: Permission = Permission.rwx()) -> None:
         """Map the page containing ``address`` with the given permissions."""
         self._permissions[address // PAGE_SIZE] = permission

@@ -376,7 +376,12 @@ class SubprocessSimulator:
         if self._payload is None:
             raise SimServerError("no finished workload: run advance() to completion")
         payload = dict(self._payload)
-        payload["sim_stats"] = self._stats.to_row()
+        # The server-side runner already attached its batch-evaluation
+        # counters; merge the client's process accounting into the same row
+        # rather than clobbering it.
+        row = dict(payload.get("sim_stats") or {})
+        row.update(self._stats.to_row())
+        payload["sim_stats"] = row
         self._task_active = False
         return payload
 

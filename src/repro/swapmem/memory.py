@@ -29,6 +29,20 @@ class SwapMemory:
         self._map_regions()
         self.set_secret(secret)
 
+    def rearm(self, secret: int) -> None:
+        """Restore construction state in place for a new schedule run.
+
+        The backing :class:`SimMemory` object is kept (a pooled processor
+        holds a reference to it) but wiped and remapped, so a rearm is
+        indistinguishable from a fresh ``SwapMemory(layout, secret=secret)``.
+        """
+        self.data.reset()
+        self._instructions = {}
+        self.loaded_packet = None
+        self.swap_count = 0
+        self._map_regions()
+        self.set_secret(secret)
+
     def _map_regions(self) -> None:
         layout = self.layout
         self.data.map_range(layout.shared_base, layout.shared_size, Permission.rwx())

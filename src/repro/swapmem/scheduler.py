@@ -16,7 +16,11 @@ from typing import Dict, List, Optional, Set, Tuple
 
 from repro.swapmem.memory import SwapMemory
 from repro.swapmem.packets import Packet, PacketKind, SwapSchedule
+from repro.uarch.events import TraceLog
 from repro.uarch.processor import Processor
+
+# Sentinel distinguishing "never analyzed" from a legitimately-None analysis.
+_UNSET = object()
 
 
 @dataclass
@@ -40,6 +44,11 @@ class SwapRunResult:
     packet_records: List[PacketRunRecord] = field(default_factory=list)
     total_cycles: int = 0
     window_pcs: Set[int] = field(default_factory=set)
+    # Trace snapshot taken by the runner.  A pooled processor installs a new
+    # TraceLog on reset, so a result's snapshot stays valid after the core is
+    # reused; ``None`` (results built by hand) falls back to the live trace.
+    trace: Optional[TraceLog] = None
+    _window_analysis: object = field(default=_UNSET, init=False, repr=False, compare=False)
 
     # -- window analysis -----------------------------------------------------------
 
@@ -49,6 +58,33 @@ class SwapRunResult:
                 return record.start_cycle, record.end_cycle
         return None
 
+    def _analyze_window(self) -> Tuple[bool, Optional[Tuple[int, int]]]:
+        """One memoized pass over the trace for both window queries.
+
+        Both public accessors rebuild ``set(trace.committed_sequences())``;
+        results are queried repeatedly (reduction loop, cache hits), so the
+        pass runs once per result.
+        """
+        if self._window_analysis is not _UNSET:
+            return self._window_analysis
+        span = self.transient_span()
+        if span is None:
+            analysis = (False, None)
+        else:
+            start, end = span
+            trace = self.trace if self.trace is not None else self.processor.trace
+            committed = set(trace.committed_sequences())
+            cycles = [
+                event.cycle
+                for event in trace.enqueues
+                if start <= event.cycle <= end
+                and (not self.window_pcs or event.pc in self.window_pcs)
+                and event.sequence not in committed
+            ]
+            analysis = (bool(cycles), (min(cycles), end) if cycles else None)
+        self._window_analysis = analysis
+        return analysis
+
     def window_triggered(self) -> bool:
         """Did the transient window trigger during the transient packet?
 
@@ -56,39 +92,11 @@ class SwapRunResult:
         were enqueued during the transient packet but never committed (the
         RoB IO criterion of §4.1.2).
         """
-        span = self.transient_span()
-        if span is None:
-            return False
-        start, end = span
-        trace = self.processor.trace
-        committed = set(trace.committed_sequences())
-        for event in trace.enqueues:
-            if not start <= event.cycle <= end:
-                continue
-            if self.window_pcs and event.pc not in self.window_pcs:
-                continue
-            if event.sequence not in committed:
-                return True
-        return False
+        return self._analyze_window()[0]
 
     def window_cycle_range(self) -> Optional[Tuple[int, int]]:
         """The cycle range during which window instructions were transiently in flight."""
-        span = self.transient_span()
-        if span is None:
-            return None
-        start, end = span
-        trace = self.processor.trace
-        committed = set(trace.committed_sequences())
-        cycles = [
-            event.cycle
-            for event in trace.enqueues
-            if start <= event.cycle <= end
-            and (not self.window_pcs or event.pc in self.window_pcs)
-            and event.sequence not in committed
-        ]
-        if not cycles:
-            return None
-        return min(cycles), end
+        return self._analyze_window()[1]
 
     def transient_packet_cycles(self) -> Optional[int]:
         span = self.transient_span()
@@ -140,6 +148,7 @@ class SwapRunner:
             processor=processor,
             schedule=self.schedule,
             window_pcs=window_pcs,
+            trace=processor.trace,
         )
         processor.set_fetch_source(self.swap_memory.fetch)
         processor.trap_hook = None
@@ -175,7 +184,11 @@ class SwapRunner:
 
         start_cycle = processor.cycle
         committed_before = processor.committed_instructions
-        outcome = processor.run(max_cycles=self.max_cycles_per_packet)
+        # Only the halt reason is consumed here; skip the per-packet outcome
+        # snapshots (commit-cycle copy, contention, side-channel fingerprint).
+        outcome = processor.run(
+            max_cycles=self.max_cycles_per_packet, collect_outcome=False
+        )
         result.packet_records.append(
             PacketRunRecord(
                 packet_name=packet.name,

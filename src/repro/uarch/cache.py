@@ -120,6 +120,12 @@ class SetAssociativeCache:
             self.taint_version += 1
         self.tainted_lines = set()
 
+    def reset(self) -> None:
+        """Restore construction state: a flush plus zeroed access counters."""
+        self.flush()
+        self.accesses = 0
+        self.misses = 0
+
     def resident_lines(self) -> Set[int]:
         resident: Set[int] = set()
         for ways in self.sets:
@@ -320,3 +326,12 @@ class MemoryHierarchy:
         if self.l2 is not None:
             parts.append(self.l2.state_fingerprint())
         return tuple(parts)
+
+    def reset(self) -> None:
+        """Restore the whole hierarchy to construction state in place."""
+        self.icache.reset()
+        self.dcache.reset()
+        if self.l2 is not None:
+            self.l2.reset()
+        self.lfb.reset()
+        self.cycle = 0

@@ -228,3 +228,14 @@ class LoadStoreUnit:
         loads = tuple((e.sequence, e.address, e.nbytes) for e in self.load_queue)
         stores = tuple((e.sequence, e.address, e.nbytes, e.value) for e in self.store_queue)
         return loads, stores
+
+    def reset(self) -> None:
+        """Restore construction state; ``taint_version`` stays monotonic."""
+        self.load_queue = []
+        self.store_queue = []
+        if self.tainted_load_slots or self.tainted_store_slots:
+            self.taint_version += 1
+        self.tainted_load_slots = set()
+        self.tainted_store_slots = set()
+        self._writeback_cycles_used = set()
+        self.port_contention_cycles = 0

@@ -169,6 +169,48 @@ class Processor:
         # the most recent indirect-jump misprediction resolution.
         self._indirect_correction: Optional[Tuple[int, int, bool]] = None
 
+    # -- in-place reuse -----------------------------------------------------------------
+
+    def reset(self) -> None:
+        """Restore construction state in place so the core can be reused.
+
+        Everything architectural and microarchitectural goes back to what
+        ``__init__`` produced — except the constructed object graph (RoB,
+        LSU, predictors, hierarchy, TLB, ports, packed-taint slot index) and
+        the decoded latency memo, which are reused rather than rebuilt, and
+        the monotonic ``taint_version`` counters, which only ever move
+        forward (they drive census dirty detection, never results).  A *new*
+        ``TraceLog`` is installed so results captured from a previous run
+        keep their trace intact.  The ``memory`` reference is kept; callers
+        reusing a core must also reset/rearm the memory it points at.
+        """
+        self.taint.reset()
+        self._census_version = -1
+        self.trap_vector = None
+        self.trap_hook = None
+        self.rob.reset()
+        self.lsu.reset()
+        self.predictors.reset()
+        self.hierarchy.reset()
+        self.tlb.reset()
+        self.ports.reset()
+        self.registers = [0] * 32
+        self.trace = TraceLog()
+        self.cycle = 0
+        self.fetch_pc = 0
+        self.fetch_stall_until = 0
+        self.fetch_serialized = False
+        self.committed_instructions = 0
+        self.commit_cycles = []
+        self._fetch_source = None
+        self._last_writer = {}
+        self._results = {}
+        self._halt_reason = None
+        self._stop_pcs = set()
+        self._fetch_returned_none = False
+        self._port_denied = False
+        self._indirect_correction = None
+
     # -- program / memory setup ---------------------------------------------------------
 
     def set_fetch_source(self, source: FetchSource) -> None:
@@ -198,8 +240,18 @@ class Processor:
         max_cycles: int = 2000,
         stop_pcs: Optional[Set[int]] = None,
         max_commits: Optional[int] = None,
+        collect_outcome: bool = True,
     ) -> SimulationOutcome:
-        """Run until a stop PC commits, the commit budget is reached, or timeout."""
+        """Run until a stop PC commits, the commit budget is reached, or timeout.
+
+        ``collect_outcome=False`` returns an outcome carrying only the halt
+        reason and counters, skipping the commit-cycle copy, the contention
+        summary and the side-channel fingerprint.  All of that state stays on
+        the processor and can be read directly afterwards; the flag only
+        controls whether ``run`` snapshots it.  The swap scheduler calls
+        ``run`` once per packet and reads nothing but ``halted_on``, so the
+        eager snapshots there are O(packets × commits) of pure waste.
+        """
         self._stop_pcs = stop_pcs or set()
         self._halt_reason = None
         target_commits = max_commits if max_commits is not None else float("inf")
@@ -213,6 +265,14 @@ class Processor:
                 self._halt_reason = "max_commits"
                 break
             self._fast_forward(limit_cycle)
+        if not collect_outcome:
+            return SimulationOutcome(
+                cycles=self.cycle - start_cycle,
+                committed_instructions=self.committed_instructions,
+                trace=self.trace,
+                taint=self.taint,
+                halted_on=self._halt_reason or "max_cycles",
+            )
         return SimulationOutcome(
             cycles=self.cycle - start_cycle,
             committed_instructions=self.committed_instructions,

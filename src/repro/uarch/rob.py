@@ -177,3 +177,17 @@ class ReorderBuffer:
 
     def find(self, sequence: int) -> Optional[RobEntry]:
         return self._by_sequence.get(sequence)
+
+    def reset(self) -> None:
+        """Restore construction state; ``taint_version`` stays monotonic.
+
+        ``_next_sequence`` restarts at 0 — sequence numbers appear in trace
+        events, so a reused RoB must hand out the same numbers a fresh one
+        would.
+        """
+        self.entries = []
+        self._by_sequence = {}
+        self._next_sequence = 0
+        if self.tainted_entries:
+            self.taint_version += 1
+        self.tainted_entries = set()

@@ -70,6 +70,12 @@ class Tlb:
             self.taint_version += 1
         self.tainted_pages = set()
 
+    def reset(self) -> None:
+        """Restore construction state: a flush plus zeroed access counters."""
+        self.flush()
+        self.accesses = 0
+        self.misses = 0
+
     def resident_pages(self) -> Set[int]:
         return set(self.pages)
 
