@@ -271,11 +271,17 @@ def simulator_process_table(
     of the deterministic campaign wire forms.
 
     ``sim_log`` also carries the batch-evaluation rows every run reports
-    (see :func:`window_batch_table`); entries without process counters
-    (no ``spawns`` key) are skipped here.
+    (see :func:`window_batch_table`); rows declare their shape via ``kind``
+    (``"sim_process"`` here), and rows from pre-``kind`` coordinators fall
+    back to the ``spawns``-key sniff.  Note a subprocess-simulator run's
+    merged rows carry *both* shapes (batch counters and process counters in
+    one row) under ``kind="sim_process"`` — which is why
+    :func:`window_batch_table` selects by key presence, not by kind.
     """
     rows: Dict[int, Dict[str, object]] = {}
     for entry in sim_log:
+        if entry.get("kind", "sim_process") != "sim_process":
+            continue
         if "spawns" not in entry:
             continue
         index = int(entry["slice_index"])
@@ -393,6 +399,87 @@ def profile_hotspot_table(
         merged.values(), key=lambda row: (-row["cumtime"], row["function"])
     )
     return ordered[: top if top and top > 0 else len(ordered)]
+
+
+def telemetry_table(records: Iterable[Dict[str, object]]) -> Dict[str, object]:
+    """Summarize a telemetry record stream into one campaign-status dict.
+
+    ``records`` is any iterable of telemetry records — the in-memory ring on
+    :attr:`repro.core.engine.EngineResult.telemetry`, or the JSON lines read
+    back from a ``--telemetry-dir`` sink (``repro.analysis.watch`` uses this
+    for both the live view and ``--once``).  The summary carries the latest
+    round's coverage/iteration figures, an iterations-per-second estimate
+    from the round timestamps, the per-worker utilization rollup, and the
+    final campaign record when the run has ended.
+    """
+    rounds: List[Dict[str, object]] = []
+    deliveries: List[Dict[str, object]] = []
+    campaign: Optional[Dict[str, object]] = None
+    metrics: Optional[Dict[str, object]] = None
+    for record in records:
+        kind = record.get("type")
+        if kind == "round":
+            rounds.append(record)
+        elif kind == "worker":
+            deliveries.extend(record.get("deliveries", []))
+        elif kind == "campaign":
+            campaign = record
+        elif kind == "metrics":
+            metrics = record  # cumulative; the latest one wins
+    last_round = rounds[-1] if rounds else None
+    throughput = None
+    if len(rounds) >= 2:
+        span = float(rounds[-1].get("ts", 0.0)) - float(rounds[0].get("ts", 0.0))
+        done = int(rounds[-1].get("iterations_done", 0)) - int(
+            rounds[0].get("iterations_done", 0)
+        )
+        if span > 0:
+            throughput = round(done / span, 2)
+    latest = campaign or last_round or {}
+    return {
+        "rounds": len(rounds),
+        "rounds_total": latest.get("rounds_total"),
+        "coverage": dict(latest.get("coverage", {})),
+        "coverage_total": latest.get("coverage_total"),
+        "iterations_done": (
+            campaign.get("iterations")
+            if campaign is not None
+            else (last_round or {}).get("iterations_done")
+        ),
+        "reports": latest.get("reports"),
+        "iterations_per_second": throughput,
+        "last_round": last_round,
+        "workers": worker_utilization_table(deliveries),
+        "campaign": campaign,
+        "metrics": metrics,
+    }
+
+
+def latency_percentiles(
+    histogram: object, percentiles: Sequence[int] = (50, 90, 99)
+) -> Dict[str, object]:
+    """Percentile summary of one latency histogram.
+
+    Accepts a live :class:`repro.telemetry.LatencyHistogram` or its
+    serialized dict form (as found under ``histograms`` in a telemetry
+    ``metrics`` record).  Percentiles are bucket upper bounds — the
+    deterministic, merge-stable figure the fixed log-scale buckets support —
+    so read them as "no worse than", not exact order statistics.
+    """
+    from repro.telemetry.metrics import LatencyHistogram
+
+    live = (
+        histogram
+        if isinstance(histogram, LatencyHistogram)
+        else LatencyHistogram.from_dict(histogram)
+    )
+    summary: Dict[str, object] = {
+        "count": live.count,
+        "mean_seconds": round(live.mean_seconds(), 6),
+    }
+    for pct in percentiles:
+        summary[f"p{pct}_seconds"] = round(live.percentile(pct), 6)
+    return summary
 
 
 def cross_core_transfer_table(

@@ -66,6 +66,7 @@ from typing import Dict, Generator, List, Optional
 from repro.core.coverage import TaintCoverageMatrix
 from repro.core.fuzzer import CampaignStep, DejaVuzzFuzzer, FuzzerConfiguration
 from repro.generation.seeds import Seed
+from repro.telemetry.metrics import MetricsRegistry, NULL_REGISTRY
 
 
 # Where a slice task's simulations execute: in the executing process, or on
@@ -105,6 +106,15 @@ class ShardTask:
     # by the async driver (per-task profilers cannot nest on one thread) and
     # by the subprocess simulator (the work runs out of process).
     profile: int = 0
+    # Per-slice telemetry: when on, the runner keeps a per-task metrics
+    # registry (latency histograms, cache/DUT-pool counters) and attaches
+    # its snapshot to the result payload (``payload["metrics"]``).  Like
+    # sim_stats it is diagnostics only — never in deterministic wire forms
+    # or checkpoints, so results are byte-identical on or off.  The cadence
+    # (seconds between emitted round records, 0 = every round) rides along
+    # so it reaches wire forms with a back-compat default.
+    telemetry: bool = True
+    telemetry_cadence: float = 0.0
 
 
 class ShardCampaignRunner:
@@ -124,7 +134,12 @@ class ShardCampaignRunner:
     def __init__(self, task: ShardTask) -> None:
         self.task = task
         self.started = time.perf_counter()
-        self.fuzzer = DejaVuzzFuzzer(task.configuration)
+        # One registry per task: the snapshot on the payload is this task's
+        # contribution alone, so epoch merges never need delta bookkeeping.
+        self.metrics = (
+            MetricsRegistry() if task.telemetry else NULL_REGISTRY
+        )
+        self.fuzzer = DejaVuzzFuzzer(task.configuration, metrics=self.metrics)
         self.baseline = set()
         if task.baseline_points:
             # Start from the merged global coverage of this slice's core so
@@ -137,6 +152,9 @@ class ShardCampaignRunner:
             task.iterations, initial_seed=initial_seed
         )
         self.steps_taken = 0
+        runner_scope = self.metrics.scope("runner")
+        self._window_batch_seconds = runner_scope.histogram("window_batch_seconds")
+        self._explore_step_seconds = runner_scope.histogram("explore_step_seconds")
         self.result: Optional[object] = None  # CampaignResult once finished
         # Live view of the accumulating CampaignResult (captured from the
         # first step onward); the simulator server's READ/SNAPSHOT digests
@@ -152,6 +170,7 @@ class ShardCampaignRunner:
         """Run to the next simulator boundary; ``None`` when the task is done."""
         if self.payload is not None:
             return None
+        started = time.perf_counter()
         try:
             step = next(self._steps)
         except StopIteration as stop:
@@ -159,6 +178,11 @@ class ShardCampaignRunner:
             self.campaign_result = stop.value
             self.payload = self._build_payload()
             return None
+        elapsed = time.perf_counter() - started
+        if step.phase == "window":
+            self._window_batch_seconds.record(elapsed)
+        else:
+            self._explore_step_seconds.record(elapsed)
         self.campaign_result = step.result
         self.steps_taken += 1
         return step
@@ -169,7 +193,7 @@ class ShardCampaignRunner:
             self.fuzzer.coverage.points - self.baseline,
             key=lambda point: (point.module, point.tainted_count),
         )
-        return {
+        payload = {
             "slice_index": task.slice_index,
             "epoch": task.epoch,
             "core": task.configuration.core.name,
@@ -187,8 +211,20 @@ class ShardCampaignRunner:
                 self.fuzzer.batch_stats(),
                 slice_index=task.slice_index,
                 epoch=task.epoch,
+                kind="window_batch",
             ),
         }
+        if self.task.telemetry:
+            # Fold the end-of-task cache/pool tallies in, then snapshot —
+            # metrics ride the payload like sim_stats: diagnostics only,
+            # merged at epoch boundaries, never checkpointed.
+            self.fuzzer.export_metrics()
+            payload["metrics"] = {
+                "slice_index": task.slice_index,
+                "epoch": task.epoch,
+                **self.metrics.snapshot(),
+            }
+        return payload
 
 
 def iterate_shard_task(

@@ -72,6 +72,9 @@ class SharedCorpus:
         if capacity <= 0:
             raise ValueError(f"corpus capacity must be positive, got {capacity}")
         self.capacity = capacity
+        # Cumulative count of entries dropped by capacity trims — corpus
+        # churn for the telemetry round events (diagnostics, not state).
+        self.evictions = 0
         self._entries: Dict[int, CorpusEntry] = {}  # keyed by seed_id
 
     def __len__(self) -> int:
@@ -158,4 +161,5 @@ class SharedCorpus:
         if len(self._entries) <= self.capacity:
             return
         keep = sorted(self._entries.values(), key=self._rank)[: self.capacity]
+        self.evictions += len(self._entries) - len(keep)
         self._entries = {entry.seed.seed_id: entry for entry in keep}

@@ -72,6 +72,7 @@ from typing import Dict, List, Optional, Tuple
 from repro.core.backends import ExecutionBackend, ShardTask
 from repro.core.fuzzer import FuzzerConfiguration
 from repro.generation.training import TrainingMode
+from repro.telemetry.metrics import MetricsRegistry
 from repro.swapmem.layout import MemoryLayout
 from repro.uarch.config import CacheConfig, CoreConfig, PredictorConfig, TaintTrackingMode
 
@@ -244,6 +245,8 @@ def shard_task_to_wire(task: ShardTask) -> Dict[str, object]:
         "step_latency": task.step_latency,
         "simulator": task.simulator,
         "profile": task.profile,
+        "telemetry": task.telemetry,
+        "telemetry_cadence": task.telemetry_cadence,
     }
 
 
@@ -259,6 +262,10 @@ def shard_task_from_wire(payload: Dict[str, object]) -> ShardTask:
         step_latency=float(payload.get("step_latency", 0.0)),
         simulator=str(payload.get("simulator", "inproc")),
         profile=int(payload.get("profile", 0)),
+        # Older coordinators do not send the telemetry knobs; telemetry
+        # defaults on and is byte-transparent, so mixed fleets interoperate.
+        telemetry=bool(payload.get("telemetry", True)),
+        telemetry_cadence=float(payload.get("telemetry_cadence", 0.0)),
     )
 
 
@@ -348,6 +355,20 @@ class DistributedBackend(ExecutionBackend):
         self._closing = False
         self.utilization_log: List[Dict[str, object]] = []
         self.reassigned_tasks = 0
+        # Fabric telemetry (diagnostics only; the engine snapshots this
+        # registry and attributes its growth to the finished run): dispatch
+        # round-trip and heartbeat-gap distributions, loss/reassignment
+        # counters.  Instruments are resolved once; reader threads record
+        # without the condition lock — integer adds under the GIL.
+        self.metrics = MetricsRegistry()
+        fabric = self.metrics.scope("distributed")
+        self._roundtrip_seconds = fabric.histogram("task_roundtrip_seconds")
+        self._heartbeat_gap_seconds = fabric.histogram("heartbeat_gap_seconds")
+        self._workers_lost_count = fabric.counter("workers_lost")
+        self._tasks_reassigned_count = fabric.counter("tasks_reassigned")
+        self._results_received_count = fabric.counter("results_received")
+        self._workers_joined_count = fabric.counter("workers_joined")
+        self._dispatch_times: Dict[str, float] = {}
         family = socket.AF_INET6 if ":" in host else socket.AF_INET
         self._server = socket.create_server((host, port), family=family)
         self.address: Tuple[str, int] = self._server.getsockname()[:2]
@@ -442,6 +463,7 @@ class DistributedBackend(ExecutionBackend):
             )
             self._next_worker_number += 1
             self._workers[worker.worker_id] = worker
+            self._workers_joined_count.add(1)
             self._condition.notify_all()
         try:
             while True:
@@ -450,7 +472,12 @@ class DistributedBackend(ExecutionBackend):
                     return
                 kind = frame.get("type")
                 if kind == "HEARTBEAT":
-                    worker.last_heartbeat = time.monotonic()
+                    # The observed inter-heartbeat gap (vs the nominal 2s
+                    # interval) is the early-warning signal for workers
+                    # drifting towards the liveness timeout.
+                    now = time.monotonic()
+                    self._heartbeat_gap_seconds.record(now - worker.last_heartbeat)
+                    worker.last_heartbeat = now
                 elif kind == "RESULT":
                     self._record_result(worker, frame)
         except ValueError:
@@ -469,6 +496,10 @@ class DistributedBackend(ExecutionBackend):
             worker.last_heartbeat = time.monotonic()
             worker.inflight.pop(task_id, None)
             worker.tasks_completed += 1
+            dispatched = self._dispatch_times.pop(task_id, None)
+            if dispatched is not None:
+                self._roundtrip_seconds.record(time.monotonic() - dispatched)
+            self._results_received_count.add(1)
             if task_id in self._results:
                 # A reassigned task finished twice (the original worker was
                 # declared dead but still delivered).  Payloads are identical
@@ -546,6 +577,7 @@ class DistributedBackend(ExecutionBackend):
                         for task_id in batch:
                             worker.inflight[task_id] = wires[task_id]
                             self._task_attempts[task_id] += 1
+                            self._dispatch_times[task_id] = time.monotonic()
                         dispatches.append(
                             (worker, [wires[task_id] for task_id in batch])
                         )
@@ -588,6 +620,7 @@ class DistributedBackend(ExecutionBackend):
         for worker in self._workers.values():
             if worker.alive and now - worker.last_heartbeat > self.heartbeat_timeout:
                 worker.alive = False
+                self._workers_lost_count.add(1)
                 worker.close()  # unblocks its reader thread too
 
     def _requeue_lost_tasks(self, pending: deque) -> None:
@@ -604,6 +637,7 @@ class DistributedBackend(ExecutionBackend):
             for task_id in reversed(lost):
                 pending.appendleft(task_id)
             self.reassigned_tasks += len(lost)
+            self._tasks_reassigned_count.add(len(lost))
 
     def close(self) -> None:
         if self._closing:

@@ -118,6 +118,7 @@ from repro.core.fuzzer import FuzzerConfiguration
 from repro.core.report import CampaignResult
 from repro.generation.seeds import Seed
 from repro.generation.window_types import group_of
+from repro.telemetry import CampaignTelemetry, RoundEvent, TelemetryRing, diff_snapshots
 from repro.uarch.boom import large_boom_config, small_boom_config
 from repro.uarch.config import CoreConfig
 from repro.uarch.xiangshan import xiangshan_minimal_config
@@ -298,6 +299,19 @@ class EngineConfiguration:
     # the simulation cache when the committed loop reaches them.  1 = off.
     # Byte-transparent: campaign results are identical for any value.
     window_lookahead: int = 1
+    # Live campaign telemetry: always on by default (the counters are cheap
+    # enough to keep lit).  All three knobs are pure observation — they never
+    # enter the checkpoint fingerprint or the deterministic wire forms, and
+    # campaign results are byte-identical whether telemetry is on, off, or
+    # its sink is failing.
+    telemetry: bool = True
+    # Directory for the rotating JSONL sink (telemetry-00001.jsonl, ...);
+    # None keeps records in the in-memory ring only (EngineResult.telemetry).
+    telemetry_dir: Optional[str] = None
+    # Minimum seconds between emitted round-class records (0 = every round);
+    # the final round always flows so a scraper's last coverage figure
+    # matches the finished result.
+    telemetry_cadence: float = 0.0
     # Fixed-count or stall-triggered synchronisation; accepts "fixed"/"stall"
     # shorthand or a full SyncPolicy.
     sync_policy: Union[str, SyncPolicy] = "fixed"
@@ -355,6 +369,10 @@ class EngineConfiguration:
         if self.window_lookahead < 1:
             raise ValueError(
                 f"window_lookahead must be at least 1, got {self.window_lookahead}"
+            )
+        if self.telemetry_cadence < 0:
+            raise ValueError(
+                f"telemetry_cadence must be non-negative, got {self.telemetry_cadence}"
             )
         self.sync_policy = SyncPolicy.normalize(self.sync_policy)
         planned = self.planned_epochs()
@@ -498,6 +516,12 @@ class EngineResult:
     # feed it to repro.analysis.profile_hotspot_table.  Timing diagnostics —
     # never checkpointed, never in the deterministic wire forms.
     profile_log: List[Dict[str, object]] = field(default_factory=list)
+    # The campaign's telemetry record ring (round/metrics/worker/campaign
+    # records, newest last; see repro.telemetry).  The scheduler shares its
+    # live ring here, so the same records a JSONL sink streamed are readable
+    # off the result.  Like the logs above: diagnostics only — never
+    # checkpointed, never in the deterministic wire forms.
+    telemetry: TelemetryRing = field(default_factory=TelemetryRing)
     # False when run(max_epochs=...) halted mid-campaign; the checkpoint holds
     # the state needed to resume.
     complete: bool = True
@@ -550,9 +574,16 @@ class EngineResult:
                 "wall_clock_seconds": round(self.wall_clock_seconds, 2),
             }
         )
-        # Only subprocess-simulator rows carry process counters; the batch
-        # rows reported by every run do not make this a subprocess campaign.
-        process_rows = [row for row in self.sim_log if "spawns" in row]
+        # Rows declare their shape via "kind" ("sim_process" for subprocess-
+        # simulator accounting, "window_batch" for the per-slice batching
+        # counters every run reports).  Rows recorded by pre-kind
+        # coordinators are classified by the old key sniff as a fallback.
+        process_rows = [
+            row
+            for row in self.sim_log
+            if row.get("kind") == "sim_process"
+            or ("kind" not in row and "spawns" in row)
+        ]
         if process_rows:
             summary["simulator_processes"] = {
                 "spawns": sum(int(row.get("spawns", 0)) for row in process_rows),
@@ -618,6 +649,15 @@ class CampaignScheduler:
         # Elapsed campaign seconds at the moment the current epoch's tasks
         # were built; bug-report wall clocks are rebased onto it at merge.
         self._epoch_offset_seconds = 0.0
+        # The campaign's telemetry pipeline: per-slice metric snapshots merge
+        # into its registry at every epoch boundary, and the scheduler emits
+        # one structured round record per merge.  Observation only — nothing
+        # below ever reads it back into a decision.
+        self.telemetry = CampaignTelemetry(
+            directory=configuration.telemetry_dir,
+            cadence=configuration.telemetry_cadence,
+            enabled=configuration.telemetry,
+        )
 
     # -- deterministic derivations ---------------------------------------------------------
 
@@ -705,10 +745,13 @@ class CampaignScheduler:
         all_budgets = self.epoch_budgets()
         epoch = self._next_epoch
         if payloads:
+            result = self._result
+            redistributed_before = result.redistributed_seeds
+            transferred_before = result.transferred_seeds
             ordered = sorted(payloads, key=lambda payload: payload["slice_index"])
             epoch_gains = self._merge_epoch(
                 ordered,
-                self._result,
+                result,
                 self._epoch_offset_seconds,
                 self._slice_iterations_done,
             )
@@ -716,14 +759,80 @@ class CampaignScheduler:
                 index: None for index in range(configuration.slices)
             }
             should_sync = self._should_redistribute(epoch_gains)
+            stall_estimate = self._stall_estimate(epoch_gains)
             self._round_gains.append(sum(epoch_gains.values()))
             if epoch < len(all_budgets) - 1 and should_sync:
                 self._assignments = self._redistribute(
                     epoch_gains, self._result, all_budgets[epoch + 1], epoch + 1
                 )
+            self._emit_round_record(
+                epoch=epoch,
+                rounds_total=len(all_budgets),
+                merged=len(ordered),
+                epoch_gains=epoch_gains,
+                redistributed=result.redistributed_seeds - redistributed_before,
+                transferred=result.transferred_seeds - transferred_before,
+                stall_estimate=stall_estimate,
+                redistribute=should_sync,
+                final=epoch >= len(all_budgets) - 1,
+            )
         self._next_epoch = epoch + 1
         if configuration.checkpoint_path:
             self.save_checkpoint(configuration.checkpoint_path)
+
+    def _emit_round_record(
+        self,
+        epoch: int,
+        rounds_total: int,
+        merged: int,
+        epoch_gains: Dict[int, int],
+        redistributed: int,
+        transferred: int,
+        stall_estimate: float,
+        redistribute: bool,
+        final: bool,
+    ) -> None:
+        """Emit one structured round record for a just-merged epoch.
+
+        Pure observation of already-merged state: nothing here feeds back
+        into scheduling, so results are byte-identical with telemetry off.
+        """
+        if not self.telemetry.enabled:
+            return
+        result = self._result
+        per_core_gain: Dict[str, int] = {}
+        for slice_index, gain in epoch_gains.items():
+            core = result.slice_cores.get(slice_index, "?")
+            per_core_gain[core] = per_core_gain.get(core, 0) + gain
+        event = RoundEvent(
+            epoch=epoch,
+            rounds_total=rounds_total,
+            iterations_done=sum(self._slice_iterations_done.values()),
+            coverage={
+                core: len(matrix)
+                for core, matrix in sorted(result.core_coverage.items())
+            },
+            coverage_gain={
+                core: per_core_gain[core] for core in sorted(per_core_gain)
+            },
+            coverage_total=result.total_coverage(),
+            corpus_size=len(self.corpus),
+            corpus_evictions=self.corpus.evictions,
+            redistributed=redistributed,
+            transferred=transferred,
+            reports=len(result.campaign.reports),
+            stall_gain_estimate=stall_estimate,
+            redistribute=redistribute,
+            slices=result.slice_summaries[-merged:],
+        )
+        if self.telemetry.emit_round(event.to_record(), final=final):
+            # The cumulative metric registry rides as its own record, on the
+            # same cadence as the round record it accompanies.
+            snapshot = self.telemetry.registry.snapshot()
+            if any(snapshot.values()):
+                self.telemetry.emit(
+                    {"type": "metrics", "epoch": epoch, **snapshot}
+                )
 
     def end_run(self) -> EngineResult:
         """Stop the campaign clock and return the (possibly partial) result."""
@@ -734,6 +843,25 @@ class CampaignScheduler:
         self._elapsed_before += time.perf_counter() - self._run_started
         self._run_started = None
         result.wall_clock_seconds = self._elapsed_before
+        self.telemetry.emit(
+            {
+                "type": "campaign",
+                "complete": result.complete,
+                "epochs_merged": self._next_epoch,
+                "rounds_total": len(self.epoch_budgets()),
+                "coverage": {
+                    core: len(matrix)
+                    for core, matrix in sorted(result.core_coverage.items())
+                },
+                "coverage_total": result.total_coverage(),
+                "iterations": result.campaign.iterations_run,
+                "reports": len(result.campaign.reports),
+                "redistributed": result.redistributed_seeds,
+                "transferred": result.transferred_seeds,
+                "wall_seconds": round(result.wall_clock_seconds, 3),
+                "metrics": self.telemetry.registry.snapshot(),
+            }
+        )
         return result
 
     # -- checkpoint / resume ----------------------------------------------------------------
@@ -890,6 +1018,7 @@ class CampaignScheduler:
             transferred_seeds=int(payload["transferred_seeds"]),
             complete=False,
         )
+        self._result.telemetry = self.telemetry.ring
         self._next_epoch = int(payload["next_epoch"])
         self._assignments = {
             index: None for index in range(configuration.slices)
@@ -946,21 +1075,28 @@ class CampaignScheduler:
             slice_cores=slice_cores,
             slice_points={index: set() for index in range(configuration.slices)},
         )
+        self._result.telemetry = self.telemetry.ring
 
-    def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
-        """Fixed policy syncs every boundary; stall policy only on a flatline.
+    def _stall_estimate(self, epoch_gains: Dict[int, int]) -> float:
+        """The windowed mean globally-new gain the stall policy compares.
 
-        The stall estimate is windowed: the mean globally-new gain of the
-        last ``window_rounds`` rounds — prior merged rounds plus the one just
-        summarised by ``epoch_gains`` — must drop to ``stall_gain`` or below.
+        Averages the last ``window_rounds`` rounds — prior merged rounds plus
+        the one just summarised by ``epoch_gains``.  Shared by the
+        redistribution decision and the telemetry round record, so the
+        figure an operator watches is exactly the one the policy acted on.
         """
         policy = SyncPolicy.normalize(self.configuration.sync_policy)
-        if policy.kind == "fixed":
-            return True
         window = (self._round_gains + [sum(epoch_gains.values())])[
             -policy.window_rounds:
         ]
-        return sum(window) / len(window) <= policy.stall_gain
+        return sum(window) / len(window)
+
+    def _should_redistribute(self, epoch_gains: Dict[int, int]) -> bool:
+        """Fixed policy syncs every boundary; stall policy only on a flatline."""
+        policy = SyncPolicy.normalize(self.configuration.sync_policy)
+        if policy.kind == "fixed":
+            return True
+        return self._stall_estimate(epoch_gains) <= policy.stall_gain
 
     def _build_task(
         self,
@@ -993,6 +1129,8 @@ class CampaignScheduler:
             step_latency=self.configuration.step_latency,
             simulator=self.configuration.simulator,
             profile=self.configuration.profile,
+            telemetry=self.configuration.telemetry,
+            telemetry_cadence=self.configuration.telemetry_cadence,
         )
 
     def _merge_epoch(
@@ -1057,6 +1195,14 @@ class CampaignScheduler:
                 # Subprocess-simulator accounting rides along in the payload;
                 # diagnostics only, so it never feeds the deterministic state.
                 result.sim_log.append(dict(sim_stats))
+            metrics = payload.get("metrics")
+            if metrics:
+                # Per-task metric snapshots (latency histograms, cache
+                # counters) merge into the campaign registry: each task gets
+                # a fresh registry, so snapshots are disjoint contributions
+                # and the merge is plain integer addition — deterministic in
+                # any arrival order, and never part of campaign state.
+                self.telemetry.merge_metrics(metrics)
             profile = payload.get("profile")
             if profile:
                 # cProfile hotspots ride along the same way (profile > 0).
@@ -1250,6 +1396,15 @@ class ParallelCampaignEngine:
         # A shared backend keeps one cumulative delivery log across
         # campaigns; only the rows this run produced belong to this result.
         log_start = len(getattr(backend, "utilization_log", ()))
+        log_cursor = log_start
+        # Same for the distributed backend's fabric metrics (roundtrip
+        # histograms, reassignment counters): snapshot now, attribute the
+        # delta to this run at the end.
+        backend_metrics = getattr(backend, "metrics", None)
+        fabric_start = (
+            backend_metrics.snapshot() if backend_metrics is not None else None
+        )
+        telemetry = scheduler.telemetry
         epochs_this_call = 0
         try:
             while not scheduler.finished:
@@ -1260,6 +1415,21 @@ class ParallelCampaignEngine:
                 payloads = backend.run_epoch(tasks) if tasks else []
                 scheduler.complete_epoch(payloads)
                 epochs_this_call += 1
+                if telemetry.enabled:
+                    log = getattr(backend, "utilization_log", None)
+                    if log is not None and len(log) > log_cursor:
+                        # One worker record per epoch: the task deliveries
+                        # the fleet completed since the last record.
+                        telemetry.emit(
+                            {
+                                "type": "worker",
+                                "epoch": epoch,
+                                "deliveries": [
+                                    dict(row) for row in log[log_cursor:]
+                                ],
+                            }
+                        )
+                        log_cursor = len(log)
                 if tasks and progress_callback is not None:
                     progress_callback(epoch, scheduler.result)
         finally:
@@ -1268,6 +1438,12 @@ class ParallelCampaignEngine:
                 scheduler.result.worker_log = [
                     dict(row) for row in log[log_start:]
                 ]
+            if backend_metrics is not None:
+                # Fold this run's share of the fabric metrics into the
+                # campaign registry before end_run() snapshots it.
+                telemetry.merge_metrics(
+                    diff_snapshots(backend_metrics.snapshot(), fabric_start)
+                )
             if owns_backend:
                 backend.close()
         return scheduler.end_run()
@@ -1321,6 +1497,9 @@ def run_parallel_campaign(
     listen: Optional[str] = None,
     auth_token: Optional[str] = None,
     backend: Optional[ExecutionBackend] = None,
+    telemetry: bool = True,
+    telemetry_dir: Optional[str] = None,
+    telemetry_cadence: float = 0.0,
     **fuzzer_overrides,
 ) -> EngineResult:
     """Convenience helper mirroring :func:`repro.core.fuzzer.run_quick_campaign`.
@@ -1364,6 +1543,9 @@ def run_parallel_campaign(
         checkpoint_path=checkpoint_path,
         listen=listen,
         auth_token=auth_token,
+        telemetry=telemetry,
+        telemetry_dir=telemetry_dir,
+        telemetry_cadence=telemetry_cadence,
     )
     return ParallelCampaignEngine(configuration).run(backend=backend)
 
@@ -1574,6 +1756,27 @@ def build_parser() -> argparse.ArgumentParser:
         "candidates in the same simulator batch (default: 1 = off; results "
         "are byte-identical for any K)",
     )
+    parser.add_argument(
+        "--telemetry-dir",
+        metavar="DIR",
+        help="stream telemetry records (round/metrics/worker/campaign) as "
+        "rotating JSONL files here; tail them live with "
+        "python -m repro.analysis.watch DIR",
+    )
+    parser.add_argument(
+        "--telemetry-cadence",
+        type=float,
+        default=0.0,
+        metavar="SECONDS",
+        help="minimum seconds between emitted round records (0 = every "
+        "round; the final round always flows)",
+    )
+    parser.add_argument(
+        "--no-telemetry",
+        action="store_true",
+        help="disable the telemetry counters and record stream entirely "
+        "(results are byte-identical either way)",
+    )
     parser.add_argument("--json", metavar="PATH", help="also dump the merged result as JSON")
     return parser
 
@@ -1632,6 +1835,9 @@ def main(argv: Optional[List[str]] = None) -> int:
             sim_cache=not args.no_sim_cache,
             dut_pool=not args.no_dut_pool,
             window_lookahead=args.window_lookahead,
+            telemetry=not args.no_telemetry,
+            telemetry_dir=args.telemetry_dir,
+            telemetry_cadence=args.telemetry_cadence,
         )
         if args.resume:
             engine = ParallelCampaignEngine.resume_from(args.resume, configuration)
@@ -1743,6 +1949,14 @@ def main(argv: Optional[List[str]] = None) -> int:
                 f"  {row['cumtime']:8.3f}s cum  {row['tottime']:8.3f}s self  "
                 f"{row['calls']:9d} calls  {row['function']}"
             )
+
+    telemetry = engine.scheduler.telemetry
+    if telemetry.sink is not None and telemetry.sink.records_written:
+        print(
+            f"\ntelemetry: {telemetry.sink.records_written} record(s) in "
+            f"{telemetry.sink.directory}; watch live with "
+            f"python -m repro.analysis.watch {telemetry.sink.directory}"
+        )
 
     if args.json:
         payload = {

@@ -28,6 +28,7 @@ from repro.generation.seeds import Seed
 from repro.generation.training import TrainingMode
 from repro.generation.window_types import TransientWindowType, group_of
 from repro.swapmem.layout import DEFAULT_LAYOUT, MemoryLayout
+from repro.telemetry.metrics import MetricsRegistry
 from repro.uarch.config import CoreConfig, TaintTrackingMode
 from repro.utils.rng import DeterministicRng
 
@@ -97,12 +98,21 @@ class CampaignStep:
 class DejaVuzzFuzzer:
     """The three-phase fuzzing campaign driver."""
 
-    def __init__(self, configuration: FuzzerConfiguration) -> None:
+    def __init__(
+        self,
+        configuration: FuzzerConfiguration,
+        metrics: Optional[MetricsRegistry] = None,
+    ) -> None:
         if configuration.window_lookahead < 1:
             raise ValueError(
                 f"window_lookahead must be >= 1, got {configuration.window_lookahead}"
             )
         self.configuration = configuration
+        # Telemetry is always on by default (the instruments are one int add
+        # per event); pass ``NULL_REGISTRY`` to run with no-op instruments.
+        # Metrics never feed back into fuzzing decisions, so results are
+        # byte-identical either way.
+        self.metrics = metrics if metrics is not None else MetricsRegistry()
         self.rng = DeterministicRng(configuration.entropy, "fuzzer")
         self.mutator = Mutator(
             self.rng.split("mutation"), seed_id_base=configuration.seed_id_base
@@ -116,6 +126,7 @@ class DejaVuzzFuzzer:
             max_cycles_per_packet=configuration.max_cycles_per_packet,
             sim_cache=configuration.sim_cache,
             dut_pool=configuration.dut_pool,
+            metrics=self.metrics.scope("phase1"),
         )
         self.phase2 = TransientExecutionExploration(
             configuration.core,
@@ -137,6 +148,9 @@ class DejaVuzzFuzzer:
         # Campaign rounds whose window miss replayed from a speculatively
         # memoized result (no simulator boundary of their own).
         self.lookahead_hits = 0
+        explore = self.metrics.scope("explore")
+        self._phase2_seconds = explore.histogram("phase2_seconds")
+        self._phase3_seconds = explore.histogram("phase3_seconds")
 
     # -- campaign loop ----------------------------------------------------------------------
 
@@ -257,6 +271,7 @@ class DejaVuzzFuzzer:
                     result=result,
                 )
 
+            explore_started = time.perf_counter()
             phase2_result = self.phase2.run(
                 current_phase1,
                 current_seed,
@@ -264,6 +279,7 @@ class DejaVuzzFuzzer:
                 average_gain=self._average_gain(),
                 consecutive_low_gain=consecutive_low_gain,
             )
+            self._phase2_seconds.record(time.perf_counter() - explore_started)
             explore_simulations = 1  # one differential (dual-DUT) simulation
             self._gain_history.append(phase2_result.new_coverage_points)
             self._record_gain(current_seed, phase2_result.new_coverage_points)
@@ -271,7 +287,9 @@ class DejaVuzzFuzzer:
             result.iterations_run = iteration + 1
 
             if phase2_result.secret_propagated:
+                phase3_started = time.perf_counter()
                 phase3_result = self.phase3.run(phase2_result)
+                self._phase3_seconds.record(time.perf_counter() - phase3_started)
                 explore_simulations += 1  # leakage analysis re-simulates
                 if phase3_result.verdict.is_leak:
                     report = classify_report(
@@ -407,6 +425,29 @@ class DejaVuzzFuzzer:
                 dut_constructions=pool.constructions, dut_reuses=pool.reuses
             )
         return stats
+
+    def export_metrics(self) -> None:
+        """Fold the cache/DUT-pool/batch tallies into the metrics registry.
+
+        The underlying objects already count these; this copies the final
+        tallies into registry counters so one snapshot carries everything.
+        Call once per campaign (the shard runner does, at payload build).
+        """
+        phase1 = self.metrics.scope("phase1")
+        cache = self.phase1.simulation_cache
+        if cache is not None:
+            phase1.counter("sim_cache_evictions").add(cache.evictions)
+        pool = self.phase1.dut_pool
+        if pool is not None:
+            phase1.counter("dut_constructions").add(pool.constructions)
+            phase1.counter("dut_reuses").add(pool.reuses)
+        batch = self.phase1.batch_evaluator
+        phase1.counter("window_batches").add(batch.batches)
+        phase1.counter("batch_simulations").add(batch.simulations)
+        phase1.counter("speculated").add(batch.speculated)
+        self.metrics.scope("fuzzer").counter("lookahead_hits").add(
+            self.lookahead_hits
+        )
 
     def _average_gain(self) -> float:
         if not self._gain_history:

@@ -12,6 +12,7 @@ triggering are permanently discarded.
 from __future__ import annotations
 
 import hashlib
+import time
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Tuple
@@ -23,6 +24,7 @@ from repro.swapmem.layout import DEFAULT_LAYOUT, MemoryLayout
 from repro.swapmem.memory import SwapMemory
 from repro.swapmem.packets import SwapSchedule
 from repro.swapmem.scheduler import SwapRunner, SwapRunResult
+from repro.telemetry.metrics import NULL_REGISTRY
 from repro.uarch.config import CoreConfig, TaintTrackingMode
 from repro.uarch.processor import Processor
 from repro.utils.rng import DeterministicRng
@@ -328,6 +330,7 @@ class TransientWindowTriggering:
         sim_cache: bool = True,
         sim_cache_capacity: int = 128,
         dut_pool: bool = True,
+        metrics=None,
     ) -> None:
         self.config = config
         self.layout = layout
@@ -342,6 +345,13 @@ class TransientWindowTriggering:
         # that no module-global state is read or mutated.
         self.dut_pool: Optional[DutPool] = DutPool(config, layout) if dut_pool else None
         self.batch_evaluator = WindowBatchEvaluator(self)
+        # Telemetry instruments, resolved once so the hot path holds direct
+        # references; ``metrics`` is a MetricsRegistry/MetricsScope (or None
+        # for the shared no-op registry — record/add become empty calls).
+        scope = metrics if metrics is not None else NULL_REGISTRY
+        self._sim_seconds = scope.histogram("sim_seconds")
+        self._sim_cache_hit_count = scope.counter("sim_cache_hits")
+        self._sim_cache_miss_count = scope.counter("sim_cache_misses")
 
     # -- Step 1.1: trigger generation ------------------------------------------------
 
@@ -443,28 +453,34 @@ class TransientWindowTriggering:
         key = (schedule_fingerprint(schedule), secret)
         cached = cache.get(key)
         if cached is not None:
+            self._sim_cache_hit_count.add(1)
             return cached
+        self._sim_cache_miss_count.add(1)
         result = self._simulate_uncached(schedule, secret)
         cache.put(key, result)
         return result
 
     def _simulate_uncached(self, schedule: SwapSchedule, secret: int) -> SwapRunResult:
         """One un-instrumented RTL simulation of a schedule (warm or fresh DUT)."""
-        pool = self.dut_pool
-        if pool is None or TransientWindowTriggering.force_disable_dut_pool:
-            swap_memory = SwapMemory(self.layout, secret=secret)
-            processor = Processor(
-                self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
-            )
-            runner = SwapRunner(
-                processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
-            )
-            return runner.run()
-        swap_memory, processor = pool.checkout(secret)
+        started = time.perf_counter()
         try:
-            runner = SwapRunner(
-                processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
-            )
-            return runner.run()
+            pool = self.dut_pool
+            if pool is None or TransientWindowTriggering.force_disable_dut_pool:
+                swap_memory = SwapMemory(self.layout, secret=secret)
+                processor = Processor(
+                    self.config, memory=swap_memory.data, taint_mode=TaintTrackingMode.NONE
+                )
+                runner = SwapRunner(
+                    processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
+                )
+                return runner.run()
+            swap_memory, processor = pool.checkout(secret)
+            try:
+                runner = SwapRunner(
+                    processor, swap_memory, schedule, max_cycles_per_packet=self.max_cycles_per_packet
+                )
+                return runner.run()
+            finally:
+                pool.checkin(processor)
         finally:
-            pool.checkin(processor)
+            self._sim_seconds.record(time.perf_counter() - started)

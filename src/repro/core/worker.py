@@ -48,6 +48,7 @@ from repro.core.distributed import (
     send_frame,
     shard_task_from_wire,
 )
+from repro.telemetry.metrics import LatencyHistogram
 
 __all__ = ["run_worker", "main"]
 
@@ -91,6 +92,11 @@ def _serve_connection(
     """
     write_lock = threading.Lock()
     stop_beating = threading.Event()
+    # Daemon-side telemetry: batch turnaround distribution and task count,
+    # summarized in one log line when the connection ends (the coordinator
+    # keeps its own fabric-side roundtrip histograms).
+    batch_seconds = LatencyHistogram()
+    tasks_served = 0
 
     def beat() -> None:
         while not stop_beating.wait(heartbeat_interval):
@@ -136,11 +142,14 @@ def _serve_connection(
                     f"epoch {task.epoch} slice {task.slice_index}" for task in tasks
                 )
             )
+            batch_started = time.perf_counter()
             try:
                 payloads = local.run_epoch(tasks)
             except Exception as error:  # noqa: BLE001 — any backend failure
                 log(f"local backend failed mid-batch: {error!r}")
                 return "backend-error"
+            batch_seconds.record(time.perf_counter() - batch_started)
+            tasks_served += len(tasks)
             for entry, payload in zip(entries, payloads):
                 send_frame(
                     sock,
@@ -156,6 +165,12 @@ def _serve_connection(
         return "io-error"
     finally:
         stop_beating.set()
+        if batch_seconds.count:
+            log(
+                f"served {batch_seconds.count} batch(es), {tasks_served} "
+                f"task(s); batch p50 {batch_seconds.percentile(50):.3f}s "
+                f"p90 {batch_seconds.percentile(90):.3f}s"
+            )
         try:
             sock.close()
         except OSError:

@@ -34,11 +34,12 @@ import subprocess
 import sys
 import threading
 import time
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional
 
 from repro.core.backends import ShardTask
 from repro.core.distributed import shard_task_to_wire
+from repro.telemetry.metrics import LatencyHistogram
 
 __all__ = [
     "SimProcessPool",
@@ -244,9 +245,14 @@ class SimTaskStats:
     restarts: int = 0   # crash/hang recoveries (a subset of spawns)
     steps: int = 0
     step_seconds_total: float = 0.0
+    # Per-request round-trip latency distribution (successful round trips
+    # only, same population as step_seconds_total) — fixed-bucket, so rows
+    # from different processes merge deterministically.
+    latency: LatencyHistogram = field(default_factory=LatencyHistogram)
 
     def to_row(self) -> Dict[str, object]:
         return {
+            "kind": "sim_process",
             "slice_index": self.slice_index,
             "epoch": self.epoch,
             "spawns": self.spawns,
@@ -256,6 +262,7 @@ class SimTaskStats:
             "mean_step_seconds": round(
                 self.step_seconds_total / self.steps if self.steps else 0.0, 6
             ),
+            "request_latency": self.latency.to_dict(),
         }
 
 
@@ -409,8 +416,10 @@ class SubprocessSimulator:
                 # Only successful round trips count: recovery time (respawn,
                 # RESTORE, replay) and timed-out attempts would otherwise
                 # inflate the mean step wall clock the diagnostics report.
-                self._stats.step_seconds_total += time.perf_counter() - started
+                elapsed = time.perf_counter() - started
+                self._stats.step_seconds_total += elapsed
                 self._stats.steps += 1
+                self._stats.latency.record(elapsed)
             return response
 
     def _note_crash(self, error: SimServerCrash) -> None:

@@ -109,6 +109,10 @@ class SimulatorSession:
             "history": list(runner.fuzzer.coverage.history),
             "iterations_run": campaign.iterations_run if campaign else 0,
             "reports": len(campaign.reports) if campaign else 0,
+            # Live telemetry snapshot of the loaded task's metric registry
+            # (latency histograms, cache counters) — an observation surface
+            # only: the digest covers deterministic state and ignores it.
+            "metrics": runner.metrics.snapshot(),
             "digest": self._digest(),
         }
 

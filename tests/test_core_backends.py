@@ -119,10 +119,20 @@ class TestBackends:
         pooled = self.run_tasks(ProcessPoolBackend(max_workers=2))
         interleaved = self.run_tasks(AsyncBackend(concurrency=2))
         def strip(payloads):
-            return [
-                {key: value for key, value in payload.items() if key != "wall_seconds"}
-                for payload in payloads
-            ]
+            stripped_payloads = []
+            for payload in payloads:
+                entry = {
+                    key: value
+                    for key, value in payload.items()
+                    if key != "wall_seconds"
+                }
+                # Metric counters are deterministic event counts and must
+                # match; latency histograms are wall clock, so drop them.
+                metrics = entry.get("metrics")
+                if metrics is not None:
+                    entry["metrics"] = dict(metrics, histograms=None)
+                stripped_payloads.append(entry)
+            return stripped_payloads
         stripped = strip(inline)
         for entry in stripped:
             entry["result"] = dict(entry["result"], elapsed_seconds=0.0, first_bug_seconds=None)

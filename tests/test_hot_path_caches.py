@@ -225,10 +225,13 @@ class TestCensusDirtyFlag:
 class TestBackendsCacheEquivalence:
     @staticmethod
     def _normalize(payload):
-        # sim_stats counts physical simulations and DUT reuses, which differ
-        # cache-on vs cache-off by design; the deterministic payload must not.
+        # sim_stats and the metrics snapshot count physical simulations, DUT
+        # reuses, and cache hits/misses, which differ cache-on vs cache-off by
+        # design; the deterministic payload must not.
         entry = {
-            k: v for k, v in payload.items() if k not in ("wall_seconds", "sim_stats")
+            k: v
+            for k, v in payload.items()
+            if k not in ("wall_seconds", "sim_stats", "metrics")
         }
         entry["result"] = dict(
             entry["result"], elapsed_seconds=0.0, first_bug_seconds=None
@@ -297,6 +300,8 @@ class TestProfilePlumbing:
             payload = run_shard_task(task)
             payload.pop("profile", None)
             payload.pop("wall_seconds", None)
+            # latency histograms in the metrics snapshot are wall clock
+            payload.pop("metrics", None)
             payload["result"] = dict(
                 payload["result"], elapsed_seconds=0.0, first_bug_seconds=None
             )

@@ -233,6 +233,9 @@ class TestSnapshotRestore:
                     payload_b = dict(step_b["payload"])
                     payload_a.pop("wall_seconds")
                     payload_b.pop("wall_seconds")
+                    # metric latency histograms are timing too
+                    payload_a.pop("metrics", None)
+                    payload_b.pop("metrics", None)
                     # Timing lives inside the result dict too; compare the
                     # deterministic projection.
                     result_a = payload_a.pop("result")

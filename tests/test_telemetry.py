@@ -1,0 +1,724 @@
+"""Tests for the live campaign telemetry pipeline.
+
+The shared contract under test: telemetry is *pure observation* — the same
+campaign run with telemetry on, off, or with a failing sink produces
+byte-identical deterministic wire forms on every execution path — and the
+metric primitives merge deterministically in any join order, because
+worker payloads arrive in whatever order the fleet finishes them.
+"""
+
+import json
+import subprocess
+import sys
+import threading
+
+import pytest
+
+from repro.analysis import latency_percentiles, telemetry_table
+from repro.analysis.watch import TelemetryFollower, validate_record
+from repro.analysis.watch import main as watch_main
+from repro.core.backends import ShardTask, run_shard_task
+from repro.core.distributed import (
+    DistributedBackend,
+    shard_task_from_wire,
+    shard_task_to_wire,
+)
+from repro.core.engine import (
+    EngineConfiguration,
+    EngineResult,
+    ParallelCampaignEngine,
+    run_parallel_campaign,
+)
+from repro.core.fuzzer import FuzzerConfiguration
+from repro.core.report import CampaignResult
+from repro.core.worker import run_worker
+from repro.sim.client import close_default_pool
+from repro.telemetry import (
+    HISTOGRAM_BOUNDS,
+    CampaignTelemetry,
+    LatencyHistogram,
+    MetricsRegistry,
+    NULL_REGISTRY,
+    TelemetryRing,
+    TelemetrySink,
+    diff_snapshots,
+)
+from repro.uarch import small_boom_config
+
+BOOM = small_boom_config()
+
+
+def engine_wire(result):
+    return json.dumps(result.campaign.to_dict(include_timing=False), sort_keys=True)
+
+
+# -- metric primitives -----------------------------------------------------------------------
+
+
+class TestLatencyHistogram:
+    def test_records_land_in_log_scale_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        histogram.record(0.5)
+        histogram.record(10_000.0)  # beyond the last bound -> overflow bucket
+        assert histogram.count == 3
+        assert sum(histogram.counts) == 3
+        assert histogram.counts[-1] == 1  # the overflow
+
+    def test_merge_is_order_independent(self):
+        # Three shards' histograms joined in every order produce identical
+        # wire forms — the property the epoch merge relies on when worker
+        # payloads arrive in completion order.
+        samples = [
+            [0.0001, 0.004, 0.03],
+            [0.5, 0.0002],
+            [2.5, 0.00001, 7.0, 0.9],
+        ]
+        shards = []
+        for values in samples:
+            histogram = LatencyHistogram()
+            for value in values:
+                histogram.record(value)
+            shards.append(histogram)
+        import itertools
+
+        wires = set()
+        for order in itertools.permutations(range(3)):
+            merged = LatencyHistogram()
+            for index in order:
+                merged.merge(shards[index])
+            wires.add(json.dumps(merged.to_dict(), sort_keys=True))
+        assert len(wires) == 1
+        merged = LatencyHistogram.from_dict(json.loads(wires.pop()))
+        assert merged.count == sum(len(values) for values in samples)
+
+    def test_wire_round_trip_is_sparse(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.001)
+        payload = histogram.to_dict()
+        # Sparse form: only the one non-empty bucket is carried.
+        assert len(payload["buckets"]) == 1
+        decoded = LatencyHistogram.from_dict(payload)
+        assert decoded.counts == histogram.counts
+        assert decoded.total_us == histogram.total_us
+
+    def test_merge_dict_tolerates_missing_buckets(self):
+        histogram = LatencyHistogram()
+        histogram.merge_dict({"count": 2, "total_us": 100, "buckets": [[0, 2]]})
+        assert histogram.count == 2
+        assert histogram.counts[0] == 2
+
+    def test_percentile_returns_bucket_upper_bound(self):
+        histogram = LatencyHistogram()
+        for _ in range(100):
+            histogram.record(0.001)
+        p50 = histogram.percentile(50)
+        assert p50 in HISTOGRAM_BOUNDS
+        assert p50 >= 0.001
+        assert histogram.percentile(99) == p50  # all mass in one bucket
+
+    def test_mean_uses_integer_microseconds(self):
+        histogram = LatencyHistogram()
+        histogram.record(0.002)
+        histogram.record(0.004)
+        assert histogram.mean_seconds() == pytest.approx(0.003, abs=1e-6)
+
+
+class TestMetricsRegistry:
+    def test_scopes_prefix_names(self):
+        registry = MetricsRegistry()
+        registry.scope("phase1").counter("hits").add(3)
+        registry.scope("phase1").scope("cache").counter("misses").add()
+        snapshot = registry.snapshot()
+        assert snapshot["counters"] == {
+            "phase1/cache/misses": 1,
+            "phase1/hits": 3,
+        }
+
+    def test_instruments_are_memoized(self):
+        registry = MetricsRegistry()
+        assert registry.counter("a") is registry.counter("a")
+        assert registry.histogram("h") is registry.histogram("h")
+
+    def test_disabled_registry_hands_out_null_instruments(self):
+        registry = MetricsRegistry(enabled=False)
+        counter = registry.counter("x")
+        counter.add(5)
+        histogram = registry.histogram("h")
+        histogram.record(1.0)
+        registry.gauge("g").set(3)
+        assert registry.snapshot() == {
+            "counters": {},
+            "gauges": {},
+            "histograms": {},
+        }
+        # The null instruments are shared singletons, and NULL_REGISTRY is
+        # the canonical off switch.
+        assert NULL_REGISTRY.counter("anything") is NULL_REGISTRY.counter("else")
+
+    def test_snapshot_merge_in_any_order(self):
+        def shard(values):
+            registry = MetricsRegistry()
+            registry.counter("sims").add(values[0])
+            for value in values[1:]:
+                registry.histogram("latency").record(value)
+            return registry.snapshot()
+
+        snapshots = [shard([3, 0.001]), shard([5, 0.5, 0.004]), shard([2])]
+        import itertools
+
+        wires = set()
+        for order in itertools.permutations(range(3)):
+            merged = MetricsRegistry()
+            for index in order:
+                merged.merge_snapshot(snapshots[index])
+            wires.add(json.dumps(merged.snapshot(), sort_keys=True))
+        assert len(wires) == 1
+        final = json.loads(wires.pop())
+        assert final["counters"]["sims"] == 10
+
+    def test_diff_snapshots_attributes_a_run(self):
+        registry = MetricsRegistry()
+        registry.counter("tasks").add(4)
+        registry.histogram("rt").record(0.1)
+        before = registry.snapshot()
+        registry.counter("tasks").add(3)
+        registry.histogram("rt").record(0.2)
+        delta = diff_snapshots(registry.snapshot(), before)
+        assert delta["counters"] == {"tasks": 3}
+        assert sum(count for _, count in delta["histograms"]["rt"]["buckets"]) == 1
+
+
+# -- sinks -----------------------------------------------------------------------------------
+
+
+class TestTelemetrySink:
+    def test_rotation_creates_numbered_files(self, tmp_path):
+        sink = TelemetrySink(str(tmp_path), max_bytes=120)
+        for index in range(12):
+            assert sink.emit({"type": "round", "epoch": index, "pad": "x" * 40})
+        files = sink.files()
+        assert len(files) > 1
+        # Every line in every file parses; records are in emit order.
+        epochs = []
+        for file in files:
+            with open(file, encoding="utf-8") as handle:
+                for line in handle:
+                    epochs.append(json.loads(line)["epoch"])
+        assert epochs == list(range(12))
+
+    def test_resumes_past_existing_files(self, tmp_path):
+        first = TelemetrySink(str(tmp_path))
+        first.emit({"type": "round", "epoch": 0})
+        second = TelemetrySink(str(tmp_path))
+        second.emit({"type": "round", "epoch": 1})
+        assert len(second.files()) == 2  # appended a fresh file, kept history
+
+    def test_sink_failure_is_contained(self, tmp_path, capsys):
+        blocker = tmp_path / "not-a-directory"
+        blocker.write_text("occupied")
+        sink = TelemetrySink(str(blocker))
+        assert sink.failed
+        assert not sink.emit({"type": "round"})
+        assert sink.records_written == 0
+        assert "campaign unaffected" in capsys.readouterr().err
+
+
+class TestCampaignTelemetry:
+    def test_ring_and_sink_receive_records(self, tmp_path):
+        pipeline = CampaignTelemetry(directory=str(tmp_path))
+        assert pipeline.emit({"type": "worker", "epoch": 0, "deliveries": []})
+        assert len(pipeline.ring) == 1
+        assert pipeline.sink.records_written == 1
+        assert "ts" in pipeline.ring.records()[0]
+
+    def test_disabled_pipeline_is_inert(self, tmp_path):
+        pipeline = CampaignTelemetry(directory=str(tmp_path), enabled=False)
+        assert not pipeline.emit({"type": "round"})
+        assert len(pipeline.ring) == 0
+        assert pipeline.sink is None  # no directory is even created for it
+
+    def test_cadence_gates_round_records_but_not_the_final(self):
+        pipeline = CampaignTelemetry(cadence=3600.0)
+        assert pipeline.emit_round({"type": "round", "epoch": 0})
+        assert not pipeline.emit_round({"type": "round", "epoch": 1})
+        assert not pipeline.emit_round({"type": "round", "epoch": 2})
+        assert pipeline.emit_round({"type": "round", "epoch": 3}, final=True)
+        records = pipeline.ring.records("round")
+        assert [record["epoch"] for record in records] == [0, 3]
+        # The gated rounds are accounted for on the record that flowed.
+        assert records[-1]["suppressed_rounds"] == 2
+
+    def test_zero_cadence_emits_every_round(self):
+        pipeline = CampaignTelemetry()
+        for epoch in range(3):
+            assert pipeline.emit_round({"type": "round", "epoch": epoch})
+        assert len(pipeline.ring.records("round")) == 3
+
+    def test_ring_is_bounded(self):
+        ring = TelemetryRing(capacity=4)
+        for index in range(10):
+            ring.append({"type": "round", "epoch": index})
+        assert len(ring) == 4
+        assert ring.records()[0]["epoch"] == 6
+
+
+# -- configuration and wire forms ------------------------------------------------------------
+
+
+class TestConfiguration:
+    def test_rejects_negative_cadence(self):
+        with pytest.raises(ValueError, match="telemetry_cadence"):
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=3),
+                iterations=4,
+                telemetry_cadence=-1.0,
+            )
+
+    def test_telemetry_knobs_stay_out_of_the_fingerprint(self, tmp_path):
+        def configuration(**telemetry):
+            return EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=3),
+                iterations=4,
+                **telemetry,
+            )
+
+        with_telemetry = ParallelCampaignEngine(
+            configuration(telemetry_dir=str(tmp_path), telemetry_cadence=5.0)
+        )
+        without = ParallelCampaignEngine(configuration(telemetry=False))
+        assert (
+            with_telemetry.configuration_fingerprint()
+            == without.configuration_fingerprint()
+        )
+
+    def test_shard_task_wire_round_trip(self):
+        task = ShardTask(
+            slice_index=1,
+            epoch=0,
+            iterations=4,
+            configuration=FuzzerConfiguration(core=BOOM, entropy=5),
+            telemetry=False,
+            telemetry_cadence=2.5,
+        )
+        decoded = shard_task_from_wire(shard_task_to_wire(task))
+        assert decoded.telemetry is False
+        assert decoded.telemetry_cadence == 2.5
+
+    def test_missing_wire_keys_default_to_on(self):
+        # Tasks from a pre-telemetry coordinator keep working on a new
+        # worker: telemetry defaults on, cadence to zero.
+        wire = shard_task_to_wire(
+            ShardTask(
+                slice_index=0,
+                epoch=0,
+                iterations=4,
+                configuration=FuzzerConfiguration(core=BOOM, entropy=5),
+            )
+        )
+        del wire["telemetry"]
+        del wire["telemetry_cadence"]
+        decoded = shard_task_from_wire(wire)
+        assert decoded.telemetry is True
+        assert decoded.telemetry_cadence == 0.0
+
+
+class TestSummaryKinds:
+    def test_summary_filters_by_kind_with_legacy_fallback(self):
+        result = EngineResult(
+            campaign=CampaignResult(fuzzer_name="DejaVuzz", core="boom"),
+            core_coverage={},
+            shards=1,
+            epochs=1,
+        )
+        result.sim_log = [
+            # A merged subprocess row: both shapes, kind says process.
+            {"kind": "sim_process", "spawns": 2, "restarts": 1, "window_batches": 3},
+            # A batch-only row must NOT be counted as a process row.
+            {"kind": "window_batch", "window_batches": 5},
+            # A row from a pre-kind coordinator: classified by the old sniff.
+            {"spawns": 1, "restarts": 0},
+        ]
+        processes = result.summary()["simulator_processes"]
+        assert processes == {"spawns": 3, "restarts": 1}
+
+    def test_batch_only_runs_report_no_process_summary(self):
+        result = EngineResult(
+            campaign=CampaignResult(fuzzer_name="DejaVuzz", core="boom"),
+            core_coverage={},
+            shards=1,
+            epochs=1,
+        )
+        result.sim_log = [{"kind": "window_batch", "window_batches": 5}]
+        assert "simulator_processes" not in result.summary()
+
+
+# -- byte-identity across the execution paths ------------------------------------------------
+
+
+class TestTelemetryIsPureObservation:
+    ENGINE_KWARGS = dict(
+        shards=2, slices=2, iterations=8, sync_epochs=2, entropy=9
+    )
+
+    @pytest.fixture(scope="class")
+    def inline_reference(self):
+        result = run_parallel_campaign(
+            BOOM, executor="inline", telemetry=False, **self.ENGINE_KWARGS
+        )
+        assert len(result.telemetry) == 0  # off leaves the ring empty
+        return engine_wire(result)
+
+    def test_inline_with_telemetry_matches(self, inline_reference):
+        result = run_parallel_campaign(
+            BOOM, executor="inline", **self.ENGINE_KWARGS
+        )
+        assert engine_wire(result) == inline_reference
+        assert result.telemetry.records("round")
+        assert result.telemetry.records("campaign")
+
+    def test_inline_with_sink_matches(self, inline_reference, tmp_path):
+        result = run_parallel_campaign(
+            BOOM,
+            executor="inline",
+            telemetry_dir=str(tmp_path / "stream"),
+            **self.ENGINE_KWARGS,
+        )
+        assert engine_wire(result) == inline_reference
+        files = list((tmp_path / "stream").glob("telemetry-*.jsonl"))
+        assert files
+
+    def test_inline_with_failing_sink_matches(self, inline_reference, tmp_path, capsys):
+        blocker = tmp_path / "blocked"
+        blocker.write_text("occupied")  # telemetry_dir is an existing *file*
+        result = run_parallel_campaign(
+            BOOM,
+            executor="inline",
+            telemetry_dir=str(blocker),
+            **self.ENGINE_KWARGS,
+        )
+        assert engine_wire(result) == inline_reference
+        # The ring keeps working even when the sink is dead.
+        assert result.telemetry.records("round")
+
+    def test_process_pool_matches(self, inline_reference):
+        result = run_parallel_campaign(
+            BOOM, executor="process", **self.ENGINE_KWARGS
+        )
+        assert engine_wire(result) == inline_reference
+
+    def test_async_matches(self, inline_reference):
+        result = run_parallel_campaign(
+            BOOM, executor="async", **self.ENGINE_KWARGS
+        )
+        assert engine_wire(result) == inline_reference
+
+    def test_distributed_matches_and_reports_fabric_metrics(self, inline_reference):
+        backend = DistributedBackend(listen="127.0.0.1:0")
+        try:
+            threading.Thread(
+                target=run_worker,
+                kwargs=dict(
+                    connect=f"{backend.address[0]}:{backend.address[1]}", quiet=True
+                ),
+                daemon=True,
+            ).start()
+            result = run_parallel_campaign(
+                BOOM, executor="inline", backend=backend, **self.ENGINE_KWARGS
+            )
+        finally:
+            backend.close()
+        assert engine_wire(result) == inline_reference
+        # The run's share of the fabric metrics landed in the final record.
+        campaign = result.telemetry.records("campaign")[-1]
+        counters = campaign["metrics"]["counters"]
+        assert counters.get("distributed/results_received") == 4
+        assert "distributed/task_roundtrip_seconds" in campaign["metrics"]["histograms"]
+        # And the per-epoch worker records carried the delivery log.
+        workers = result.telemetry.records("worker")
+        assert sum(len(record["deliveries"]) for record in workers) == 4
+
+    def test_subprocess_simulator_matches_inproc(self):
+        def task(simulator, telemetry):
+            return ShardTask(
+                slice_index=0,
+                epoch=0,
+                iterations=6,
+                configuration=FuzzerConfiguration(
+                    core=BOOM, entropy=6, seed_id_base=10
+                ),
+                simulator=simulator,
+                telemetry=telemetry,
+            )
+
+        def deterministic_payload(payload):
+            result = CampaignResult.from_dict(payload["result"]).to_dict(
+                include_timing=False
+            )
+            return {
+                "slice_index": payload["slice_index"],
+                "core": payload["core"],
+                "result": result,
+                "points": payload["points"],
+                "top_seeds": payload["top_seeds"],
+            }
+
+        reference = run_shard_task(task("inproc", False))
+        assert "metrics" not in reference  # telemetry off: no snapshot rides
+        try:
+            subprocess_payload = run_shard_task(task("subprocess", True))
+        finally:
+            # Don't leak a warm server into other tests' spawn accounting.
+            close_default_pool()
+        assert deterministic_payload(subprocess_payload) == deterministic_payload(
+            reference
+        )
+        metrics = subprocess_payload["metrics"]
+        assert metrics["counters"]["phase1/batch_simulations"] > 0
+        assert "runner/window_batch_seconds" in metrics["histograms"]
+        # The subprocess sim_stats row declares its merged shape.
+        assert subprocess_payload["sim_stats"]["kind"] == "sim_process"
+        assert subprocess_payload["sim_stats"]["request_latency"]["count"] > 0
+
+
+# -- engine integration ----------------------------------------------------------------------
+
+
+class TestEngineTelemetry:
+    def test_round_records_track_the_merged_state(self):
+        result = run_parallel_campaign(
+            BOOM,
+            executor="inline",
+            shards=2,
+            slices=2,
+            iterations=12,
+            sync_epochs=3,
+            entropy=9,
+        )
+        rounds = result.telemetry.records("round")
+        assert len(rounds) == 3
+        assert [record["epoch"] for record in rounds] == [0, 1, 2]
+        final = rounds[-1]
+        assert final["coverage_total"] == result.total_coverage()
+        assert final["iterations_done"] == result.campaign.iterations_run == 12
+        assert final["reports"] == len(result.campaign.reports)
+        assert final["rounds_total"] == 3
+        assert len(final["slices"]) == 2  # one row per merged slice task
+        campaign = result.telemetry.records("campaign")[-1]
+        assert campaign["complete"] is True
+        assert campaign["coverage_total"] == result.total_coverage()
+        # The merged per-task metrics accumulated across all epochs.
+        metrics = result.telemetry.records("metrics")[-1]
+        assert metrics["counters"]["phase1/batch_simulations"] > 0
+        assert metrics["histograms"]["phase1/sim_seconds"]["count"] > 0
+
+    def test_cadence_suppresses_intermediate_rounds(self):
+        result = run_parallel_campaign(
+            BOOM,
+            executor="inline",
+            shards=2,
+            slices=2,
+            iterations=12,
+            sync_epochs=3,
+            entropy=9,
+            telemetry_cadence=3600.0,
+        )
+        rounds = result.telemetry.records("round")
+        # First round flows, middle is gated, final bypasses the gate.
+        assert [record["epoch"] for record in rounds] == [0, 2]
+        assert rounds[-1]["suppressed_rounds"] == 1
+
+    def test_resume_appends_to_a_fresh_sink_file(self, tmp_path):
+        def configuration(checkpoint):
+            return EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=6),
+                shards=2,
+                slices=2,
+                iterations=12,
+                sync_epochs=3,
+                executor="inline",
+                checkpoint_path=checkpoint,
+                telemetry_dir=str(tmp_path / "stream"),
+            )
+
+        checkpoint = str(tmp_path / "state.json")
+        uninterrupted = ParallelCampaignEngine(
+            EngineConfiguration(
+                fuzzer=FuzzerConfiguration(core=BOOM, entropy=6),
+                shards=2,
+                slices=2,
+                iterations=12,
+                sync_epochs=3,
+                executor="inline",
+            )
+        ).run()
+        halted = ParallelCampaignEngine(configuration(checkpoint)).run(max_epochs=1)
+        assert not halted.complete
+        resumed = ParallelCampaignEngine.resume_from(
+            checkpoint, configuration(checkpoint)
+        ).run()
+        assert engine_wire(resumed) == engine_wire(uninterrupted)
+        files = sorted((tmp_path / "stream").glob("telemetry-*.jsonl"))
+        assert len(files) == 2  # the resume opened its own numbered file
+        # The stream's final coverage matches the resumed result.
+        follower = TelemetryFollower(str(tmp_path / "stream"))
+        follower.poll()
+        assert not follower.errors
+        summary = telemetry_table(follower.records)
+        assert summary["coverage_total"] == resumed.total_coverage()
+
+
+# -- analysis helpers and the watch CLI ------------------------------------------------------
+
+
+class TestAnalysisHelpers:
+    def test_telemetry_table_summarizes_a_stream(self):
+        records = [
+            {
+                "type": "round",
+                "ts": 100.0,
+                "epoch": 0,
+                "rounds_total": 2,
+                "iterations_done": 6,
+                "coverage": {"boom": 4},
+                "coverage_gain": {"boom": 4},
+                "coverage_total": 4,
+                "corpus_size": 3,
+                "corpus_evictions": 0,
+                "redistributed": 0,
+                "transferred": 0,
+                "reports": 1,
+                "stall_gain_estimate": 4.0,
+                "redistribute": True,
+                "slices": [],
+            },
+            {
+                "type": "round",
+                "ts": 102.0,
+                "epoch": 1,
+                "rounds_total": 2,
+                "iterations_done": 12,
+                "coverage": {"boom": 7},
+                "coverage_gain": {"boom": 3},
+                "coverage_total": 7,
+                "corpus_size": 5,
+                "corpus_evictions": 0,
+                "redistributed": 1,
+                "transferred": 0,
+                "reports": 2,
+                "stall_gain_estimate": 3.0,
+                "redistribute": True,
+                "slices": [],
+            },
+            {
+                "type": "worker",
+                "ts": 102.0,
+                "epoch": 1,
+                "deliveries": [
+                    {"worker": "w1", "epoch": 1, "wall_seconds": 0.5},
+                    {"worker": "w1", "epoch": 1, "wall_seconds": 0.4},
+                ],
+            },
+        ]
+        summary = telemetry_table(records)
+        assert summary["rounds"] == 2
+        assert summary["coverage_total"] == 7
+        assert summary["iterations_per_second"] == 3.0  # 6 iters over 2s
+        assert summary["workers"][0]["tasks"] == 2
+        assert summary["campaign"] is None
+
+    def test_latency_percentiles_accepts_wire_form(self):
+        histogram = LatencyHistogram()
+        for _ in range(10):
+            histogram.record(0.01)
+        stats = latency_percentiles(histogram.to_dict())
+        assert stats["count"] == 10
+        assert stats["p50_seconds"] >= 0.01
+        assert stats == latency_percentiles(histogram)
+
+    def test_validate_record_flags_missing_fields(self):
+        assert validate_record({"type": "nonsense"}) is not None
+        assert validate_record({"type": "round", "ts": 1.0}) is not None
+        assert (
+            validate_record(
+                {
+                    "type": "worker",
+                    "ts": 1.0,
+                    "epoch": 0,
+                    "deliveries": [],
+                }
+            )
+            is None
+        )
+
+
+class TestWatchCli:
+    def _stream(self, tmp_path):
+        directory = tmp_path / "stream"
+        run_parallel_campaign(
+            BOOM,
+            executor="inline",
+            shards=1,
+            slices=2,
+            iterations=8,
+            sync_epochs=2,
+            entropy=9,
+            telemetry_dir=str(directory),
+        )
+        return directory
+
+    def test_once_succeeds_on_a_real_stream(self, tmp_path, capsys):
+        directory = self._stream(tmp_path)
+        out = tmp_path / "summary.json"
+        assert watch_main([str(directory), "--once", "--json", str(out)]) == 0
+        assert "coverage" in capsys.readouterr().out
+        summary = json.loads(out.read_text())
+        assert summary["campaign"]["complete"] is True
+
+    def test_once_fails_on_malformed_records(self, tmp_path, capsys):
+        directory = self._stream(tmp_path)
+        bad = directory / "telemetry-99999.jsonl"
+        bad.write_text('{"type": "round", "epoch": 0}\nnot json at all\n')
+        assert watch_main([str(directory), "--once"]) == 1
+        err = capsys.readouterr().err
+        assert "missing field" in err
+        assert "unparseable" in err
+
+    def test_once_fails_on_an_empty_directory(self, tmp_path, capsys):
+        empty = tmp_path / "empty"
+        empty.mkdir()
+        assert watch_main([str(empty), "--once"]) == 1
+        assert "no telemetry records" in capsys.readouterr().err
+
+    def test_missing_path_is_a_usage_error(self, capsys):
+        assert watch_main(["/definitely/not/there", "--once"]) == 2
+        assert "does not exist" in capsys.readouterr().err
+
+    def test_follower_leaves_partial_lines_for_the_next_poll(self, tmp_path):
+        file = tmp_path / "telemetry-00001.jsonl"
+        complete = json.dumps(
+            {
+                "type": "worker",
+                "ts": 1.0,
+                "epoch": 0,
+                "deliveries": [],
+            }
+        )
+        file.write_bytes((complete + "\n").encode() + b'{"type": "worke')
+        follower = TelemetryFollower(str(tmp_path))
+        assert len(follower.poll()) == 1  # the torn tail is not consumed
+        with open(file, "ab") as handle:
+            handle.write(b'r", "ts": 2.0, "epoch": 1, "deliveries": []}\n')
+        assert len(follower.poll()) == 1  # ... and completes next poll
+        assert not follower.errors
+
+    def test_cli_module_entry_point(self, tmp_path):
+        directory = self._stream(tmp_path)
+        process = subprocess.run(
+            [sys.executable, "-m", "repro.analysis.watch", str(directory), "--once"],
+            capture_output=True,
+            text=True,
+            env={"PYTHONPATH": "src"},
+        )
+        assert process.returncode == 0, process.stderr
+        assert "campaign telemetry" in process.stdout
